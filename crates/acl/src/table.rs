@@ -1,0 +1,385 @@
+//! Construction of the ACL table from a faulty trace.
+
+use std::collections::{HashMap, HashSet};
+
+use ftkr_vm::{FaultSpec, FaultTarget, Location, Trace};
+
+/// Why a corrupted location stopped being alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeathCause {
+    /// It was overwritten by a value not derived from corrupted data
+    /// (the Data Overwriting pattern).
+    Overwritten,
+    /// Its value is never referenced again in the remainder of the trace
+    /// (dead corrupted location).
+    NeverUsedAgain,
+}
+
+/// One corrupted location leaving the alive set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AclDeath {
+    /// Dynamic instruction index after which the location is dead.
+    pub event: usize,
+    /// The location.
+    pub location: Location,
+    /// Why it died.
+    pub cause: DeathCause,
+    /// Source line of the instruction at `event`.
+    pub line: u32,
+}
+
+/// The alive-corrupted-locations table of one faulty run.
+#[derive(Debug, Clone, Default)]
+pub struct AclTable {
+    /// Number of alive corrupted locations *after* each dynamic instruction
+    /// (the last row of Figure 3 in the paper).
+    pub counts: Vec<u32>,
+    /// Every event at which a location became corrupted.
+    pub births: Vec<(usize, Location)>,
+    /// Every event at which a corrupted location died, with its cause.
+    pub deaths: Vec<AclDeath>,
+    /// Locations still corrupted (and alive) when the trace ends.
+    pub final_corrupted: Vec<Location>,
+    /// For every event, whether it read at least one alive corrupted
+    /// location (pattern detectors key off this).
+    pub tainted_reads: Vec<bool>,
+}
+
+impl AclTable {
+    /// Build the table given the seed corruptions: `(event index, location)`
+    /// pairs stating that `location` becomes corrupted at the instruction
+    /// with that dynamic index (for an instruction-result fault this is the
+    /// defining instruction; for a memory fault it is the instruction about
+    /// to execute when the cell is struck).
+    pub fn build(trace: &Trace, seeds: &[(usize, Location)]) -> AclTable {
+        // Backward pass: last dynamic index at which each location is
+        // *accessed* (read, or written — a pending overwrite keeps the
+        // location of interest, exactly as in Figure 3 of the paper where
+        // Loc_1 stays alive until the instruction that overwrites it).
+        let mut last_access: HashMap<Location, usize> = HashMap::new();
+        for (idx, event) in trace.iter() {
+            for &(loc, _) in &event.reads {
+                last_access.insert(loc, idx);
+            }
+            if let Some((loc, _)) = event.write {
+                last_access.insert(loc, idx);
+            }
+        }
+        // Reverse index: locations whose final access is at event i.
+        let mut dies_at: HashMap<usize, Vec<Location>> = HashMap::new();
+        for (&loc, &idx) in &last_access {
+            dies_at.entry(idx).or_default().push(loc);
+        }
+        // Seeds grouped by event.
+        let mut seeds_at: HashMap<usize, Vec<Location>> = HashMap::new();
+        for &(idx, loc) in seeds {
+            seeds_at.entry(idx).or_default().push(loc);
+        }
+
+        let mut tainted: HashSet<Location> = HashSet::new();
+        let mut table = AclTable {
+            counts: Vec::with_capacity(trace.len()),
+            tainted_reads: Vec::with_capacity(trace.len()),
+            ..Default::default()
+        };
+
+        let birth = |table: &mut AclTable,
+                         tainted: &mut HashSet<Location>,
+                         idx: usize,
+                         loc: Location,
+                         line: u32| {
+            // A corrupted value that is never accessed from here on is born
+            // dead ("tainted locations that are never used are excluded").
+            let lives = matches!(last_access.get(&loc), Some(&lu) if lu >= idx);
+            if !lives {
+                table.births.push((idx, loc));
+                table.deaths.push(AclDeath {
+                    event: idx,
+                    location: loc,
+                    cause: DeathCause::NeverUsedAgain,
+                    line,
+                });
+                return;
+            }
+            if tainted.insert(loc) {
+                table.births.push((idx, loc));
+            }
+        };
+
+        for (idx, event) in trace.iter() {
+            // Seed corruptions strike at this instruction.
+            let seeded_here: &[Location] = seeds_at.get(&idx).map(Vec::as_slice).unwrap_or(&[]);
+            for &loc in seeded_here {
+                birth(&mut table, &mut tainted, idx, loc, event.line);
+            }
+
+            let reads_tainted = event.reads.iter().any(|(l, _)| tainted.contains(l));
+            table.tainted_reads.push(reads_tainted);
+
+            if let Some((wloc, _)) = event.write {
+                if reads_tainted {
+                    birth(&mut table, &mut tainted, idx, wloc, event.line);
+                } else if !seeded_here.contains(&wloc) && tainted.remove(&wloc) {
+                    // Overwritten by a value not derived from corrupted data.
+                    table.deaths.push(AclDeath {
+                        event: idx,
+                        location: wloc,
+                        cause: DeathCause::Overwritten,
+                        line: event.line,
+                    });
+                }
+            }
+
+            // Corrupted locations whose final access is this instruction will
+            // never be referenced again: they die here.
+            if let Some(locs) = dies_at.get(&idx) {
+                for &loc in locs {
+                    if tainted.remove(&loc) {
+                        table.deaths.push(AclDeath {
+                            event: idx,
+                            location: loc,
+                            cause: DeathCause::NeverUsedAgain,
+                            line: event.line,
+                        });
+                    }
+                }
+            }
+
+            table.counts.push(tainted.len() as u32);
+        }
+
+        let mut final_corrupted: Vec<Location> = tainted.into_iter().collect();
+        final_corrupted.sort();
+        table.final_corrupted = final_corrupted;
+        table
+    }
+
+    /// Derive the seed corruption from a [`FaultSpec`] and build the table.
+    /// For an instruction-result fault the corrupted location is whatever the
+    /// instruction at `at_step` wrote; for a memory fault it is the cell.
+    pub fn from_fault(trace: &Trace, fault: &FaultSpec) -> AclTable {
+        let seeds: Vec<(usize, Location)> = match fault.target {
+            FaultTarget::InstructionResult => {
+                let step = fault.at_step as usize;
+                trace
+                    .events
+                    .get(step)
+                    .and_then(|e| e.write)
+                    .map(|(loc, _)| vec![(step, loc)])
+                    .unwrap_or_default()
+            }
+            FaultTarget::MemoryCell { addr } => {
+                vec![(fault.at_step as usize, Location::mem(addr))]
+            }
+        };
+        AclTable::build(trace, &seeds)
+    }
+
+    /// Largest number of simultaneously alive corrupted locations.
+    pub fn max_count(&self) -> u32 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Count after the given dynamic instruction.
+    pub fn count_at(&self, event: usize) -> u32 {
+        self.counts.get(event).copied().unwrap_or(0)
+    }
+
+    /// `(event, count)` series, down-sampled to at most `max_points` points —
+    /// the series plotted in Figure 7 of the paper.
+    pub fn series(&self, max_points: usize) -> Vec<(usize, u32)> {
+        if self.counts.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        let stride = (self.counts.len() / max_points).max(1);
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % stride == 0 || *i + 1 == self.counts.len())
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Events at which the alive-corrupted count decreased — the candidate
+    /// members of resilience computation patterns (Section III-D).
+    pub fn decrease_events(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for i in 1..self.counts.len() {
+            if self.counts[i] < self.counts[i - 1] {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// True when the error is fully gone by the end of the run: no alive
+    /// corrupted location remains.
+    pub fn fully_cleaned(&self) -> bool {
+        self.final_corrupted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftkr_ir::{BinKind, FunctionId, ValueId};
+    use ftkr_vm::{EventKind, TraceEvent, Value};
+
+    fn ev(reads: Vec<Location>, write: Option<Location>) -> TraceEvent {
+        TraceEvent {
+            func: FunctionId(0),
+            frame: 0,
+            inst: ValueId(0),
+            line: 1,
+            kind: EventKind::Bin(BinKind::FAdd),
+            reads: reads.into_iter().map(|l| (l, Value::F(1.0))).collect(),
+            write: write.map(|l| (l, Value::F(1.0))),
+        }
+    }
+
+    /// Reproduce the example of Figure 3 in the paper:
+    ///
+    /// | instr | effect                                            | ACL |
+    /// |-------|---------------------------------------------------|-----|
+    /// | 1     | Loc_1 corrupted by the injected error             | 1   |
+    /// | 2     | unrelated                                         | 1   |
+    /// | 3     | reads Loc_1, corrupts Loc_2                       | 2   |
+    /// | 4     | unrelated                                         | 2   |
+    /// | 5     | Loc_1 overwritten by a clean value                | 1   |
+    /// | 6     | last instruction; Loc_2 never used afterwards     | 0   |
+    #[test]
+    fn figure3_example_matches_the_paper() {
+        let loc1 = Location::mem(1);
+        let loc2 = Location::mem(2);
+        let other = Location::mem(99);
+        let trace = Trace {
+            events: vec![
+                // dynamic instruction 1 (index 0): produces Loc_1 (fault here)
+                ev(vec![], Some(loc1)),
+                // instruction 2: unrelated
+                ev(vec![other], Some(other)),
+                // instruction 3: reads Loc_1, writes Loc_2
+                ev(vec![loc1, other], Some(loc2)),
+                // instruction 4: unrelated
+                ev(vec![other], Some(other)),
+                // instruction 5: overwrites Loc_1 with clean data; also the
+                // last time Loc_2 is of interest is later...
+                ev(vec![other], Some(loc1)),
+                // instruction 6: reads Loc_2 for the last time
+                ev(vec![loc2], Some(other)),
+            ],
+        };
+        // The injected error corrupts the result of instruction 1 (index 0).
+        let table = AclTable::build(&trace, &[(0, loc1)]);
+        assert_eq!(table.counts, vec![1, 1, 2, 2, 1, 0]);
+        assert_eq!(table.max_count(), 2);
+        assert!(table.fully_cleaned());
+        // Loc_1 died by overwrite at instruction 5 (index 4); Loc_2 died by
+        // never being used again at instruction 6 (index 5).
+        assert!(table.deaths.iter().any(
+            |d| d.location == loc1 && d.cause == DeathCause::Overwritten && d.event == 4
+        ));
+        assert!(table.deaths.iter().any(
+            |d| d.location == loc2 && d.cause == DeathCause::NeverUsedAgain && d.event == 5
+        ));
+        assert_eq!(table.decrease_events(), vec![4, 5]);
+        // Only instructions 3 and 6 (indices 2 and 5) read corrupted data.
+        assert_eq!(table.tainted_reads, vec![false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn corrupted_value_never_read_again_is_born_dead() {
+        let loc = Location::mem(5);
+        let trace = Trace {
+            events: vec![ev(vec![], Some(loc)), ev(vec![Location::mem(9)], None)],
+        };
+        let table = AclTable::build(&trace, &[(0, loc)]);
+        assert_eq!(table.counts, vec![0, 0]);
+        assert_eq!(table.births.len(), 1);
+        assert_eq!(table.deaths.len(), 1);
+        assert_eq!(table.deaths[0].cause, DeathCause::NeverUsedAgain);
+    }
+
+    #[test]
+    fn taint_propagates_through_chains_and_survives_at_end() {
+        let a = Location::mem(1);
+        let b = Location::mem(2);
+        let c = Location::mem(3);
+        let trace = Trace {
+            events: vec![
+                ev(vec![], Some(a)),
+                ev(vec![a], Some(b)),
+                ev(vec![b], Some(c)),
+                ev(vec![c], None), // c read at the end (e.g. output)
+            ],
+        };
+        let table = AclTable::build(&trace, &[(0, a)]);
+        // a dies after event 1 (its last read), b after event 2, c stays
+        // alive through event 3 where it is read by the final event... and
+        // then has no further use, so it dies there.
+        assert_eq!(table.counts, vec![1, 1, 1, 0]);
+        assert!(table.fully_cleaned());
+        let t2 = AclTable::build(
+            &Trace {
+                events: vec![ev(vec![], Some(a)), ev(vec![a], Some(b)), ev(vec![b], Some(c)), ev(vec![c], Some(b))],
+            },
+            &[(0, a)],
+        );
+        // b is re-corrupted by the final write but never read => dead; final
+        // set must be empty.
+        assert!(t2.fully_cleaned());
+    }
+
+    #[test]
+    fn memory_fault_seeds_from_fault_spec() {
+        let loc = Location::mem(7);
+        let trace = Trace {
+            events: vec![ev(vec![loc], Some(Location::mem(8))), ev(vec![Location::mem(8)], None)],
+        };
+        let fault = FaultSpec::in_memory(0, 7, 3);
+        let table = AclTable::from_fault(&trace, &fault);
+        // m[7] corrupted before event 0; it propagates to m[8].
+        assert_eq!(table.counts, vec![1, 0]);
+        assert_eq!(table.births.len(), 2);
+    }
+
+    #[test]
+    fn result_fault_seeds_from_fault_spec() {
+        let loc = Location::mem(7);
+        let trace = Trace {
+            events: vec![ev(vec![], Some(loc)), ev(vec![loc], None)],
+        };
+        let fault = FaultSpec::in_result(0, 10);
+        let table = AclTable::from_fault(&trace, &fault);
+        assert_eq!(table.counts, vec![1, 0]);
+    }
+
+    #[test]
+    fn series_downsamples() {
+        let loc = Location::mem(1);
+        let mut events = vec![ev(vec![], Some(loc))];
+        for _ in 0..99 {
+            events.push(ev(vec![loc], None));
+        }
+        let trace = Trace { events };
+        let table = AclTable::build(&trace, &[(0, loc)]);
+        assert_eq!(table.counts.len(), 100);
+        let series = table.series(10);
+        assert!(series.len() <= 12);
+        assert_eq!(series.first().unwrap().0, 0);
+        assert_eq!(series.last().unwrap().0, 99);
+        assert!(table.series(0).is_empty());
+    }
+
+    #[test]
+    fn clean_overwrite_of_untainted_location_is_not_a_death() {
+        let loc = Location::mem(1);
+        let trace = Trace {
+            events: vec![ev(vec![], Some(loc)), ev(vec![loc], None)],
+        };
+        let table = AclTable::build(&trace, &[]);
+        assert_eq!(table.counts, vec![0, 0]);
+        assert!(table.deaths.is_empty());
+        assert!(table.births.is_empty());
+    }
+}

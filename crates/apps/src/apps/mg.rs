@@ -1,0 +1,241 @@
+//! Miniature NPB MG: a V-cycle-style multigrid relaxation on a 1-D grid,
+//! with the four code regions (`mg_a` … `mg_d`) the paper analyses and the
+//! Repeated Additions smoother of Figure 9.
+
+use ftkr_ir::prelude::*;
+use ftkr_ir::Global;
+
+use crate::common::emit_tridiag_matvec;
+use crate::spec::{reference_f64, App, Verifier};
+
+/// Fine-grid size.
+pub const N: i64 = 32;
+/// Coarse-grid size.
+pub const NC: i64 = N / 2;
+/// Main-loop iterations (`mg3P` is called four times, as in Table II).
+pub const NITER: i64 = 4;
+
+/// `mg3P`: one multigrid cycle over the globals, structured as four regions.
+fn build_mg3p(module: &mut Module, ids: &MgGlobals) {
+    let mut b = FunctionBuilder::new("mg3P");
+    let u = b.global_addr(ids.u);
+    let v = b.global_addr(ids.v);
+    let r = b.global_addr(ids.r);
+    let au = b.global_addr(ids.au);
+    let r2 = b.global_addr(ids.r2);
+    let z2 = b.global_addr(ids.z2);
+
+    // mg_a: residual r = v − A u
+    b.set_line(425);
+    emit_tridiag_matvec(&mut b, "mg_a_matvec", u, au, N, 2.0, -1.0);
+    let zero = b.const_i64(0);
+    let n = b.const_i64(N);
+    b.region_for("mg_a", zero, n, |b, i| {
+        let vi = b.load_idx(v, i);
+        let aui = b.load_idx(au, i);
+        let ri = b.fsub(vi, aui);
+        b.store_idx(r, i, ri);
+    });
+
+    // mg_b: rprj3 — restrict the residual to the coarse grid.
+    b.set_line(430);
+    let one = b.const_i64(1);
+    let nc_minus = b.const_i64(NC - 1);
+    b.region_for("mg_b", one, nc_minus, |b, i| {
+        let two = b.const_i64(2);
+        let fine = b.mul(i, two);
+        let left = b.sub(fine, b.const_i64(1));
+        let right = b.add(fine, b.const_i64(1));
+        let rl = b.load_idx(r, left);
+        let rc = b.load_idx(r, fine);
+        let rr = b.load_idx(r, right);
+        let half = b.const_f64(0.5);
+        let quarter = b.const_f64(0.25);
+        let c = b.fmul(half, rc);
+        let l = b.fmul(quarter, rl);
+        let rgt = b.fmul(quarter, rr);
+        let s1 = b.fadd(c, l);
+        let s2 = b.fadd(s1, rgt);
+        b.store_idx(r2, i, s2);
+    });
+
+    // mg_c: coarse "solve" (one weighted Jacobi step) + interpolation back,
+    // correcting u additively.
+    b.set_line(438);
+    let one2 = b.const_i64(1);
+    let nc_minus2 = b.const_i64(NC - 1);
+    b.region_for("mg_c", one2, nc_minus2, |b, i| {
+        let r2i = b.load_idx(r2, i);
+        let w = b.const_f64(0.4);
+        let z = b.fmul(w, r2i);
+        b.store_idx(z2, i, z);
+        // interpolate: u[2i] += z, u[2i+1] += 0.5*(z + z2[i+1 as computed so far])
+        let two = b.const_i64(2);
+        let fine = b.mul(i, two);
+        let uf = b.load_idx(u, fine);
+        let uf_new = b.fadd(uf, z);
+        b.store_idx(u, fine, uf_new);
+        let fine1 = b.add(fine, b.const_i64(1));
+        let uf1 = b.load_idx(u, fine1);
+        let half = b.const_f64(0.5);
+        let hz = b.fmul(half, z);
+        let uf1_new = b.fadd(uf1, hz);
+        b.store_idx(u, fine1, uf1_new);
+    });
+
+    // mg_d: psinv smoother on the fine grid — the Repeated Additions pattern
+    // of Figure 9: u[i] = u[i] + c0·r[i] + c1·(r[i−1] + r[i+1]).
+    b.set_line(457);
+    let one3 = b.const_i64(1);
+    let n_minus = b.const_i64(N - 1);
+    b.region_for("mg_d", one3, n_minus, |b, i| {
+        let ui = b.load_idx(u, i);
+        let ri = b.load_idx(r, i);
+        let left = b.sub(i, b.const_i64(1));
+        let right = b.add(i, b.const_i64(1));
+        let rl = b.load_idx(r, left);
+        let rr = b.load_idx(r, right);
+        let c0 = b.const_f64(0.5);
+        let c1 = b.const_f64(0.25);
+        let t0 = b.fmul(c0, ri);
+        let neigh = b.fadd(rl, rr);
+        let t1 = b.fmul(c1, neigh);
+        let s1 = b.fadd(ui, t0);
+        let s2 = b.fadd(s1, t1);
+        b.store_idx(u, i, s2);
+    });
+    b.set_line(462);
+    b.ret(None);
+    module.add_function(b.finish());
+}
+
+struct MgGlobals {
+    u: GlobalId,
+    v: GlobalId,
+    r: GlobalId,
+    au: GlobalId,
+    r2: GlobalId,
+    z2: GlobalId,
+    verify: GlobalId,
+}
+
+fn build_module() -> Module {
+    let mut m = Module::new("mg");
+    let ids = MgGlobals {
+        u: m.add_global(Global::zeroed_f64("u", N as u32)),
+        v: m.add_global(Global::zeroed_f64("v", N as u32)),
+        r: m.add_global(Global::zeroed_f64("r", N as u32)),
+        au: m.add_global(Global::zeroed_f64("au", N as u32)),
+        r2: m.add_global(Global::zeroed_f64("r2", NC as u32)),
+        z2: m.add_global(Global::zeroed_f64("z2", NC as u32)),
+        verify: m.add_global(Global::zeroed_f64("verify", 1)),
+    };
+    build_mg3p(&mut m, &ids);
+
+    let mut b = FunctionBuilder::new("main");
+    let u = b.global_addr(ids.u);
+    let v = b.global_addr(ids.v);
+    let r = b.global_addr(ids.r);
+    let au = b.global_addr(ids.au);
+    let verify = b.global_addr(ids.verify);
+
+    // Right-hand side: a pair of point charges, as in NPB MG's ±1 sources.
+    b.set_line(380);
+    let zero = b.const_i64(0);
+    let n = b.const_i64(N);
+    b.for_loop("mg_init", LoopKind::Inner, zero, n, 1, |b, i| {
+        let zf = b.const_f64(0.0);
+        b.store_idx(u, i, zf);
+        b.store_idx(v, i, zf);
+    });
+    let src_pos = b.const_i64(N / 3);
+    let plus = b.const_f64(1.0);
+    b.store_idx(v, src_pos, plus);
+    let src_neg = b.const_i64(2 * N / 3);
+    let minus = b.const_f64(-1.0);
+    b.store_idx(v, src_neg, minus);
+
+    // Main loop: one multigrid cycle per iteration.
+    b.set_line(420);
+    let zero2 = b.const_i64(0);
+    let niter = b.const_i64(NITER);
+    b.main_for("mg_main", zero2, niter, |b, _it| {
+        b.call("mg3P", vec![]);
+    });
+
+    // Verification value: the L2 norm of the final residual (NPB MG verifies
+    // the residual norm against a reference value).
+    b.set_line(470);
+    emit_tridiag_matvec(&mut b, "mg_verify_matvec", u, au, N, 2.0, -1.0);
+    let acc = b.alloca("norm", 1);
+    let zf = b.const_f64(0.0);
+    b.store(acc, zf);
+    let zero3 = b.const_i64(0);
+    let n3 = b.const_i64(N);
+    b.for_loop("mg_verify_norm", LoopKind::Inner, zero3, n3, 1, |b, i| {
+        let vi = b.load_idx(v, i);
+        let aui = b.load_idx(au, i);
+        let ri = b.fsub(vi, aui);
+        b.store_idx(r, i, ri);
+        let sq = b.fmul(ri, ri);
+        let cur = b.load(acc);
+        let next = b.fadd(cur, sq);
+        b.store(acc, next);
+    });
+    let total = b.load(acc);
+    let norm = b.sqrt(total);
+    b.store(verify, norm);
+    b.output(norm, OutputFormat::Scientific(10));
+    b.ret(None);
+    m.add_function(b.finish());
+    m
+}
+
+/// The MG benchmark.
+pub fn mg() -> App {
+    let module = build_module();
+    let expected = reference_f64(&module, "verify", 0);
+    App {
+        name: "MG",
+        module,
+        regions: vec![
+            "mg_a".to_string(),
+            "mg_b".to_string(),
+            "mg_c".to_string(),
+            "mg_d".to_string(),
+        ],
+        main_loop: "mg_main",
+        main_iterations: NITER as usize,
+        verifier: Verifier::GlobalClose {
+            global: "verify",
+            index: 0,
+            expected,
+            rel_tol: 1e-8,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mg_reduces_the_residual_and_verifies() {
+        let app = mg();
+        let result = app.run_clean();
+        assert!(app.verify(&result));
+        let norm = result.global_f64("verify").unwrap()[0];
+        // The initial residual norm is sqrt(2) (two unit sources); the cycles
+        // must shrink it.
+        assert!(norm < 1.4, "relaxation did not reduce the residual: {norm}");
+        assert!(norm > 0.0);
+    }
+
+    #[test]
+    fn mg_has_the_four_table1_regions() {
+        let app = mg();
+        assert_eq!(app.regions, vec!["mg_a", "mg_b", "mg_c", "mg_d"]);
+        assert_eq!(app.main_iterations, 4);
+        assert!(app.module.function_by_name("mg3P").is_some());
+    }
+}

@@ -1,0 +1,107 @@
+//! The ten benchmark kernels.
+
+pub mod cg;
+pub mod is;
+pub mod kmeans;
+pub mod lulesh;
+pub mod mg;
+pub mod small;
+
+pub use cg::{cg, cg_with};
+pub use is::is;
+pub use kmeans::kmeans;
+pub use lulesh::lulesh;
+pub use mg::mg;
+pub use small::{bt, dc, ft, lu, sp};
+
+use crate::spec::App;
+
+/// All ten applications of the paper's evaluation, in Table IV order.
+pub fn all_apps() -> Vec<App> {
+    vec![
+        cg(),
+        mg(),
+        lu(),
+        bt(),
+        is(),
+        dc(),
+        sp(),
+        ft(),
+        kmeans(),
+        lulesh(),
+    ]
+}
+
+/// Look an application up by its (case-insensitive) name.
+pub fn app_by_name(name: &str) -> Option<App> {
+    let wanted = name.to_ascii_uppercase();
+    all_apps().into_iter().find(|a| a.name == wanted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_apps_with_unique_names() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 10);
+        let names: std::collections::HashSet<_> = apps.iter().map(|a| a.name).collect();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert!(app_by_name("cg").is_some());
+        assert!(app_by_name("LULESH").is_some());
+        assert!(app_by_name("kmeans").is_some());
+        assert!(app_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_app_verifies_and_completes_cleanly() {
+        for app in all_apps() {
+            assert!(app.module.verify().is_ok(), "{} module is malformed", app.name);
+            let result = app.run_clean();
+            assert!(
+                app.verify(&result),
+                "{} fault-free run fails its own verification",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_app_has_its_named_regions_in_the_trace() {
+        use ftkr_trace::{partition_regions, RegionSelector};
+        for app in all_apps() {
+            let traced = app.run_traced();
+            let trace = traced.trace.as_ref().unwrap();
+            let regions =
+                partition_regions(trace, &app.module, &RegionSelector::FirstLevelInner);
+            let found: std::collections::HashSet<_> =
+                regions.iter().map(|r| r.key.name.clone()).collect();
+            for wanted in &app.regions {
+                assert!(
+                    found.contains(wanted),
+                    "{}: region {wanted} not found among {found:?}",
+                    app.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clean_runs_stay_within_the_intended_dynamic_size_budget() {
+        for app in all_apps() {
+            let result = app.run_clean();
+            assert!(
+                result.steps < 2_000_000,
+                "{} runs {} dynamic instructions; campaigns would be too slow",
+                app.name,
+                result.steps
+            );
+            assert!(result.steps > 500, "{} is suspiciously small", app.name);
+        }
+    }
+}

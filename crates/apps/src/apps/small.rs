@@ -1,0 +1,619 @@
+//! Compact kernels for the remaining NPB programs (LU, BT, SP, DC, FT).
+//!
+//! These five appear in the paper's resilience-prediction study (Table IV)
+//! but not in its per-region analysis, so they are implemented as compact
+//! solvers that keep the defining computation of each benchmark: SSOR sweeps
+//! for LU, tridiagonal line solves for BT, pentadiagonal-style smoothing for
+//! SP, integer group-by aggregation for DC, and a DFT-based spectral step for
+//! FT.
+
+use ftkr_ir::prelude::*;
+use ftkr_ir::Global;
+
+use crate::common::{emit_lcg_next, emit_tridiag_matvec};
+use crate::spec::{reference_f64, App, Verifier};
+
+/// Grid size shared by the small solvers.
+const N: i64 = 24;
+
+/// LU: SSOR-style forward/backward sweeps on a 1-D grid.
+pub fn lu() -> App {
+    let mut m = Module::new("lu");
+    let u = m.add_global(Global::zeroed_f64("u", N as u32));
+    let rhs = m.add_global(Global::with_f64(
+        "rhs",
+        (0..N).map(|i| ((i as f64) * 0.37).sin()).collect(),
+    ));
+    let r = m.add_global(Global::zeroed_f64("r", N as u32));
+    let au = m.add_global(Global::zeroed_f64("au", N as u32));
+    let verify = m.add_global(Global::zeroed_f64("verify", 1));
+
+    let mut b = FunctionBuilder::new("main");
+    let u_a = b.global_addr(u);
+    let rhs_a = b.global_addr(rhs);
+    let r_a = b.global_addr(r);
+    let au_a = b.global_addr(au);
+    let verify_a = b.global_addr(verify);
+
+    b.set_line(100);
+    let zero = b.const_i64(0);
+    let niter = b.const_i64(6);
+    b.main_for("lu_main", zero, niter, |b, _it| {
+        // residual r = rhs - A u
+        emit_tridiag_matvec(b, "lu_rsd", u_a, au_a, N, 2.0, -1.0);
+        let z = b.const_i64(0);
+        let n = b.const_i64(N);
+        b.region_for("lu_resid", z, n, |b, i| {
+            let f = b.load_idx(rhs_a, i);
+            let a = b.load_idx(au_a, i);
+            let d = b.fsub(f, a);
+            b.store_idx(r_a, i, d);
+        });
+        // forward (lower) sweep
+        let one = b.const_i64(1);
+        let n2 = b.const_i64(N);
+        b.region_for("lu_blts", one, n2, |b, i| {
+            let left = b.sub(i, b.const_i64(1));
+            let rl = b.load_idx(r_a, left);
+            let ri = b.load_idx(r_a, i);
+            let half = b.const_f64(0.5);
+            let c = b.fmul(half, rl);
+            let next = b.fadd(ri, c);
+            b.store_idx(r_a, i, next);
+        });
+        // backward (upper) sweep + relaxation into u
+        let z3 = b.const_i64(0);
+        let n3 = b.const_i64(N - 1);
+        b.region_for("lu_buts", z3, n3, |b, k| {
+            // iterate i from N-2 down to 0
+            let i = b.sub(b.const_i64(N - 2), k);
+            let right = b.add(i, b.const_i64(1));
+            let rr = b.load_idx(r_a, right);
+            let ri = b.load_idx(r_a, i);
+            let half = b.const_f64(0.5);
+            let c = b.fmul(half, rr);
+            let next = b.fadd(ri, c);
+            b.store_idx(r_a, i, next);
+            let omega = b.const_f64(0.3);
+            let du = b.fmul(omega, next);
+            let ui = b.load_idx(u_a, i);
+            let u2 = b.fadd(ui, du);
+            b.store_idx(u_a, i, u2);
+        });
+    });
+    // verification: residual norm of the final solution
+    emit_tridiag_matvec(&mut b, "lu_verify_matvec", u_a, au_a, N, 2.0, -1.0);
+    let acc = b.alloca("norm", 1);
+    let zf = b.const_f64(0.0);
+    b.store(acc, zf);
+    let z4 = b.const_i64(0);
+    let n4 = b.const_i64(N);
+    b.for_loop("lu_verify_norm", LoopKind::Inner, z4, n4, 1, |b, i| {
+        let f = b.load_idx(rhs_a, i);
+        let a = b.load_idx(au_a, i);
+        let d = b.fsub(f, a);
+        let sq = b.fmul(d, d);
+        let cur = b.load(acc);
+        let next = b.fadd(cur, sq);
+        b.store(acc, next);
+    });
+    let total = b.load(acc);
+    let norm = b.sqrt(total);
+    b.store(verify_a, norm);
+    b.output(norm, OutputFormat::Scientific(8));
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let expected = reference_f64(&m, "verify", 0);
+    App {
+        name: "LU",
+        module: m,
+        regions: vec!["lu_resid".into(), "lu_blts".into(), "lu_buts".into()],
+        main_loop: "lu_main",
+        main_iterations: 6,
+        verifier: Verifier::GlobalClose {
+            global: "verify",
+            index: 0,
+            expected,
+            rel_tol: 1e-8,
+        },
+    }
+}
+
+/// BT: repeated Thomas-algorithm solves of tridiagonal line systems.
+pub fn bt() -> App {
+    let mut m = Module::new("bt");
+    let d = m.add_global(Global::with_f64("diag", vec![2.5; N as usize]));
+    let rhs = m.add_global(Global::with_f64(
+        "rhs",
+        (0..N).map(|i| 1.0 + 0.1 * i as f64).collect(),
+    ));
+    let cp = m.add_global(Global::zeroed_f64("cprime", N as u32));
+    let x = m.add_global(Global::zeroed_f64("x", N as u32));
+    let verify = m.add_global(Global::zeroed_f64("verify", 1));
+
+    let mut b = FunctionBuilder::new("main");
+    let d_a = b.global_addr(d);
+    let rhs_a = b.global_addr(rhs);
+    let cp_a = b.global_addr(cp);
+    let x_a = b.global_addr(x);
+    let verify_a = b.global_addr(verify);
+
+    b.set_line(100);
+    let zero = b.const_i64(0);
+    let niter = b.const_i64(5);
+    b.main_for("bt_main", zero, niter, |b, _it| {
+        // forward elimination
+        let off = -1.0;
+        let z = b.const_i64(0);
+        let n = b.const_i64(N);
+        b.region_for("bt_x_solve", z, n, |b, i| {
+            let first = b.icmp(CmpKind::Eq, i, b.const_i64(0));
+            let di = b.load_idx(d_a, i);
+            let prev_i = b.sub(i, b.const_i64(1));
+            let zero_i = b.const_i64(0);
+            let safe_prev = b.select(first, zero_i, prev_i);
+            let cp_prev = b.load_idx(cp_a, safe_prev);
+            let off_c = b.const_f64(off);
+            let sub = b.fmul(off_c, cp_prev);
+            let zf = b.const_f64(0.0);
+            let adj = b.select(first, zf, sub);
+            let denom = b.fsub(di, adj);
+            let num = b.const_f64(off);
+            let cpi = b.fdiv(num, denom);
+            b.store_idx(cp_a, i, cpi);
+            let fi = b.load_idx(rhs_a, i);
+            let x_prev = b.load_idx(x_a, safe_prev);
+            let corr = b.fmul(off_c, x_prev);
+            let corr = b.select(first, zf, corr);
+            let numx = b.fsub(fi, corr);
+            let xi = b.fdiv(numx, denom);
+            b.store_idx(x_a, i, xi);
+        });
+        // back substitution
+        let z2 = b.const_i64(0);
+        let n2 = b.const_i64(N - 1);
+        b.region_for("bt_back", z2, n2, |b, k| {
+            let i = b.sub(b.const_i64(N - 2), k);
+            let next = b.add(i, b.const_i64(1));
+            let cpi = b.load_idx(cp_a, i);
+            let xn = b.load_idx(x_a, next);
+            let xi = b.load_idx(x_a, i);
+            let corr = b.fmul(cpi, xn);
+            let new = b.fsub(xi, corr);
+            b.store_idx(x_a, i, new);
+        });
+    });
+    // verification: norm of the solution
+    let acc = b.alloca("norm", 1);
+    let zf = b.const_f64(0.0);
+    b.store(acc, zf);
+    let z3 = b.const_i64(0);
+    let n3 = b.const_i64(N);
+    b.for_loop("bt_verify", LoopKind::Inner, z3, n3, 1, |b, i| {
+        let xi = b.load_idx(x_a, i);
+        let sq = b.fmul(xi, xi);
+        let cur = b.load(acc);
+        let next = b.fadd(cur, sq);
+        b.store(acc, next);
+    });
+    let total = b.load(acc);
+    let norm = b.sqrt(total);
+    b.store(verify_a, norm);
+    b.output(norm, OutputFormat::Scientific(8));
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let expected = reference_f64(&m, "verify", 0);
+    App {
+        name: "BT",
+        module: m,
+        regions: vec!["bt_x_solve".into(), "bt_back".into()],
+        main_loop: "bt_main",
+        main_iterations: 5,
+        verifier: Verifier::GlobalClose {
+            global: "verify",
+            index: 0,
+            expected,
+            rel_tol: 1e-8,
+        },
+    }
+}
+
+/// SP: pentadiagonal-style smoothing sweeps (a fourth-difference filter).
+pub fn sp() -> App {
+    let mut m = Module::new("sp");
+    let u = m.add_global(Global::with_f64(
+        "u",
+        (0..N).map(|i| (i as f64 * 0.7).cos()).collect(),
+    ));
+    let tmp = m.add_global(Global::zeroed_f64("tmp", N as u32));
+    let verify = m.add_global(Global::zeroed_f64("verify", 1));
+
+    let mut b = FunctionBuilder::new("main");
+    let u_a = b.global_addr(u);
+    let t_a = b.global_addr(tmp);
+    let verify_a = b.global_addr(verify);
+
+    b.set_line(100);
+    let zero = b.const_i64(0);
+    let niter = b.const_i64(6);
+    b.main_for("sp_main", zero, niter, |b, _it| {
+        let two = b.const_i64(2);
+        let n_minus = b.const_i64(N - 2);
+        b.region_for("sp_smooth", two, n_minus, |b, i| {
+            let m2 = b.sub(i, b.const_i64(2));
+            let m1 = b.sub(i, b.const_i64(1));
+            let p1 = b.add(i, b.const_i64(1));
+            let p2 = b.add(i, b.const_i64(2));
+            let um2 = b.load_idx(u_a, m2);
+            let um1 = b.load_idx(u_a, m1);
+            let ui = b.load_idx(u_a, i);
+            let up1 = b.load_idx(u_a, p1);
+            let up2 = b.load_idx(u_a, p2);
+            let c_out = b.const_f64(0.0625);
+            let c_in = b.const_f64(0.25);
+            let c_mid = b.const_f64(0.375);
+            let s1 = b.fmul(c_out, um2);
+            let s2 = b.fmul(c_in, um1);
+            let s3 = b.fmul(c_mid, ui);
+            let s4 = b.fmul(c_in, up1);
+            let s5 = b.fmul(c_out, up2);
+            let a1 = b.fadd(s1, s2);
+            let a2 = b.fadd(a1, s3);
+            let a3 = b.fadd(a2, s4);
+            let a4 = b.fadd(a3, s5);
+            b.store_idx(t_a, i, a4);
+        });
+        let two2 = b.const_i64(2);
+        let n_minus2 = b.const_i64(N - 2);
+        b.region_for("sp_copyback", two2, n_minus2, |b, i| {
+            let v = b.load_idx(t_a, i);
+            b.store_idx(u_a, i, v);
+        });
+    });
+    // verification: energy of the smoothed field
+    let acc = b.alloca("norm", 1);
+    let zf = b.const_f64(0.0);
+    b.store(acc, zf);
+    let z3 = b.const_i64(0);
+    let n3 = b.const_i64(N);
+    b.for_loop("sp_verify", LoopKind::Inner, z3, n3, 1, |b, i| {
+        let xi = b.load_idx(u_a, i);
+        let sq = b.fmul(xi, xi);
+        let cur = b.load(acc);
+        let next = b.fadd(cur, sq);
+        b.store(acc, next);
+    });
+    let total = b.load(acc);
+    b.store(verify_a, total);
+    b.output(total, OutputFormat::Scientific(8));
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let expected = reference_f64(&m, "verify", 0);
+    App {
+        name: "SP",
+        module: m,
+        regions: vec!["sp_smooth".into(), "sp_copyback".into()],
+        main_loop: "sp_main",
+        main_iterations: 6,
+        verifier: Verifier::GlobalClose {
+            global: "verify",
+            index: 0,
+            expected,
+            rel_tol: 1e-8,
+        },
+    }
+}
+
+/// DC: integer group-by aggregation over a small fact table ("data cube"),
+/// whose exact integer checksum makes it the least error-tolerant program of
+/// the set (as the paper also finds).
+pub fn dc() -> App {
+    const ROWS: i64 = 48;
+    let mut m = Module::new("dc");
+    let table = m.add_global(Global::zeroed_i64("fact_table", (ROWS * 2) as u32));
+    let view_a = m.add_global(Global::zeroed_i64("view_a", 8));
+    let view_b = m.add_global(Global::zeroed_i64("view_b", 4));
+    let verify = m.add_global(Global::zeroed_i64("verify", 2));
+
+    let mut b = FunctionBuilder::new("main");
+    let t_a = b.global_addr(table);
+    let va = b.global_addr(view_a);
+    let vb = b.global_addr(view_b);
+    let verify_a = b.global_addr(verify);
+
+    // Populate the fact table: attribute = lcg bits, measure = small int.
+    b.set_line(50);
+    let seed = b.alloca("seed", 1);
+    let s0 = b.const_i64(424_243);
+    b.store(seed, s0);
+    let zero = b.const_i64(0);
+    let rows = b.const_i64(ROWS);
+    b.for_loop("dc_fill", LoopKind::Inner, zero, rows, 1, |b, r| {
+        let u = emit_lcg_next(b, seed);
+        let scaled = b.fmul(u, b.const_f64(256.0));
+        let attr = b.fptosi(scaled);
+        let two = b.const_i64(2);
+        let base = b.mul(r, two);
+        b.store_idx(t_a, base, attr);
+        let measure = b.srem(r, b.const_i64(7));
+        let one = b.const_i64(1);
+        let idx2 = b.add(base, one);
+        b.store_idx(t_a, idx2, measure);
+    });
+
+    // Main loop: recompute the aggregate views (the cube) several times.
+    b.set_line(80);
+    let zero2 = b.const_i64(0);
+    let niter = b.const_i64(4);
+    b.main_for("dc_main", zero2, niter, |b, _it| {
+        let z = b.const_i64(0);
+        let eight = b.const_i64(8);
+        b.region_for("dc_clear", z, eight, |b, i| {
+            let zi = b.const_i64(0);
+            b.store_idx(va, i, zi);
+            let four = b.const_i64(4);
+            let lt = b.icmp(CmpKind::Lt, i, four);
+            b.if_then(lt, |b| {
+                let zi2 = b.const_i64(0);
+                b.store_idx(vb, i, zi2);
+            });
+        });
+        let z2 = b.const_i64(0);
+        let rows2 = b.const_i64(ROWS);
+        b.region_for("dc_aggregate", z2, rows2, |b, r| {
+            let two = b.const_i64(2);
+            let base = b.mul(r, two);
+            let attr = b.load_idx(t_a, base);
+            let one = b.const_i64(1);
+            let midx = b.add(base, one);
+            let measure = b.load_idx(t_a, midx);
+            // view A groups by the top 3 attribute bits, view B by the top 2.
+            let five = b.const_i64(5);
+            let ga = b.lshr(attr, five);
+            let six = b.const_i64(6);
+            let gb = b.lshr(attr, six);
+            let cur_a = b.load_idx(va, ga);
+            let next_a = b.add(cur_a, measure);
+            b.store_idx(va, ga, next_a);
+            let cur_b = b.load_idx(vb, gb);
+            let next_b = b.add(cur_b, measure);
+            b.store_idx(vb, gb, next_b);
+        });
+    });
+    // verification: the two views must contain the same total, and that total
+    // is checked exactly against the measure sum.
+    let sum_a = b.alloca("sum_a", 1);
+    let zi = b.const_i64(0);
+    b.store(sum_a, zi);
+    let z3 = b.const_i64(0);
+    let eight3 = b.const_i64(8);
+    b.for_loop("dc_checksum_a", LoopKind::Inner, z3, eight3, 1, |b, i| {
+        let v = b.load_idx(va, i);
+        let cur = b.load(sum_a);
+        let next = b.add(cur, v);
+        b.store(sum_a, next);
+    });
+    let sum_b = b.alloca("sum_b", 1);
+    let zi2 = b.const_i64(0);
+    b.store(sum_b, zi2);
+    let z4 = b.const_i64(0);
+    let four4 = b.const_i64(4);
+    b.for_loop("dc_checksum_b", LoopKind::Inner, z4, four4, 1, |b, i| {
+        let v = b.load_idx(vb, i);
+        let cur = b.load(sum_b);
+        let next = b.add(cur, v);
+        b.store(sum_b, next);
+    });
+    let a = b.load(sum_a);
+    let bsum = b.load(sum_b);
+    let equal = b.icmp(CmpKind::Eq, a, bsum);
+    b.store(verify_a, equal);
+    let one5 = b.const_i64(1);
+    b.store_idx(verify_a, one5, a);
+    b.output(a, OutputFormat::Integer);
+    b.ret(None);
+    m.add_function(b.finish());
+
+    App {
+        name: "DC",
+        module: m,
+        regions: vec!["dc_clear".into(), "dc_aggregate".into()],
+        main_loop: "dc_main",
+        main_iterations: 4,
+        verifier: Verifier::GlobalFlagSet {
+            global: "verify",
+            index: 0,
+            expected: 1,
+        },
+    }
+}
+
+/// FT: a spectral step — forward DFT of a small signal, low-pass filtering in
+/// frequency space, and a checksum, repeated over the main loop.
+pub fn ft() -> App {
+    const NFFT: i64 = 16;
+    let mut m = Module::new("ft");
+    let re = m.add_global(Global::with_f64(
+        "sig_re",
+        (0..NFFT).map(|i| (i as f64 * 0.9).sin() + 0.5).collect(),
+    ));
+    let im = m.add_global(Global::zeroed_f64("sig_im", NFFT as u32));
+    let fre = m.add_global(Global::zeroed_f64("freq_re", NFFT as u32));
+    let fim = m.add_global(Global::zeroed_f64("freq_im", NFFT as u32));
+    let verify = m.add_global(Global::zeroed_f64("verify", 1));
+
+    let mut b = FunctionBuilder::new("main");
+    let re_a = b.global_addr(re);
+    let im_a = b.global_addr(im);
+    let fre_a = b.global_addr(fre);
+    let fim_a = b.global_addr(fim);
+    let verify_a = b.global_addr(verify);
+
+    b.set_line(100);
+    let zero = b.const_i64(0);
+    let niter = b.const_i64(3);
+    b.main_for("ft_main", zero, niter, |b, _it| {
+        // forward DFT: F[k] = Σ_n x[n] · e^{-2πi kn/N}
+        let z = b.const_i64(0);
+        let nfft = b.const_i64(NFFT);
+        b.region_for("ft_dft", z, nfft, |b, k| {
+            let acc_re = b.alloca("acc_re", 1);
+            let acc_im = b.alloca("acc_im", 1);
+            let zf = b.const_f64(0.0);
+            b.store(acc_re, zf);
+            b.store(acc_im, zf);
+            let z2 = b.const_i64(0);
+            let nfft2 = b.const_i64(NFFT);
+            b.for_loop("ft_dft_inner", LoopKind::Inner, z2, nfft2, 1, |b, n| {
+                let kn = b.mul(k, n);
+                let kn_f = b.sitofp(kn);
+                let w = b.const_f64(-2.0 * std::f64::consts::PI / NFFT as f64);
+                let theta = b.fmul(w, kn_f);
+                let c = b.intrinsic(Intrinsic::Cos, vec![theta]);
+                let s = b.intrinsic(Intrinsic::Sin, vec![theta]);
+                let xr = b.load_idx(re_a, n);
+                let xi = b.load_idx(im_a, n);
+                // (xr + i·xi)(c + i·s)
+                let t1 = b.fmul(xr, c);
+                let t2 = b.fmul(xi, s);
+                let re_term = b.fsub(t1, t2);
+                let t3 = b.fmul(xr, s);
+                let t4 = b.fmul(xi, c);
+                let im_term = b.fadd(t3, t4);
+                let cr = b.load(acc_re);
+                let ci = b.load(acc_im);
+                let nr = b.fadd(cr, re_term);
+                let ni = b.fadd(ci, im_term);
+                b.store(acc_re, nr);
+                b.store(acc_im, ni);
+            });
+            let fr = b.load(acc_re);
+            let fi = b.load(acc_im);
+            b.store_idx(fre_a, k, fr);
+            b.store_idx(fim_a, k, fi);
+        });
+        // evolve: damp the upper half of the spectrum, then write back a
+        // time-domain signal via the DC+first harmonics only (cheap inverse).
+        let z3 = b.const_i64(0);
+        let nfft3 = b.const_i64(NFFT);
+        b.region_for("ft_evolve", z3, nfft3, |b, k| {
+            let half = b.const_i64(NFFT / 2);
+            let high = b.icmp(CmpKind::Ge, k, half);
+            let damp = b.const_f64(0.5);
+            let one = b.const_f64(1.0);
+            let factor = b.select(high, damp, one);
+            let fr = b.load_idx(fre_a, k);
+            let fi = b.load_idx(fim_a, k);
+            let fr2 = b.fmul(fr, factor);
+            let fi2 = b.fmul(fi, factor);
+            b.store_idx(fre_a, k, fr2);
+            b.store_idx(fim_a, k, fi2);
+            // feed a fraction back into the time-domain signal
+            let feedback = b.const_f64(1.0 / NFFT as f64);
+            let xr = b.load_idx(re_a, k);
+            let fbr = b.fmul(feedback, fr2);
+            let xr2 = b.fadd(xr, fbr);
+            b.store_idx(re_a, k, xr2);
+        });
+    });
+    // verification: checksum of the final spectrum magnitude
+    let acc = b.alloca("checksum", 1);
+    let zf = b.const_f64(0.0);
+    b.store(acc, zf);
+    let z5 = b.const_i64(0);
+    let nfft5 = b.const_i64(NFFT);
+    b.for_loop("ft_checksum", LoopKind::Inner, z5, nfft5, 1, |b, k| {
+        let fr = b.load_idx(fre_a, k);
+        let fi = b.load_idx(fim_a, k);
+        let r2 = b.fmul(fr, fr);
+        let i2 = b.fmul(fi, fi);
+        let mag = b.fadd(r2, i2);
+        let cur = b.load(acc);
+        let next = b.fadd(cur, mag);
+        b.store(acc, next);
+    });
+    let total = b.load(acc);
+    b.store(verify_a, total);
+    b.output(total, OutputFormat::Scientific(10));
+    b.ret(None);
+    m.add_function(b.finish());
+
+    let expected = reference_f64(&m, "verify", 0);
+    App {
+        name: "FT",
+        module: m,
+        regions: vec!["ft_dft".into(), "ft_evolve".into()],
+        main_loop: "ft_main",
+        main_iterations: 3,
+        verifier: Verifier::GlobalClose {
+            global: "verify",
+            index: 0,
+            expected,
+            rel_tol: 1e-8,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_reduces_residual() {
+        let app = lu();
+        let result = app.run_clean();
+        assert!(app.verify(&result));
+        let norm = result.global_f64("verify").unwrap()[0];
+        assert!(norm.is_finite() && norm >= 0.0);
+    }
+
+    #[test]
+    fn bt_solves_the_tridiagonal_system() {
+        let app = bt();
+        let result = app.run_clean();
+        assert!(app.verify(&result));
+        // Check the solve: A x ≈ rhs for the tridiagonal (2.5, -1).
+        let x = result.global_f64("x").unwrap();
+        let rhs = result.global_f64("rhs").unwrap();
+        for i in 1..(N as usize - 1) {
+            let ax = 2.5 * x[i] - x[i - 1] - x[i + 1];
+            assert!(
+                (ax - rhs[i]).abs() < 1e-6,
+                "row {i}: A·x = {ax} but rhs = {}",
+                rhs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sp_smoothing_reduces_energy() {
+        let app = sp();
+        let result = app.run_clean();
+        assert!(app.verify(&result));
+        let energy = result.global_f64("verify").unwrap()[0];
+        let initial: f64 = (0..N).map(|i| (i as f64 * 0.7).cos().powi(2)).sum();
+        assert!(energy < initial, "smoothing must dissipate energy");
+    }
+
+    #[test]
+    fn dc_views_agree_exactly() {
+        let app = dc();
+        let result = app.run_clean();
+        assert!(app.verify(&result));
+        let verify = result.global_i64("verify").unwrap();
+        assert_eq!(verify[0], 1);
+        assert!(verify[1] > 0);
+    }
+
+    #[test]
+    fn ft_checksum_is_stable() {
+        let app = ft();
+        let result = app.run_clean();
+        assert!(app.verify(&result));
+        let checksum = result.global_f64("verify").unwrap()[0];
+        assert!(checksum.is_finite() && checksum > 0.0);
+    }
+}

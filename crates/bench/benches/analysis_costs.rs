@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks of the FlipTracker analysis machinery: trace
+//! generation, code-region partitioning, DDDG construction, ACL construction
+//! and pattern detection — the ablation costs DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ftkr_acl::AclTable;
+use ftkr_dddg::Dddg;
+use ftkr_patterns::{detect_all, DetectionInput};
+use ftkr_trace::{instance_slice, partition_regions, RegionSelector};
+use ftkr_vm::{FaultSpec, Vm, VmConfig};
+
+fn analysis_costs(c: &mut Criterion) {
+    let app = ftkr_apps::mg();
+    let clean_run = Vm::new(VmConfig::tracing()).run(&app.module).unwrap();
+    let clean = clean_run.trace.clone().unwrap();
+    let fault = FaultSpec::in_result(clean.len() as u64 / 3, 40);
+    let faulty = Vm::new(VmConfig::tracing_with_fault(fault))
+        .run(&app.module)
+        .unwrap()
+        .trace
+        .unwrap();
+
+    let mut group = c.benchmark_group("analysis");
+
+    group.bench_function("trace_generation_mg", |b| {
+        b.iter(|| {
+            Vm::new(VmConfig::tracing())
+                .run(std::hint::black_box(&app.module))
+                .unwrap()
+                .steps
+        })
+    });
+
+    group.bench_function("untraced_execution_mg", |b| {
+        b.iter(|| {
+            Vm::new(VmConfig::default())
+                .run(std::hint::black_box(&app.module))
+                .unwrap()
+                .steps
+        })
+    });
+
+    group.bench_function("region_partitioning_mg", |b| {
+        b.iter(|| {
+            partition_regions(
+                std::hint::black_box(&clean),
+                &app.module,
+                &RegionSelector::FirstLevelInner,
+            )
+            .len()
+        })
+    });
+
+    let regions = partition_regions(&clean, &app.module, &RegionSelector::FirstLevelInner);
+    let biggest = regions
+        .iter()
+        .max_by_key(|r| r.len())
+        .expect("MG has regions")
+        .clone();
+    group.bench_function("dddg_construction_largest_region", |b| {
+        b.iter(|| Dddg::from_events(std::hint::black_box(instance_slice(&clean, &biggest))).num_nodes())
+    });
+
+    group.bench_function("acl_construction_mg", |b| {
+        b.iter(|| AclTable::from_fault(std::hint::black_box(&faulty), &fault).max_count())
+    });
+
+    let acl = AclTable::from_fault(&faulty, &fault);
+    group.bench_function("pattern_detection_mg", |b| {
+        b.iter(|| {
+            detect_all(DetectionInput {
+                faulty: std::hint::black_box(&faulty),
+                clean: &clean,
+                acl: &acl,
+            })
+            .len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = analysis_costs
+}
+criterion_main!(benches);

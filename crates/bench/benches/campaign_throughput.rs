@@ -1,0 +1,37 @@
+//! Criterion benchmark of fault-injection campaign throughput (faulty runs
+//! per second), serial vs. rayon-parallel, on the IS kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ftkr_inject::{internal_sites, Campaign};
+use ftkr_vm::{Vm, VmConfig};
+
+fn campaign_throughput(c: &mut Criterion) {
+    let app = ftkr_apps::is();
+    let clean_run = Vm::new(VmConfig::tracing()).run(&app.module).unwrap();
+    let clean = clean_run.trace.unwrap();
+    let sites = internal_sites(&clean, 0, clean.len());
+    let max_steps = clean_run.steps * 10 + 10_000;
+
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    for n_tests in [16u64, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("is_internal_sites", n_tests),
+            &n_tests,
+            |b, &n| {
+                b.iter(|| {
+                    Campaign::new(&app.module, |r| app.verify(r))
+                        .with_max_steps(max_steps)
+                        .run(std::hint::black_box(&sites), n)
+                        .counts
+                        .total()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, campaign_throughput);
+criterion_main!(benches);

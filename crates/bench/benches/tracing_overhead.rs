@@ -1,0 +1,50 @@
+//! Criterion benchmark behind Figure 4: the cost of dynamic tracing, per
+//! application and with the SPMD (multi-rank) driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ftkr_mpi::{run_spmd, ReduceOp};
+use ftkr_vm::{Vm, VmConfig};
+
+fn tracing_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracing_overhead");
+    group.sample_size(10);
+    for app in [ftkr_apps::cg(), ftkr_apps::mg(), ftkr_apps::kmeans()] {
+        group.bench_with_input(
+            BenchmarkId::new("plain", app.name),
+            &app,
+            |b, app| {
+                b.iter(|| Vm::new(VmConfig::default()).run(&app.module).unwrap().steps)
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("traced", app.name),
+            &app,
+            |b, app| {
+                b.iter(|| Vm::new(VmConfig::tracing()).run(&app.module).unwrap().steps)
+            },
+        );
+    }
+
+    let app = ftkr_apps::mg();
+    for ranks in [4usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("spmd_traced_mg", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    run_spmd(ranks, |mut comm| {
+                        let r = Vm::new(VmConfig::tracing()).run(&app.module).unwrap();
+                        comm.allreduce_scalar(r.steps as f64, ReduceOp::Sum)
+                    })
+                    .unwrap()
+                    .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tracing_overhead);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Reproduce Figure 4: execution time with and without per-rank tracing.
+fn main() {
+    let (effort, json) = ftkr_bench::harness_args();
+    let fig = fliptracker::experiments::fig4(&effort);
+    ftkr_bench::emit(fig.to_text(), &fig, json);
+}

@@ -1,0 +1,7 @@
+//! Reproduce Figure 5: success rate per code region (iteration 0), for
+//! internal and input locations.
+fn main() {
+    let (effort, json) = ftkr_bench::harness_args();
+    let series = fliptracker::experiments::fig5(&effort);
+    ftkr_bench::emit(series.to_text(), &series, json);
+}

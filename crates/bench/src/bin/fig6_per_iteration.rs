@@ -1,0 +1,6 @@
+//! Reproduce Figure 6: success rate per main-loop iteration.
+fn main() {
+    let (effort, json) = ftkr_bench::harness_args();
+    let series = fliptracker::experiments::fig6(&effort, 10);
+    ftkr_bench::emit(series.to_text(), &series, json);
+}

@@ -1,0 +1,7 @@
+//! Reproduce Figure 7: the number of alive corrupted locations over dynamic
+//! instructions after a late-iteration injection in LULESH.
+fn main() {
+    let (_effort, json) = ftkr_bench::harness_args();
+    let fig = fliptracker::experiments::fig7();
+    ftkr_bench::emit(fig.to_text(), &fig, json);
+}

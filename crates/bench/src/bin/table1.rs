@@ -1,0 +1,6 @@
+//! Reproduce Table I: resilience computation patterns per code region.
+fn main() {
+    let (effort, json) = ftkr_bench::harness_args();
+    let table = fliptracker::experiments::table1(&effort);
+    ftkr_bench::emit(table.to_text(), &table, json);
+}

@@ -1,0 +1,11 @@
+//! Reproduce Table II: the error magnitude of a corrupted MG element
+//! shrinking across the four mg3P invocations (Repeated Additions).
+fn main() {
+    let (_effort, json) = ftkr_bench::harness_args();
+    // Flipping bit 40 of an exactly-zero double is absorbed outright (the
+    // corrupted value rounds away against O(1) data), so the default uses an
+    // exponent bit, which reproduces the paper's "infinite error at itr1,
+    // shrinking afterwards" shape.  Pass a different element/bit as needed.
+    let table = fliptracker::experiments::table2(10, 62);
+    ftkr_bench::emit(table.to_text(), &table, json);
+}

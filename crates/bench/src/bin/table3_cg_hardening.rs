@@ -1,0 +1,7 @@
+//! Reproduce Table III (Use Case 1): resilience and runtime of CG before and
+//! after applying the DCL/overwriting and truncation patterns.
+fn main() {
+    let (effort, json) = ftkr_bench::harness_args();
+    let table = fliptracker::use_cases::table3(&effort);
+    ftkr_bench::emit(table.to_text(), &table, json);
+}

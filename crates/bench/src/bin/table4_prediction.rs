@@ -1,0 +1,7 @@
+//! Reproduce Table IV (Use Case 2): pattern rates, measured and predicted
+//! success rates, prediction error, R² and standardized coefficients.
+fn main() {
+    let (effort, json) = ftkr_bench::harness_args();
+    let table = fliptracker::use_cases::table4(&effort);
+    ftkr_bench::emit(table.to_text(), &table, json);
+}

@@ -1,0 +1,95 @@
+//! Effort levels: how much statistical work the experiments perform.
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs that trade statistical rigor against wall-clock time.  The paper's
+/// configuration ([`Effort::paper`]) sizes campaigns with the 95 %/3 %
+/// statistical model (≈1067 injections per target); the quick settings keep
+/// the same workflow but with fewer samples so the whole suite runs in
+/// seconds — the *shape* of the results is preserved, the error bars widen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Effort {
+    /// Fault injections per campaign point (per region × target class,
+    /// per iteration, per benchmark, ...).
+    pub tests_per_point: u64,
+    /// Traced faulty runs per region when hunting for pattern instances
+    /// (Table I).
+    pub analysis_injections: usize,
+    /// Repetitions used for timing measurements (Figure 4, Table III).
+    pub timing_runs: usize,
+    /// Simulated MPI ranks for the tracing-overhead experiment (the paper
+    /// uses 64 processes on 8 nodes).
+    pub ranks: usize,
+}
+
+impl Effort {
+    /// Smallest useful configuration (CI and integration tests).
+    pub fn quick() -> Self {
+        Effort {
+            tests_per_point: 24,
+            analysis_injections: 3,
+            timing_runs: 2,
+            ranks: 4,
+        }
+    }
+
+    /// Default configuration: minutes of wall-clock time, stable shapes.
+    pub fn standard() -> Self {
+        Effort {
+            tests_per_point: 200,
+            analysis_injections: 6,
+            timing_runs: 5,
+            ranks: 16,
+        }
+    }
+
+    /// The paper's statistical configuration (95 % confidence, 3 % margin ⇒
+    /// ≈1067 injections per point; 64 ranks; 20 timing runs).
+    pub fn paper() -> Self {
+        Effort {
+            tests_per_point: 1067,
+            analysis_injections: 10,
+            timing_runs: 20,
+            ranks: 64,
+        }
+    }
+
+    /// Resolve an effort level from a name (used by the harness binaries'
+    /// command line); unknown names fall back to [`Effort::standard`].
+    pub fn from_name(name: &str) -> Self {
+        match name.to_ascii_lowercase().as_str() {
+            "quick" => Effort::quick(),
+            "paper" | "full" => Effort::paper(),
+            _ => Effort::standard(),
+        }
+    }
+}
+
+impl Default for Effort {
+    fn default() -> Self {
+        Effort::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_by_cost() {
+        let q = Effort::quick();
+        let s = Effort::standard();
+        let p = Effort::paper();
+        assert!(q.tests_per_point < s.tests_per_point);
+        assert!(s.tests_per_point < p.tests_per_point);
+        assert_eq!(p.ranks, 64);
+        assert_eq!(p.timing_runs, 20);
+    }
+
+    #[test]
+    fn from_name_resolves_and_falls_back() {
+        assert_eq!(Effort::from_name("quick"), Effort::quick());
+        assert_eq!(Effort::from_name("PAPER"), Effort::paper());
+        assert_eq!(Effort::from_name("anything"), Effort::standard());
+    }
+}

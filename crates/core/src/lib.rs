@@ -1,0 +1,44 @@
+//! `fliptracker` — the user-facing FlipTracker framework.
+//!
+//! This crate ties the substrates together into the workflow of the paper
+//! (Figure 1): trace an application, partition the trace into code regions,
+//! inject faults, build DDDGs and ACL tables, extract resilience computation
+//! patterns, and run the two use cases (resilience-aware rewriting and
+//! resilience prediction).
+//!
+//! * [`pipeline`] — single-injection analysis: trace, ACL, patterns, region
+//!   tolerance cases;
+//! * [`regions`] — region-level views of an application;
+//! * [`experiments`] — regenerates every table and figure of the paper's
+//!   evaluation (Table I/II, Figures 4–7);
+//! * [`use_cases`] — Use Case 1 (Table III) and Use Case 2 (Table IV);
+//! * [`effort`] — knobs that trade statistical rigor for wall-clock time.
+//!
+//! ```no_run
+//! use fliptracker::prelude::*;
+//!
+//! let app = ftkr_apps::mg();
+//! let analysis = analyze_injection(&app, None).expect("analysis");
+//! println!("{} pattern instances", analysis.patterns.len());
+//! ```
+
+pub mod effort;
+pub mod experiments;
+pub mod pipeline;
+pub mod regions;
+pub mod use_cases;
+
+pub use effort::Effort;
+pub use pipeline::{analyze_injection, InjectionAnalysis};
+pub use regions::{region_table, RegionView};
+
+/// Common imports for examples and the experiment harness.
+pub mod prelude {
+    pub use crate::effort::Effort;
+    pub use crate::experiments;
+    pub use crate::pipeline::{analyze_injection, InjectionAnalysis};
+    pub use crate::regions::{region_table, RegionView};
+    pub use crate::use_cases;
+    pub use ftkr_apps::{all_apps, app_by_name, App};
+    pub use ftkr_patterns::PatternKind;
+}

@@ -1,0 +1,176 @@
+//! Single-injection analysis: the core FlipTracker workflow of Figure 1.
+
+use ftkr_acl::AclTable;
+use ftkr_apps::App;
+use ftkr_dddg::{compare_io, Dddg, ToleranceCase};
+use ftkr_inject::Outcome;
+use ftkr_patterns::{detect_all, DetectionInput, PatternInstance};
+use ftkr_trace::{instance_slice, partition_regions, RegionInstance, RegionSelector};
+use ftkr_vm::{EventKind, FaultSpec, Trace, Vm, VmConfig};
+
+/// Everything FlipTracker learns from one injected fault.
+#[derive(Debug, Clone)]
+pub struct InjectionAnalysis {
+    /// The fault that was injected.
+    pub fault: FaultSpec,
+    /// Outcome of the faulty run (success / failed / crashed).
+    pub outcome: Outcome,
+    /// ACL table of the faulty run.
+    pub acl: AclTable,
+    /// Pattern instances detected in the faulty run.
+    pub patterns: Vec<PatternInstance>,
+    /// Region instances of the fault-free run (the code-region model).
+    pub regions: Vec<RegionInstance>,
+    /// Per-region tolerance classification from the DDDG comparison
+    /// (only regions the error actually reached are interesting).
+    pub region_cases: Vec<(String, ToleranceCase)>,
+    /// Dynamic length of the fault-free trace.
+    pub clean_steps: u64,
+}
+
+impl InjectionAnalysis {
+    /// Names of the regions in which the error was masked or attenuated.
+    pub fn tolerant_regions(&self) -> Vec<String> {
+        self.region_cases
+            .iter()
+            .filter(|(_, case)| case.is_tolerant())
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+}
+
+/// Pick a default injection target for an application: the first
+/// floating-point (or otherwise value-producing) instruction inside the first
+/// instance of its first named region, flipping a mid-mantissa bit.  Used
+/// when the caller passes `None` to [`analyze_injection`].
+fn default_fault(app: &App, clean: &Trace) -> Option<FaultSpec> {
+    let regions = partition_regions(clean, &app.module, &RegionSelector::FirstLevelInner);
+    let first = regions
+        .iter()
+        .find(|r| app.regions.contains(&r.key.name))?;
+    let step = (first.start..first.end).find(|&i| {
+        let e = &clean.events[i];
+        e.write.is_some() && matches!(e.kind, EventKind::Bin(_) | EventKind::Load)
+    })?;
+    Some(FaultSpec::in_result(step as u64, 30))
+}
+
+/// Run the full FlipTracker analysis for one injected fault.
+///
+/// When `fault` is `None` a representative fault is chosen automatically
+/// (first arithmetic instruction of the first named region, bit 30).
+/// Returns `None` only if the application has no injectable site.
+pub fn analyze_injection(app: &App, fault: Option<FaultSpec>) -> Option<InjectionAnalysis> {
+    // Fault-free traced run (the reference for every comparison).
+    let clean_run = Vm::new(VmConfig::tracing())
+        .run(&app.module)
+        .expect("benchmark module verifies");
+    let clean = clean_run.trace.expect("tracing was enabled");
+
+    let fault = match fault {
+        Some(f) => f,
+        None => default_fault(app, &clean)?,
+    };
+
+    // Faulty traced run.
+    let faulty_config = VmConfig {
+        record_trace: true,
+        fault: Some(fault),
+        max_steps: clean_run.steps * 10 + 10_000,
+        ..VmConfig::default()
+    };
+    let faulty_run = Vm::new(faulty_config)
+        .run(&app.module)
+        .expect("benchmark module verifies");
+    let outcome = if !faulty_run.outcome.is_completed() {
+        Outcome::Crashed
+    } else if app.verify(&faulty_run) {
+        Outcome::VerificationSuccess
+    } else {
+        Outcome::VerificationFailed
+    };
+    let faulty = faulty_run.trace.expect("tracing was enabled");
+
+    // ACL table and pattern detection.
+    let acl = AclTable::from_fault(&faulty, &fault);
+    let patterns = detect_all(DetectionInput {
+        faulty: &faulty,
+        clean: &clean,
+        acl: &acl,
+    });
+
+    // Region model from the fault-free run, plus per-region DDDG comparison.
+    let regions = partition_regions(&clean, &app.module, &RegionSelector::FirstLevelInner);
+    let faulty_regions = partition_regions(&faulty, &app.module, &RegionSelector::FirstLevelInner);
+    let mut region_cases = Vec::new();
+    for (clean_inst, faulty_inst) in regions.iter().zip(&faulty_regions) {
+        if clean_inst.key != faulty_inst.key {
+            // Control flow diverged at the region level; stop matching.
+            break;
+        }
+        // Only analyse instances that overlap the fault's dynamic lifetime.
+        if faulty_inst.end <= fault.at_step as usize {
+            continue;
+        }
+        let clean_dddg = Dddg::from_events(instance_slice(&clean, clean_inst));
+        let faulty_dddg = Dddg::from_events(instance_slice(&faulty, faulty_inst));
+        let cmp = compare_io(
+            &clean_dddg,
+            &faulty_dddg,
+            &clean.events[clean_inst.end.min(clean.len())..],
+            &faulty.events[faulty_inst.end.min(faulty.len())..],
+        );
+        if cmp.case != ToleranceCase::NotAffected {
+            region_cases.push((clean_inst.key.name.clone(), cmp.case));
+        }
+    }
+
+    Some(InjectionAnalysis {
+        fault,
+        outcome,
+        acl,
+        patterns,
+        regions,
+        region_cases,
+        clean_steps: clean_run.steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_injection_analysis_runs_end_to_end_on_mg() {
+        let app = ftkr_apps::mg();
+        let analysis = analyze_injection(&app, None).expect("MG has injectable sites");
+        assert!(!analysis.regions.is_empty());
+        assert_eq!(analysis.acl.counts.len() as u64 > 0, true);
+        // The injected error must have produced at least one corrupted
+        // location at some point.
+        assert!(analysis.acl.max_count() >= 1);
+        assert!(analysis.clean_steps > 1000);
+    }
+
+    #[test]
+    fn memory_fault_into_kmeans_feature_array_is_tolerated_by_the_conditional() {
+        let app = ftkr_apps::kmeans();
+        // Corrupt a low-order mantissa bit of the first feature before
+        // execution starts (the features global is laid out first).
+        let fault = FaultSpec::in_memory(0, 0, 2);
+        let analysis = analyze_injection(&app, Some(fault)).unwrap();
+        assert_eq!(analysis.outcome, Outcome::VerificationSuccess);
+        assert!(
+            analysis
+                .patterns
+                .iter()
+                .any(|p| p.kind == ftkr_patterns::PatternKind::ConditionalStatement),
+            "expected the Figure-10 conditional to mask the error, got {:?}",
+            analysis
+                .patterns
+                .iter()
+                .map(|p| p.kind)
+                .collect::<Vec<_>>()
+        );
+    }
+}

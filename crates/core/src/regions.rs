@@ -1,0 +1,135 @@
+//! Region-level views of an application (the rows of Table I).
+
+use std::collections::BTreeSet;
+
+use ftkr_apps::App;
+use ftkr_patterns::{assign_to_regions, detect_all, DetectionInput, RegionPatternSummary};
+use ftkr_acl::AclTable;
+use ftkr_inject::internal_sites;
+use ftkr_trace::{partition_regions, region_instruction_counts, RegionInstance, RegionSelector};
+use ftkr_vm::{Trace, Vm, VmConfig};
+
+use crate::effort::Effort;
+
+/// A region of an application together with its first instance in main-loop
+/// iteration 0 (the instance the paper's per-region experiments target).
+#[derive(Debug, Clone)]
+pub struct RegionView {
+    /// Region name (e.g. `cg_b`).
+    pub name: String,
+    /// Source line range.
+    pub lines: (u32, u32),
+    /// The selected instance (first instance in main-loop iteration 0, or the
+    /// first instance overall for code that runs before the main loop).
+    pub instance: RegionInstance,
+    /// Dynamic instructions of the region in one main-loop iteration.
+    pub instructions: usize,
+}
+
+/// The named regions of an application, with their representative instances,
+/// from a fault-free traced run.
+pub fn region_views(app: &App, clean: &Trace) -> Vec<RegionView> {
+    let instances = partition_regions(clean, &app.module, &RegionSelector::FirstLevelInner);
+    let counts = region_instruction_counts(clean, &instances, 0);
+    app.regions
+        .iter()
+        .filter_map(|name| {
+            let instance = instances
+                .iter()
+                .find(|r| &r.key.name == name && r.main_iteration == Some(0))
+                .or_else(|| instances.iter().find(|r| &r.key.name == name))?
+                .clone();
+            Some(RegionView {
+                name: name.clone(),
+                lines: instance.lines,
+                instructions: counts.get(name).copied().unwrap_or_else(|| instance.len()),
+                instance,
+            })
+        })
+        .collect()
+}
+
+/// Build the Table-I row set for one application: for every named region,
+/// inject `effort.analysis_injections` faults into its first instance, run
+/// the detectors, and union the pattern kinds found.
+pub fn region_table(app: &App, effort: &Effort) -> Vec<RegionPatternSummary> {
+    let clean_run = Vm::new(VmConfig::tracing())
+        .run(&app.module)
+        .expect("benchmark module verifies");
+    let clean = clean_run.trace.expect("tracing enabled");
+    let views = region_views(app, &clean);
+    let all_instances = partition_regions(&clean, &app.module, &RegionSelector::FirstLevelInner);
+
+    views
+        .iter()
+        .map(|view| {
+            let mut found = BTreeSet::new();
+            let sites = internal_sites(&clean, view.instance.start, view.instance.end);
+            if !sites.is_empty() {
+                // Deterministically spread the analysis injections over the
+                // region's sites and over different bit positions.
+                for k in 0..effort.analysis_injections {
+                    let site = sites[(k * sites.len() / effort.analysis_injections.max(1))
+                        .min(sites.len() - 1)];
+                    let bit = [30u8, 52, 12, 40, 3, 61][k % 6];
+                    let fault = site.with_bit(bit);
+                    let config = VmConfig {
+                        record_trace: true,
+                        fault: Some(fault),
+                        max_steps: clean_run.steps * 10 + 10_000,
+                        ..VmConfig::default()
+                    };
+                    let faulty_run = Vm::new(config)
+                        .run(&app.module)
+                        .expect("benchmark module verifies");
+                    let Some(faulty) = faulty_run.trace else {
+                        continue;
+                    };
+                    let acl = AclTable::from_fault(&faulty, &fault);
+                    let patterns = detect_all(DetectionInput {
+                        faulty: &faulty,
+                        clean: &clean,
+                        acl: &acl,
+                    });
+                    let by_region = assign_to_regions(&patterns, &all_instances);
+                    if let Some(kinds) = by_region.get(&view.name) {
+                        found.extend(kinds.iter().copied());
+                    }
+                }
+            }
+            RegionPatternSummary {
+                region: view.name.clone(),
+                lines: view.lines,
+                instructions: view.instructions,
+                patterns: found,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_views_cover_every_named_region_of_is() {
+        let app = ftkr_apps::is();
+        let clean = app.run_traced().trace.unwrap();
+        let views = region_views(&app, &clean);
+        assert_eq!(views.len(), app.regions.len());
+        for v in &views {
+            assert!(v.instructions > 0, "{} has no instructions", v.name);
+            assert_eq!(v.instance.main_iteration, Some(0));
+        }
+    }
+
+    #[test]
+    fn region_table_finds_patterns_in_mg() {
+        let app = ftkr_apps::mg();
+        let rows = region_table(&app, &Effort::quick());
+        assert_eq!(rows.len(), 4);
+        // At least one MG region exhibits at least one pattern (the paper
+        // finds patterns in all four).
+        assert!(rows.iter().any(|r| r.pattern_found()));
+    }
+}

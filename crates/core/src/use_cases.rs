@@ -1,0 +1,258 @@
+//! The two use cases of the paper (Section VII).
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use ftkr_apps::{all_apps, cg_with, App, CgVariant};
+use ftkr_model::{standardized_coefficients, BayesianLinearRegression};
+use ftkr_patterns::PatternRates;
+use ftkr_vm::{Vm, VmConfig};
+
+use crate::effort::Effort;
+use crate::experiments::whole_program_success_rate;
+
+// --------------------------------------------------------------------------
+// Use case 1 — resilience-aware application design (Table III)
+// --------------------------------------------------------------------------
+
+/// One row of Table III.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Which patterns were applied to the CG source.
+    pub variant: String,
+    /// Measured success rate.
+    pub success_rate: f64,
+    /// Mean execution time of a fault-free run, in seconds.
+    pub mean_seconds: f64,
+}
+
+/// The Table III reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3 {
+    /// Rows in the paper's order (none, DCL+overwriting, truncation, all).
+    pub rows: Vec<Table3Row>,
+}
+
+impl Table3 {
+    /// Success-rate improvement of the fully hardened variant over the
+    /// original, in absolute percentage points.
+    pub fn improvement(&self) -> f64 {
+        match (self.rows.first(), self.rows.last()) {
+            (Some(first), Some(last)) => last.success_rate - first.success_rate,
+            _ => 0.0,
+        }
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<22} {:>12} {:>16}",
+            "Resi. pattern applied", "App. resi.", "Exe time (s)"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{:<22} {:>12.3} {:>16.4}",
+                r.variant, r.success_rate, r.mean_seconds
+            );
+        }
+        let _ = writeln!(
+            s,
+            "resilience improvement (all vs none): {:+.1} points",
+            self.improvement() * 100.0
+        );
+        s
+    }
+}
+
+fn mean_runtime(app: &App, runs: usize) -> f64 {
+    let mut total = 0.0;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        let result = Vm::new(VmConfig::default())
+            .run(&app.module)
+            .expect("module verifies");
+        assert!(result.outcome.is_completed());
+        total += start.elapsed().as_secs_f64();
+    }
+    total / runs.max(1) as f64
+}
+
+/// Reproduce Table III: apply the DCL/overwriting and truncation patterns to
+/// CG and measure the change in resilience and runtime.
+pub fn table3(effort: &Effort) -> Table3 {
+    let variants: [(&str, CgVariant); 4] = [
+        ("None", CgVariant::original()),
+        (
+            "DCL and overwrt.",
+            CgVariant {
+                temp_scratch: true,
+                truncation: false,
+            },
+        ),
+        (
+            "Truncation",
+            CgVariant {
+                temp_scratch: false,
+                truncation: true,
+            },
+        ),
+        ("All together", CgVariant::all()),
+    ];
+    let rows = variants
+        .iter()
+        .map(|(label, variant)| {
+            let app = cg_with(*variant);
+            Table3Row {
+                variant: (*label).to_string(),
+                success_rate: whole_program_success_rate(&app, effort),
+                mean_seconds: mean_runtime(&app, effort.timing_runs),
+            }
+        })
+        .collect();
+    Table3 { rows }
+}
+
+// --------------------------------------------------------------------------
+// Use case 2 — predicting application resilience (Table IV)
+// --------------------------------------------------------------------------
+
+/// One row of Table IV.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The six pattern rates (condition, shift, truncation, dead location,
+    /// repeated addition, overwrite).
+    pub rates: [f64; 6],
+    /// Measured success rate (fault-injection campaign).
+    pub measured: f64,
+    /// Leave-one-out predicted success rate.
+    pub predicted: f64,
+    /// Relative prediction error.
+    pub error: f64,
+}
+
+/// The Table IV reproduction, plus the model-quality numbers the paper
+/// reports alongside it (R² of the full fit, standardized coefficients).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4 {
+    /// Per-benchmark rows.
+    pub rows: Vec<Table4Row>,
+    /// R² of the model fitted on all ten benchmarks.
+    pub r_squared: f64,
+    /// Standardized regression coefficients, one per pattern rate.
+    pub standardized_coefficients: [f64; 6],
+    /// Mean relative prediction error over the leave-one-out experiment.
+    pub mean_error: f64,
+}
+
+impl Table4 {
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let names = PatternRates::feature_names();
+        let mut s = String::new();
+        let _ = write!(s, "{:<10}", "Benchmark");
+        for n in names {
+            let _ = write!(s, " {:>10}", n);
+        }
+        let _ = writeln!(s, " {:>10} {:>10} {:>8}", "measured", "predicted", "err");
+        for r in &self.rows {
+            let _ = write!(s, "{:<10}", r.benchmark);
+            for v in r.rates {
+                let _ = write!(s, " {:>10.4}", v);
+            }
+            let _ = writeln!(
+                s,
+                " {:>10.3} {:>10.3} {:>7.1}%",
+                r.measured,
+                r.predicted,
+                r.error * 100.0
+            );
+        }
+        let _ = writeln!(s, "R-square of the full fit: {:.3}", self.r_squared);
+        let _ = write!(s, "standardized coefficients:");
+        for (n, c) in names.iter().zip(self.standardized_coefficients) {
+            let _ = write!(s, " {n}={c:.2}");
+        }
+        let _ = writeln!(s);
+        let _ = writeln!(s, "mean prediction error: {:.1}%", self.mean_error * 100.0);
+        s
+    }
+}
+
+/// Reproduce Table IV: pattern rates, measured success rates, and
+/// leave-one-out predictions for all ten benchmarks.
+pub fn table4(effort: &Effort) -> Table4 {
+    let apps = all_apps();
+    let mut features: Vec<Vec<f64>> = Vec::with_capacity(apps.len());
+    let mut measured: Vec<f64> = Vec::with_capacity(apps.len());
+    for app in &apps {
+        let clean = app.run_traced().trace.expect("traced");
+        let rates = ftkr_patterns::dynamic_rates(&app.module, &clean);
+        features.push(rates.as_features().to_vec());
+        measured.push(whole_program_success_rate(app, effort));
+    }
+
+    let model = BayesianLinearRegression::new(1e-4);
+    let fit = model.fit(&features, &measured);
+    let std_coeffs = standardized_coefficients(&fit, &features, &measured);
+    let loo = model.leave_one_out(&features, &measured);
+
+    let rows = apps
+        .iter()
+        .enumerate()
+        .map(|(i, app)| Table4Row {
+            benchmark: app.name.to_string(),
+            rates: [
+                features[i][0],
+                features[i][1],
+                features[i][2],
+                features[i][3],
+                features[i][4],
+                features[i][5],
+            ],
+            measured: measured[i],
+            predicted: loo[i].0,
+            error: loo[i].1,
+        })
+        .collect::<Vec<_>>();
+    let mean_error = rows.iter().map(|r| r.error).sum::<f64>() / rows.len() as f64;
+    Table4 {
+        rows,
+        r_squared: fit.r_squared,
+        standardized_coefficients: [
+            std_coeffs[0],
+            std_coeffs[1],
+            std_coeffs[2],
+            std_coeffs[3],
+            std_coeffs[4],
+            std_coeffs[5],
+        ],
+        mean_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_rows_cover_all_four_variants_and_stay_in_range() {
+        let mut effort = Effort::quick();
+        effort.tests_per_point = 16;
+        effort.timing_runs = 1;
+        let t = table3(&effort);
+        assert_eq!(t.rows.len(), 4);
+        for r in &t.rows {
+            assert!((0.0..=1.0).contains(&r.success_rate), "{r:?}");
+            assert!(r.mean_seconds > 0.0);
+        }
+        assert!(t.to_text().contains("All together"));
+    }
+}

@@ -1,0 +1,395 @@
+//! DDDG construction from a trace slice.
+
+use std::collections::{HashMap, HashSet};
+
+use ftkr_vm::{Location, TraceEvent, Value};
+
+/// Index of a node within a [`Dddg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A vertex: one dynamic version of a location's value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DddgNode {
+    /// The register or memory location.
+    pub location: Location,
+    /// Version number (0 is the value the location had when the region
+    /// started; each write bumps the version).
+    pub version: u32,
+    /// The value observed (for version 0) or produced (for later versions).
+    pub value: Value,
+    /// Index (within the slice) of the event that defined this version;
+    /// `None` for version-0 nodes, whose value predates the region.
+    pub def_event: Option<usize>,
+    /// Source line of the defining event (or of the first reading event for
+    /// version-0 nodes).
+    pub line: u32,
+}
+
+/// An edge: a dataflow dependence `from → to` created by one dynamic
+/// instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DddgEdge {
+    /// Node whose value was read.
+    pub from: NodeId,
+    /// Node whose value was produced.
+    pub to: NodeId,
+    /// Index (within the slice) of the instruction that created the edge.
+    pub event: usize,
+}
+
+/// A dynamic data dependence graph for one code-region instance.
+#[derive(Debug, Clone, Default)]
+pub struct Dddg {
+    nodes: Vec<DddgNode>,
+    edges: Vec<DddgEdge>,
+    /// Latest version of every location touched in the region.
+    latest: HashMap<Location, NodeId>,
+    /// Version-0 node of every location first observed by a read.
+    roots: HashMap<Location, NodeId>,
+    /// Locations that were written at least once inside the region.
+    written: HashSet<Location>,
+}
+
+impl Dddg {
+    /// Build the graph from the events of one region instance.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut g = Dddg::default();
+        for (idx, event) in events.iter().enumerate() {
+            let mut read_nodes = Vec::with_capacity(event.reads.len());
+            for &(loc, value) in &event.reads {
+                let node = match g.latest.get(&loc) {
+                    Some(&n) => n,
+                    None => {
+                        // First observation of this location inside the
+                        // region: it carries a pre-existing value => input.
+                        let n = g.push_node(DddgNode {
+                            location: loc,
+                            version: 0,
+                            value,
+                            def_event: None,
+                            line: event.line,
+                        });
+                        g.latest.insert(loc, n);
+                        g.roots.insert(loc, n);
+                        n
+                    }
+                };
+                read_nodes.push(node);
+            }
+            if let Some((loc, value)) = event.write {
+                let version = g
+                    .latest
+                    .get(&loc)
+                    .map(|&n| g.nodes[n.index()].version + 1)
+                    .unwrap_or(0);
+                let to = g.push_node(DddgNode {
+                    location: loc,
+                    version,
+                    value,
+                    def_event: Some(idx),
+                    line: event.line,
+                });
+                g.latest.insert(loc, to);
+                g.written.insert(loc);
+                for from in read_nodes {
+                    g.edges.push(DddgEdge { from, to, event: idx });
+                }
+            }
+        }
+        g
+    }
+
+    fn push_node(&mut self, node: DddgNode) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[DddgNode] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[DddgEdge] {
+        &self.edges
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> &DddgNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Input locations (root nodes): locations whose value was observed
+    /// before any write inside the region, together with that value.
+    pub fn inputs(&self) -> Vec<(Location, Value)> {
+        let mut v: Vec<_> = self
+            .roots
+            .values()
+            .map(|&n| {
+                let node = &self.nodes[n.index()];
+                (node.location, node.value)
+            })
+            .collect();
+        v.sort_by_key(|(l, _)| *l);
+        v
+    }
+
+    /// Final value of every location written inside the region.
+    pub fn final_writes(&self) -> Vec<(Location, Value)> {
+        let mut v: Vec<_> = self
+            .written
+            .iter()
+            .map(|loc| {
+                let n = self.latest[loc];
+                let node = &self.nodes[n.index()];
+                (node.location, node.value)
+            })
+            .collect();
+        v.sort_by_key(|(l, _)| *l);
+        v
+    }
+
+    /// Output locations as *leaves*: final versions of written locations
+    /// whose node has no outgoing edge (nothing inside the region consumed
+    /// them afterwards).  This is the classification available without
+    /// looking past the region.
+    pub fn leaf_outputs(&self) -> Vec<(Location, Value)> {
+        let mut has_out: HashSet<NodeId> = HashSet::new();
+        for e in &self.edges {
+            has_out.insert(e.from);
+        }
+        let mut v: Vec<_> = self
+            .written
+            .iter()
+            .filter_map(|loc| {
+                let n = self.latest[loc];
+                if has_out.contains(&n) {
+                    None
+                } else {
+                    let node = &self.nodes[n.index()];
+                    Some((node.location, node.value))
+                }
+            })
+            .collect();
+        v.sort_by_key(|(l, _)| *l);
+        v
+    }
+
+    /// Output locations refined with the rest of the trace: written locations
+    /// whose value is referenced again *after* the region instance ends.
+    /// `later_events` must be the events following the instance.
+    pub fn outputs_live_after(&self, later_events: &[TraceEvent]) -> Vec<(Location, Value)> {
+        let used_later: HashSet<Location> = later_events
+            .iter()
+            .flat_map(|e| e.reads.iter().map(|&(l, _)| l))
+            .collect();
+        let mut v: Vec<_> = self
+            .written
+            .iter()
+            .filter(|loc| used_later.contains(loc))
+            .map(|loc| {
+                let n = self.latest[loc];
+                let node = &self.nodes[n.index()];
+                (node.location, node.value)
+            })
+            .collect();
+        v.sort_by_key(|(l, _)| *l);
+        v
+    }
+
+    /// Internal locations: touched by the region but neither inputs nor
+    /// written-and-live-after outputs.
+    pub fn internals(&self, outputs: &[(Location, Value)]) -> Vec<Location> {
+        let inputs: HashSet<Location> = self.roots.keys().copied().collect();
+        let outs: HashSet<Location> = outputs.iter().map(|(l, _)| *l).collect();
+        let mut all: HashSet<Location> = self.nodes.iter().map(|n| n.location).collect();
+        all.retain(|l| !inputs.contains(l) && !outs.contains(l));
+        let mut v: Vec<_> = all.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when every edge goes from an earlier-created node to a
+    /// later-created one — dynamic dataflow is acyclic by construction, and
+    /// property tests lean on this invariant.
+    pub fn is_acyclic(&self) -> bool {
+        self.edges.iter().all(|e| e.from < e.to)
+    }
+
+    /// Render the graph in Graphviz DOT format.
+    pub fn to_dot(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{title}\" {{");
+        let _ = writeln!(s, "  rankdir=TB;");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let shape = if n.def_event.is_none() {
+                "ellipse"
+            } else {
+                "box"
+            };
+            let _ = writeln!(
+                s,
+                "  n{} [shape={shape}, label=\"{} v{}\\n{}\"];",
+                i, n.location, n.version, n.value
+            );
+        }
+        for e in &self.edges {
+            let _ = writeln!(s, "  n{} -> n{} [label=\"e{}\"];", e.from.0, e.to.0, e.event);
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftkr_ir::{BinKind, FunctionId, ValueId};
+    use ftkr_vm::EventKind;
+
+    fn reg(v: u32) -> Location {
+        Location::reg(FunctionId(0), 0, ValueId(v))
+    }
+
+    fn ev(
+        reads: Vec<(Location, Value)>,
+        write: Option<(Location, Value)>,
+        line: u32,
+    ) -> TraceEvent {
+        TraceEvent {
+            func: FunctionId(0),
+            frame: 0,
+            inst: ValueId(0),
+            line,
+            kind: EventKind::Bin(BinKind::FAdd),
+            reads,
+            write,
+        }
+    }
+
+    /// c = a + b; d = c * c; store d to m[7]
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            ev(
+                vec![(reg(0), Value::F(1.0)), (reg(1), Value::F(2.0))],
+                Some((reg(2), Value::F(3.0))),
+                10,
+            ),
+            ev(
+                vec![(reg(2), Value::F(3.0)), (reg(2), Value::F(3.0))],
+                Some((reg(3), Value::F(9.0))),
+                11,
+            ),
+            ev(
+                vec![(reg(3), Value::F(9.0))],
+                Some((Location::mem(7), Value::F(9.0))),
+                12,
+            ),
+        ]
+    }
+
+    #[test]
+    fn inputs_are_roots_and_outputs_are_leaves() {
+        let g = Dddg::from_events(&sample_events());
+        let inputs = g.inputs();
+        assert_eq!(inputs.len(), 2);
+        assert!(inputs.iter().any(|(l, v)| *l == reg(0) && *v == Value::F(1.0)));
+        assert!(inputs.iter().any(|(l, v)| *l == reg(1) && *v == Value::F(2.0)));
+
+        let leaves = g.leaf_outputs();
+        assert_eq!(leaves, vec![(Location::mem(7), Value::F(9.0))]);
+
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 2 + 2 + 1);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn outputs_live_after_uses_the_remaining_trace() {
+        let g = Dddg::from_events(&sample_events());
+        // Later code reads m[7] => it is an output; nothing reads reg(3).
+        let later = vec![ev(vec![(Location::mem(7), Value::F(9.0))], None, 20)];
+        let outs = g.outputs_live_after(&later);
+        assert_eq!(outs, vec![(Location::mem(7), Value::F(9.0))]);
+        // Nothing read later => no outputs.
+        assert!(g.outputs_live_after(&[]).is_empty());
+    }
+
+    #[test]
+    fn internals_exclude_inputs_and_outputs() {
+        let g = Dddg::from_events(&sample_events());
+        let outs = g.leaf_outputs();
+        let internals = g.internals(&outs);
+        assert!(internals.contains(&reg(2)));
+        assert!(internals.contains(&reg(3)));
+        assert!(!internals.contains(&reg(0)));
+        assert!(!internals.contains(&Location::mem(7)));
+    }
+
+    #[test]
+    fn rewriting_a_location_bumps_versions() {
+        let events = vec![
+            ev(vec![], Some((Location::mem(0), Value::F(1.0))), 1),
+            ev(vec![], Some((Location::mem(0), Value::F(2.0))), 2),
+            ev(
+                vec![(Location::mem(0), Value::F(2.0))],
+                Some((reg(5), Value::F(2.0))),
+                3,
+            ),
+        ];
+        let g = Dddg::from_events(&events);
+        let versions: Vec<u32> = g
+            .nodes()
+            .iter()
+            .filter(|n| n.location == Location::mem(0))
+            .map(|n| n.version)
+            .collect();
+        assert_eq!(versions, vec![0, 1]);
+        // m[0] was never read before being written => not an input.
+        assert!(g.inputs().is_empty());
+        // final value of m[0] is 2.0
+        assert!(g
+            .final_writes()
+            .contains(&(Location::mem(0), Value::F(2.0))));
+    }
+
+    #[test]
+    fn dot_output_mentions_nodes_and_edges() {
+        let g = Dddg::from_events(&sample_events());
+        let dot = g.to_dot("region");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 ->") || dot.contains("-> n2"));
+        assert!(dot.contains("ellipse")); // roots
+        assert!(dot.contains("box")); // defined nodes
+    }
+
+    #[test]
+    fn empty_slice_produces_empty_graph() {
+        let g = Dddg::from_events(&[]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.inputs().is_empty());
+        assert!(g.leaf_outputs().is_empty());
+        assert!(g.is_acyclic());
+    }
+}

@@ -1,0 +1,24 @@
+//! `ftkr-dddg` — dynamic data dependence graphs (DDDGs).
+//!
+//! Section III-B of the FlipTracker paper builds, for every code-region
+//! instance, a *dynamic* data dependence graph from the instruction trace:
+//! vertices are the values of variables obtained from registers or memory,
+//! edges are the operations that transform input values into output values.
+//! Root nodes are the region's **inputs**, leaf nodes its **outputs**, and
+//! everything else is **internal** — the classification that drives where
+//! faults are injected and how faulty and fault-free runs are compared
+//! (Case 1 / Case 2 of Section III-D).
+//!
+//! * [`Dddg::from_events`] builds the graph from a region-instance slice;
+//! * [`Dddg::inputs`] / [`Dddg::leaf_outputs`] / [`Dddg::outputs_live_after`]
+//!   classify locations;
+//! * [`compare::compare_io`] compares the input/output values of matched
+//!   faulty and fault-free instances and classifies the tolerance case;
+//! * [`Dddg::to_dot`] renders the graph in Graphviz DOT format (the paper
+//!   uses Graphviz for the same purpose).
+
+pub mod compare;
+pub mod graph;
+
+pub use compare::{compare_io, IoComparison, ToleranceCase};
+pub use graph::{Dddg, DddgEdge, DddgNode, NodeId};

@@ -1,0 +1,271 @@
+//! Parallel fault-injection campaigns.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use ftkr_ir::Module;
+use ftkr_vm::{FaultSpec, RunResult, Vm, VmConfig};
+
+use crate::outcome::{CampaignCounts, Outcome};
+use crate::sites::FaultSite;
+use crate::stats::{sample_size, Confidence};
+
+/// Result of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Outcome tallies.
+    pub counts: CampaignCounts,
+    /// Number of injection tests performed.
+    pub n_tests: u64,
+    /// Size of the site population the tests were sampled from
+    /// (`sites × 64 bits`).
+    pub population: u64,
+}
+
+impl CampaignReport {
+    /// Success rate of the campaign (Eq. 1 of the paper).
+    pub fn success_rate(&self) -> f64 {
+        self.counts.success_rate()
+    }
+}
+
+/// A fault-injection campaign against one program.
+///
+/// The verifier closure plays the role of the application's verification
+/// phase: given the run result of a *completed* faulty run it decides whether
+/// the output is acceptable.  Trapped runs are classified as
+/// [`Outcome::Crashed`] before the verifier is consulted.
+pub struct Campaign<'m, F>
+where
+    F: Fn(&RunResult) -> bool + Sync,
+{
+    module: &'m Module,
+    verify: F,
+    max_steps: u64,
+    seed: u64,
+}
+
+impl<'m, F> Campaign<'m, F>
+where
+    F: Fn(&RunResult) -> bool + Sync,
+{
+    /// Create a campaign for `module` judged by `verify`.
+    pub fn new(module: &'m Module, verify: F) -> Self {
+        Campaign {
+            module,
+            verify,
+            max_steps: VmConfig::default().max_steps,
+            seed: 0xF11B_7EAC,
+        }
+    }
+
+    /// Set the dynamic step limit used for faulty runs (hang detection).
+    /// A sensible value is a small multiple of the fault-free step count.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Set the sampling seed (campaigns are deterministic given the seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run a single faulty run and classify it.
+    pub fn run_one(&self, fault: FaultSpec) -> Outcome {
+        let config = VmConfig {
+            fault: Some(fault),
+            max_steps: self.max_steps,
+            ..VmConfig::default()
+        };
+        let result = Vm::new(config)
+            .run(self.module)
+            .expect("campaign module must verify");
+        if !result.outcome.is_completed() {
+            return Outcome::Crashed;
+        }
+        if (self.verify)(&result) {
+            Outcome::VerificationSuccess
+        } else {
+            Outcome::VerificationFailed
+        }
+    }
+
+    /// Run `n_tests` injections sampled uniformly from `sites × 64 bits`.
+    pub fn run(&self, sites: &[FaultSite], n_tests: u64) -> CampaignReport {
+        let population = sites.len() as u64 * 64;
+        if sites.is_empty() || n_tests == 0 {
+            return CampaignReport {
+                counts: CampaignCounts::default(),
+                n_tests: 0,
+                population,
+            };
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let faults: Vec<FaultSpec> = (0..n_tests)
+            .map(|_| {
+                let site = sites[rng.random_range(0..sites.len())];
+                let bit = rng.random_range(0..64u32) as u8;
+                site.with_bit(bit)
+            })
+            .collect();
+
+        let counts = faults
+            .par_iter()
+            .map(|&fault| {
+                let mut c = CampaignCounts::default();
+                c.record(self.run_one(fault));
+                c
+            })
+            .reduce(CampaignCounts::default, CampaignCounts::merge);
+
+        CampaignReport {
+            counts,
+            n_tests,
+            population,
+        }
+    }
+
+    /// Run a campaign sized by the statistical model: the number of tests is
+    /// [`sample_size`] of the site population at the given confidence and
+    /// margin of error.
+    pub fn run_sized(
+        &self,
+        sites: &[FaultSite],
+        confidence: Confidence,
+        margin: f64,
+    ) -> CampaignReport {
+        let population = sites.len() as u64 * 64;
+        let n = sample_size(population, confidence, margin);
+        self.run(sites, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites::{input_sites, internal_sites};
+    use ftkr_ir::prelude::*;
+    use ftkr_ir::Global;
+
+    /// A small program with a verification phase: it sums 1.0 sixteen times
+    /// into a global and "verifies" that the result is within 5% of 16.
+    fn module() -> Module {
+        let mut m = Module::new("sum16");
+        let g = m.add_global(Global::zeroed_f64("total", 1));
+        let mut b = FunctionBuilder::new("main");
+        let gaddr = b.global_addr(g);
+        let zero = b.const_i64(0);
+        let n = b.const_i64(16);
+        b.main_for("accumulate", zero, n, |b, _i| {
+            let cur = b.load(gaddr);
+            let one = b.const_f64(1.0);
+            let next = b.fadd(cur, one);
+            b.store(gaddr, next);
+        });
+        let total = b.load(gaddr);
+        b.output(total, OutputFormat::Scientific(6));
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    fn verify(result: &RunResult) -> bool {
+        result
+            .global_f64("total")
+            .map(|v| (v[0] - 16.0).abs() / 16.0 < 0.05)
+            .unwrap_or(false)
+    }
+
+    fn clean_trace(module: &Module) -> ftkr_vm::Trace {
+        Vm::new(VmConfig::tracing())
+            .run(module)
+            .unwrap()
+            .trace
+            .unwrap()
+    }
+
+    #[test]
+    fn fault_free_program_passes_its_own_verification() {
+        let m = module();
+        let r = Vm::new(VmConfig::default()).run(&m).unwrap();
+        assert!(verify(&r));
+    }
+
+    #[test]
+    fn campaign_over_internal_sites_produces_mixed_outcomes() {
+        let m = module();
+        let trace = clean_trace(&m);
+        let sites = internal_sites(&trace, 0, trace.len());
+        assert!(!sites.is_empty());
+        let campaign = Campaign::new(&m, verify).with_max_steps(trace.len() as u64 * 10 + 1000);
+        let report = campaign.run(&sites, 200);
+        assert_eq!(report.counts.total(), 200);
+        assert_eq!(report.population, sites.len() as u64 * 64);
+        // Low-order mantissa flips are tolerated, so some runs succeed; flips
+        // in the loop counter or addresses crash or corrupt, so not all do.
+        assert!(report.success_rate() > 0.05, "rate {}", report.success_rate());
+        assert!(report.success_rate() < 1.0, "rate {}", report.success_rate());
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_given_a_seed() {
+        let m = module();
+        let trace = clean_trace(&m);
+        let sites = internal_sites(&trace, 0, trace.len());
+        let max_steps = trace.len() as u64 * 10 + 1000;
+        let c1 = Campaign::new(&m, verify)
+            .with_seed(7)
+            .with_max_steps(max_steps)
+            .run(&sites, 64);
+        let c2 = Campaign::new(&m, verify)
+            .with_seed(7)
+            .with_max_steps(max_steps)
+            .run(&sites, 64);
+        let c3 = Campaign::new(&m, verify)
+            .with_seed(8)
+            .with_max_steps(max_steps)
+            .run(&sites, 64);
+        assert_eq!(c1.counts, c2.counts);
+        // A different seed samples different faults (overwhelmingly likely to
+        // change at least one tally for this program).
+        assert!(c1.counts != c3.counts || c1.counts.total() == c3.counts.total());
+    }
+
+    #[test]
+    fn input_site_campaign_on_the_accumulator_is_resilient_to_overwrites() {
+        let m = module();
+        let trace = clean_trace(&m);
+        // The accumulator cell is overwritten by the first loop iteration, so
+        // input faults at step 0 are frequently masked (Data Overwriting).
+        let sites = input_sites(0, &[(ftkr_vm::Location::mem(0), ftkr_vm::Value::F(0.0))]);
+        let campaign = Campaign::new(&m, verify).with_max_steps(trace.len() as u64 * 10 + 1000);
+        let report = campaign.run(&sites, 64);
+        assert!(report.success_rate() > 0.9, "rate {}", report.success_rate());
+    }
+
+    #[test]
+    fn empty_site_list_yields_empty_report() {
+        let m = module();
+        let campaign = Campaign::new(&m, verify);
+        let report = campaign.run(&[], 100);
+        assert_eq!(report.counts.total(), 0);
+        assert_eq!(report.n_tests, 0);
+    }
+
+    #[test]
+    fn sized_campaign_enumerates_small_populations() {
+        let m = module();
+        let trace = clean_trace(&m);
+        let sites = internal_sites(&trace, 0, 2);
+        let campaign =
+            Campaign::new(&m, verify).with_max_steps(trace.len() as u64 * 10 + 1000);
+        let report = campaign.run_sized(&sites, Confidence::C95, 0.03);
+        // Population is tiny (<= 128), so the sample covers all of it.
+        assert_eq!(report.n_tests, report.population.min(report.n_tests.max(1)));
+        assert!(report.counts.total() > 0);
+    }
+}

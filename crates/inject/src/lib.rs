@@ -1,0 +1,27 @@
+//! `ftkr-inject` — statistically sized fault-injection campaigns.
+//!
+//! This crate reproduces the FlipIt-based injection methodology of
+//! Section IV-C of the FlipTracker paper:
+//!
+//! * faults are uniformly distributed single bit flips over a *population* of
+//!   injection sites (dynamic instruction results, or memory cells holding a
+//!   code region's input variables at the instant the region instance
+//!   begins);
+//! * the number of injections per target is chosen with the statistical
+//!   model of Leveugle et al. (95 % confidence / 3 % margin of error for the
+//!   evaluation, 99 % / 1 % for the case studies);
+//! * each faulty run is classified as *Verification Success*, *Verification
+//!   Failed* or *Crashed*, and the campaign reports the success rate of
+//!   Eq. (1).
+//!
+//! Faulty runs are independent, so campaigns fan out across cores with rayon.
+
+pub mod campaign;
+pub mod outcome;
+pub mod sites;
+pub mod stats;
+
+pub use campaign::{Campaign, CampaignReport};
+pub use outcome::{CampaignCounts, Outcome};
+pub use sites::{input_sites, internal_sites, FaultSite, TargetClass};
+pub use stats::{sample_size, Confidence};

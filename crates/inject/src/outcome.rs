@@ -1,0 +1,115 @@
+//! Fault manifestation outcomes and campaign tallies.
+
+use serde::{Deserialize, Serialize};
+
+/// The three fault manifestations of the paper's fault model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The program finished and its verification phase accepted the result
+    /// (bitwise identical or within the application's tolerance).
+    VerificationSuccess,
+    /// The program finished but verification rejected the result — silent
+    /// data corruption that was not tolerated.
+    VerificationFailed,
+    /// The program crashed or hung.
+    Crashed,
+}
+
+/// Tally of outcomes over a campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignCounts {
+    /// Number of Verification Success runs.
+    pub success: u64,
+    /// Number of Verification Failed runs.
+    pub failed: u64,
+    /// Number of Crashed runs.
+    pub crashed: u64,
+}
+
+impl CampaignCounts {
+    /// Record one outcome.
+    pub fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::VerificationSuccess => self.success += 1,
+            Outcome::VerificationFailed => self.failed += 1,
+            Outcome::Crashed => self.crashed += 1,
+        }
+    }
+
+    /// Total number of runs.
+    pub fn total(&self) -> u64 {
+        self.success + self.failed + self.crashed
+    }
+
+    /// The paper's success rate (Eq. 1): successes over total injections.
+    pub fn success_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.success as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of runs that crashed.
+    pub fn crash_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.crashed as f64 / self.total() as f64
+        }
+    }
+
+    /// Merge two tallies (used by the parallel reduction).
+    pub fn merge(mut self, other: CampaignCounts) -> CampaignCounts {
+        self.success += other.success;
+        self.failed += other.failed;
+        self.crashed += other.crashed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_and_rates() {
+        let mut c = CampaignCounts::default();
+        for _ in 0..6 {
+            c.record(Outcome::VerificationSuccess);
+        }
+        for _ in 0..3 {
+            c.record(Outcome::VerificationFailed);
+        }
+        c.record(Outcome::Crashed);
+        assert_eq!(c.total(), 10);
+        assert!((c.success_rate() - 0.6).abs() < 1e-12);
+        assert!((c.crash_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_campaign_has_zero_rates() {
+        let c = CampaignCounts::default();
+        assert_eq!(c.success_rate(), 0.0);
+        assert_eq!(c.crash_rate(), 0.0);
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let a = CampaignCounts {
+            success: 1,
+            failed: 2,
+            crashed: 3,
+        };
+        let b = CampaignCounts {
+            success: 10,
+            failed: 20,
+            crashed: 30,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.success, 11);
+        assert_eq!(m.failed, 22);
+        assert_eq!(m.crashed, 33);
+    }
+}

@@ -1,0 +1,73 @@
+//! Basic blocks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::inst::ValueId;
+
+/// Index of a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A basic block: an ordered list of instruction ids, the last of which must
+/// be a terminator once the function is finished.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Debug label.
+    pub label: String,
+    /// Instruction ids, in execution order.
+    pub insts: Vec<ValueId>,
+}
+
+impl Block {
+    /// Create an empty block with a label.
+    pub fn new(label: impl Into<String>) -> Self {
+        Block {
+            label: label.into(),
+            insts: Vec::new(),
+        }
+    }
+
+    /// Last instruction of the block, if any.
+    pub fn last(&self) -> Option<ValueId> {
+        self.insts.last().copied()
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the block has no instructions yet.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_basics() {
+        let mut b = Block::new("entry");
+        assert!(b.is_empty());
+        b.insts.push(ValueId(0));
+        b.insts.push(ValueId(1));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.last(), Some(ValueId(1)));
+        assert_eq!(format!("{}", BlockId(3)), "bb3");
+    }
+}

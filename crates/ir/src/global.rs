@@ -1,0 +1,94 @@
+//! Module-level global arrays.
+//!
+//! Globals model the large data objects HPC programs update in their inner
+//! loops (meshes, residual vectors, key arrays, feature matrices).  Each
+//! global is a contiguous run of 8-byte cells in VM memory; the VM assigns
+//! base addresses at program load.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a global within a [`crate::Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GlobalId(pub u32);
+
+impl GlobalId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Initial contents of a global.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GlobalInit {
+    /// All cells hold the integer zero.
+    ZeroI64,
+    /// All cells hold the floating-point zero.
+    ZeroF64,
+    /// Explicit integer contents (length defines the size).
+    I64(Vec<i64>),
+    /// Explicit floating-point contents (length defines the size).
+    F64(Vec<f64>),
+}
+
+/// A module-level array of 8-byte cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Global {
+    /// Debug name (e.g. `"u"`, `"key_array"`).
+    pub name: String,
+    /// Number of cells.
+    pub size: u32,
+    /// Initial contents.
+    pub init: GlobalInit,
+}
+
+impl Global {
+    /// An integer-zeroed global of `size` cells.
+    pub fn zeroed_i64(name: impl Into<String>, size: u32) -> Self {
+        Global {
+            name: name.into(),
+            size,
+            init: GlobalInit::ZeroI64,
+        }
+    }
+
+    /// A float-zeroed global of `size` cells.
+    pub fn zeroed_f64(name: impl Into<String>, size: u32) -> Self {
+        Global {
+            name: name.into(),
+            size,
+            init: GlobalInit::ZeroF64,
+        }
+    }
+
+    /// A global initialized with the given integers.
+    pub fn with_i64(name: impl Into<String>, data: Vec<i64>) -> Self {
+        Global {
+            name: name.into(),
+            size: data.len() as u32,
+            init: GlobalInit::I64(data),
+        }
+    }
+
+    /// A global initialized with the given floats.
+    pub fn with_f64(name: impl Into<String>, data: Vec<f64>) -> Self {
+        Global {
+            name: name.into(),
+            size: data.len() as u32,
+            init: GlobalInit::F64(data),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_sizes() {
+        assert_eq!(Global::zeroed_f64("u", 16).size, 16);
+        assert_eq!(Global::with_i64("k", vec![1, 2, 3]).size, 3);
+        assert_eq!(Global::with_f64("x", vec![0.5; 5]).size, 5);
+        assert_eq!(GlobalId(4).index(), 4);
+    }
+}

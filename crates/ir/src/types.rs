@@ -1,0 +1,61 @@
+//! Value types of the IR.
+//!
+//! The IR is deliberately small: 64-bit integers, 64-bit floats and pointers
+//! cover every construct the FlipTracker analyses care about.  Narrower
+//! widths (the paper's truncation pattern replaces 64-bit floating point
+//! multiplications with 32-bit integer multiplications) are modelled with
+//! explicit cast instructions rather than separate storage types, which keeps
+//! the bit-flip fault model uniform: every live value is a 64-bit word.
+
+use serde::{Deserialize, Serialize};
+
+/// The static type of an SSA value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit IEEE-754 floating point.
+    F64,
+    /// Pointer into the VM's flat memory (an 8-byte cell index).
+    Ptr,
+}
+
+impl Ty {
+    /// Human-readable name used by the textual printer.
+    pub fn name(self) -> &'static str {
+        match self {
+            Ty::I64 => "i64",
+            Ty::F64 => "f64",
+            Ty::Ptr => "ptr",
+        }
+    }
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Ty::I64.name(), "i64");
+        assert_eq!(Ty::F64.name(), "f64");
+        assert_eq!(Ty::Ptr.name(), "ptr");
+        assert_eq!(format!("{}", Ty::F64), "f64");
+    }
+
+    #[test]
+    fn types_are_copy_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Ty::I64);
+        s.insert(Ty::I64);
+        s.insert(Ty::Ptr);
+        assert_eq!(s.len(), 2);
+    }
+}

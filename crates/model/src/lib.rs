@@ -1,0 +1,15 @@
+//! `ftkr-model` — Bayesian multivariate linear regression for resilience
+//! prediction (Use Case 2 of the FlipTracker paper).
+//!
+//! The paper models an application's success rate as a linear function of its
+//! six pattern rates (Eq. 3), fits the model with Bayesian linear regression,
+//! reports the R² of the full fit, predicts held-out applications
+//! (leave-one-out), and ranks pattern importance with standardized
+//! regression coefficients.  This crate provides exactly those pieces on top
+//! of a small dense linear-algebra module (no external math dependencies).
+
+pub mod linalg;
+pub mod regression;
+
+pub use linalg::Matrix;
+pub use regression::{standardized_coefficients, BayesianLinearRegression, RegressionFit};

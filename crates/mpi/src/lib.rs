@@ -1,0 +1,18 @@
+//! `ftkr-mpi` — an in-process SPMD message-passing simulator.
+//!
+//! The original FlipTracker extends LLVM-Tracer to instrument MPI programs:
+//! each MPI process writes its own trace file, and the tracing-overhead
+//! experiment (Figure 4 of the paper) compares instrumented vs. plain runs at
+//! 64 processes.  This crate provides the equivalent substrate without an MPI
+//! installation: ranks are threads, messages travel over crossbeam channels,
+//! and collectives (`allreduce`, `broadcast`, `barrier`) are implemented on
+//! top of point-to-point sends.  Execution is deterministic for the
+//! single-program-multiple-data patterns the benchmark kernels use, which is
+//! what lets faulty and fault-free runs be matched without the
+//! record-and-replay machinery the paper needs for real MPI.
+
+pub mod comm;
+pub mod spmd;
+
+pub use comm::{Communicator, Message, ReduceOp};
+pub use spmd::{run_spmd, SpmdError};

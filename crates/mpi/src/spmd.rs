@@ -1,0 +1,135 @@
+//! SPMD launcher: run one closure per rank on its own thread.
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{Communicator, Message};
+
+/// Errors from [`run_spmd`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpmdError {
+    /// `nranks` was zero.
+    ZeroRanks,
+    /// One or more rank closures panicked; the payload carries the rank ids.
+    RankPanicked {
+        /// Ranks whose closure panicked.
+        ranks: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for SpmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpmdError::ZeroRanks => write!(f, "run_spmd requires at least one rank"),
+            SpmdError::RankPanicked { ranks } => write!(f, "ranks {ranks:?} panicked"),
+        }
+    }
+}
+
+impl std::error::Error for SpmdError {}
+
+/// Run `body` once per rank, each on its own thread, and collect the results
+/// in rank order.  The closure receives the rank's [`Communicator`].
+///
+/// ```
+/// use ftkr_mpi::{run_spmd, ReduceOp};
+/// let sums = run_spmd(8, |mut comm| {
+///     comm.allreduce_scalar(1.0, ReduceOp::Sum)
+/// }).unwrap();
+/// assert_eq!(sums, vec![8.0; 8]);
+/// ```
+pub fn run_spmd<R, F>(nranks: usize, body: F) -> Result<Vec<R>, SpmdError>
+where
+    R: Send,
+    F: Fn(Communicator) -> R + Sync,
+{
+    if nranks == 0 {
+        return Err(SpmdError::ZeroRanks);
+    }
+
+    // One channel per receiving rank; every rank gets a clone of every sender.
+    let mut senders = Vec::with_capacity(nranks);
+    let mut receivers = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        let (tx, rx) = unbounded::<Message>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let body = &body;
+    let mut results: Vec<Option<R>> = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        results.push(None);
+    }
+
+    let panicked = std::sync::Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let senders = senders.clone();
+            handles.push((
+                rank,
+                scope.spawn(move || {
+                    let comm = Communicator::new(rank, nranks, senders, rx);
+                    body(comm)
+                }),
+            ));
+        }
+        for ((rank, handle), slot) in handles.into_iter().zip(results.iter_mut()) {
+            match handle.join() {
+                Ok(r) => *slot = Some(r),
+                Err(_) => panicked.lock().expect("panic list lock").push(rank),
+            }
+        }
+    });
+
+    let panicked = panicked.into_inner().expect("panic list lock");
+    if !panicked.is_empty() {
+        return Err(SpmdError::RankPanicked { ranks: panicked });
+    }
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("non-panicking rank produced a result"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_rank_order() {
+        let ranks = run_spmd(6, |comm| comm.rank()).unwrap();
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_ranks_is_an_error() {
+        assert_eq!(run_spmd(0, |_c| ()).unwrap_err(), SpmdError::ZeroRanks);
+    }
+
+    #[test]
+    fn rank_panic_is_reported_not_propagated() {
+        let err = run_spmd(3, |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+            comm.rank()
+        })
+        .unwrap_err();
+        assert_eq!(err, SpmdError::RankPanicked { ranks: vec![1] });
+        assert!(err.to_string().contains('1'));
+    }
+
+    #[test]
+    fn many_ranks_scale() {
+        // 64 ranks mirrors the paper's Figure 4 configuration.
+        let n = 64;
+        let sums = run_spmd(n, |mut comm| {
+            comm.allreduce_scalar(comm.rank() as f64, crate::ReduceOp::Sum)
+        })
+        .unwrap();
+        let expected = (0..n).sum::<usize>() as f64;
+        assert!(sums.iter().all(|&s| s == expected));
+    }
+}

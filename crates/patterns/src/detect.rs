@@ -1,0 +1,689 @@
+//! Dynamic pattern detection over matched faulty / fault-free traces.
+//!
+//! Every detector takes the same [`DetectionInput`]: the faulty trace, the
+//! matching fault-free trace (same program, same input, no fault), and the
+//! ACL table built from the faulty trace.  Faulty and fault-free traces of a
+//! deterministic program align instruction-for-instruction until control flow
+//! diverges; detectors only compare events whose static instruction identity
+//! matches, so divergent suffixes are skipped rather than misinterpreted.
+
+use std::collections::HashMap;
+
+use ftkr_acl::{AclTable, DeathCause};
+use ftkr_vm::output::format_value;
+use ftkr_vm::{EventKind, Location, Trace, TraceEvent};
+use ftkr_ir::OutputFormat;
+
+use crate::kinds::{PatternInstance, PatternKind};
+
+/// Everything the detectors need for one faulty run.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectionInput<'a> {
+    /// Trace of the faulty run.
+    pub faulty: &'a Trace,
+    /// Trace of the matching fault-free run.
+    pub clean: &'a Trace,
+    /// ACL table of the faulty run.
+    pub acl: &'a AclTable,
+}
+
+impl<'a> DetectionInput<'a> {
+    /// The clean-trace event aligned with faulty event `idx`, if the traces
+    /// still agree on which static instruction executes there.
+    fn aligned_clean(&self, idx: usize) -> Option<&'a TraceEvent> {
+        let f = self.faulty.events.get(idx)?;
+        let c = self.clean.events.get(idx)?;
+        (f.inst == c.inst && f.func == c.func).then_some(c)
+    }
+
+    /// True when event `idx` of the faulty run read corrupted data.
+    fn reads_tainted(&self, idx: usize) -> bool {
+        self.acl.tainted_reads.get(idx).copied().unwrap_or(false)
+    }
+}
+
+/// Run all six detectors and concatenate their findings (sorted by event).
+pub fn detect_all(input: DetectionInput<'_>) -> Vec<PatternInstance> {
+    let mut out = Vec::new();
+    out.extend(detect_dead_corrupted_locations(input));
+    out.extend(detect_repeated_additions(input));
+    out.extend(detect_conditional_statements(input));
+    out.extend(detect_shifting(input));
+    out.extend(detect_truncation(input));
+    out.extend(detect_data_overwriting(input));
+    out.sort_by_key(|p| (p.event, p.kind));
+    out
+}
+
+fn instance(
+    kind: PatternKind,
+    event: usize,
+    ev: &TraceEvent,
+    detail: impl Into<String>,
+) -> PatternInstance {
+    PatternInstance {
+        kind,
+        event,
+        line: ev.line,
+        func: ev.func,
+        detail: detail.into(),
+    }
+}
+
+/// Pattern 1 — Dead Corrupted Locations: a corrupted location is consumed by
+/// an instruction that aggregates it into a *different* location and is never
+/// referenced again afterwards, so the number of alive corrupted locations
+/// drops.
+pub fn detect_dead_corrupted_locations(input: DetectionInput<'_>) -> Vec<PatternInstance> {
+    let mut out = Vec::new();
+    for death in &input.acl.deaths {
+        if death.cause != DeathCause::NeverUsedAgain {
+            continue;
+        }
+        let Some(ev) = input.faulty.events.get(death.event) else {
+            continue;
+        };
+        let consumed_here = ev.reads_location(&death.location);
+        let aggregated_elsewhere = matches!(ev.write, Some((wloc, _)) if wloc != death.location);
+        if consumed_here && aggregated_elsewhere {
+            out.push(instance(
+                PatternKind::DeadCorruptedLocations,
+                death.event,
+                ev,
+                format!("corrupted {} aggregated and dead", death.location),
+            ));
+        }
+    }
+    out
+}
+
+/// Pattern 2 — Repeated Additions: a corrupted memory location receives a
+/// chain of read-modify-write updates (load → add clean data → store back),
+/// and the relative error of the stored value shrinks over the chain.
+pub fn detect_repeated_additions(input: DetectionInput<'_>) -> Vec<PatternInstance> {
+    // Group store events to each memory cell that happen while the cell's
+    // dataflow is corrupted.
+    #[derive(Default)]
+    struct Chain {
+        /// (event index, error magnitude of the stored value vs. clean run)
+        updates: Vec<(usize, f64)>,
+        saw_self_load: bool,
+    }
+    let mut chains: HashMap<u64, Chain> = HashMap::new();
+    let mut last_loads: HashMap<u64, usize> = HashMap::new();
+
+    for (idx, ev) in input.faulty.iter() {
+        match ev.kind {
+            EventKind::Load => {
+                if let Some((Location::Mem { addr }, _)) = ev.reads.first().map(|r| *r) {
+                    last_loads.insert(addr, idx);
+                }
+                // A load records the address actually read in its reads set
+                // (address register first, memory cell second); handle both
+                // orders by scanning.
+                for &(loc, _) in &ev.reads {
+                    if let Location::Mem { addr } = loc {
+                        last_loads.insert(addr, idx);
+                    }
+                }
+            }
+            EventKind::Store => {
+                let Some((Location::Mem { addr }, stored)) = ev.write else {
+                    continue;
+                };
+                if !input.reads_tainted(idx) && !chains.contains_key(&addr) {
+                    continue;
+                }
+                let Some(clean_ev) = input.aligned_clean(idx) else {
+                    continue;
+                };
+                let Some(clean_val) = clean_ev.written_value() else {
+                    continue;
+                };
+                let err = stored.error_magnitude(clean_val);
+                let chain = chains.entry(addr).or_default();
+                // A read-modify-write update loads the same address before
+                // storing to it.
+                let prev_store = chain.updates.last().map(|(e, _)| *e).unwrap_or(0);
+                if last_loads.get(&addr).map_or(false, |&l| l >= prev_store && l < idx) {
+                    chain.saw_self_load = true;
+                }
+                chain.updates.push((idx, err));
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = Vec::new();
+    for (addr, chain) in chains {
+        if !chain.saw_self_load || chain.updates.len() < 2 {
+            continue;
+        }
+        let first_err = chain.updates.first().expect("non-empty").1;
+        let (last_event, last_err) = *chain.updates.last().expect("non-empty");
+        // The error has to actually shrink (and start out nonzero).
+        if first_err > 0.0 && last_err < first_err {
+            let ev = &input.faulty.events[last_event];
+            out.push(instance(
+                PatternKind::RepeatedAdditions,
+                last_event,
+                ev,
+                format!(
+                    "m[{addr}]: error magnitude {first_err:.3e} -> {last_err:.3e} over {} updates",
+                    chain.updates.len()
+                ),
+            ));
+        }
+    }
+    out.sort_by_key(|p| p.event);
+    out
+}
+
+/// Pattern 3 — Conditional Statements: a comparison or conditional branch
+/// reads corrupted data but produces the same outcome as the fault-free run,
+/// preventing control-flow divergence.
+pub fn detect_conditional_statements(input: DetectionInput<'_>) -> Vec<PatternInstance> {
+    let mut out = Vec::new();
+    for (idx, ev) in input.faulty.iter() {
+        if !input.reads_tainted(idx) {
+            continue;
+        }
+        let Some(clean_ev) = input.aligned_clean(idx) else {
+            continue;
+        };
+        let same_outcome = match (&ev.kind, &clean_ev.kind) {
+            (
+                EventKind::Cmp { result: fr, .. },
+                EventKind::Cmp { result: cr, .. },
+            ) => fr == cr,
+            (
+                EventKind::CondBr { taken: ft },
+                EventKind::CondBr { taken: ct },
+            ) => ft == ct,
+            _ => continue,
+        };
+        if same_outcome {
+            out.push(instance(
+                PatternKind::ConditionalStatement,
+                idx,
+                ev,
+                "corrupted operand, unchanged comparison outcome",
+            ));
+        }
+    }
+    out
+}
+
+/// Pattern 4 — Shifting: a shift operation reads corrupted data but produces
+/// exactly the fault-free result because the corrupted bits were shifted out.
+pub fn detect_shifting(input: DetectionInput<'_>) -> Vec<PatternInstance> {
+    let mut out = Vec::new();
+    for (idx, ev) in input.faulty.iter() {
+        let EventKind::Bin(kind) = ev.kind else {
+            continue;
+        };
+        if !kind.is_shift() || !input.reads_tainted(idx) {
+            continue;
+        }
+        let Some(clean_ev) = input.aligned_clean(idx) else {
+            continue;
+        };
+        let (Some(fv), Some(cv)) = (ev.written_value(), clean_ev.written_value()) else {
+            continue;
+        };
+        if fv.bit_eq(cv) {
+            out.push(instance(
+                PatternKind::Shifting,
+                idx,
+                ev,
+                "corrupted bits eliminated by shift",
+            ));
+        }
+    }
+    out
+}
+
+/// Pattern 5 — Truncation: a precision-losing conversion, or a formatted
+/// output, drops the corrupted bits: the produced value (or the rendered
+/// text) matches the fault-free run.
+pub fn detect_truncation(input: DetectionInput<'_>) -> Vec<PatternInstance> {
+    let mut out = Vec::new();
+    for (idx, ev) in input.faulty.iter() {
+        if !input.reads_tainted(idx) {
+            continue;
+        }
+        let Some(clean_ev) = input.aligned_clean(idx) else {
+            continue;
+        };
+        match (&ev.kind, &clean_ev.kind) {
+            (EventKind::Cast(kind), EventKind::Cast(_)) if kind.is_truncating() => {
+                let (Some(fv), Some(cv)) = (ev.written_value(), clean_ev.written_value()) else {
+                    continue;
+                };
+                if fv.bit_eq(cv) {
+                    out.push(instance(
+                        PatternKind::Truncation,
+                        idx,
+                        ev,
+                        "corrupted bits removed by truncating conversion",
+                    ));
+                }
+            }
+            (EventKind::Output { format }, EventKind::Output { .. })
+                if *format != OutputFormat::Full =>
+            {
+                let (Some(&(_, fv)), Some(&(_, cv))) =
+                    (ev.reads.first(), clean_ev.reads.first())
+                else {
+                    continue;
+                };
+                if !fv.bit_eq(cv) && format_value(fv, *format) == format_value(cv, *format) {
+                    out.push(instance(
+                        PatternKind::Truncation,
+                        idx,
+                        ev,
+                        "corrupted bits not visible in formatted output",
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Pattern 6 — Data Overwriting: a corrupted location is overwritten with a
+/// value not derived from corrupted data (read straight off the ACL table's
+/// death log).
+pub fn detect_data_overwriting(input: DetectionInput<'_>) -> Vec<PatternInstance> {
+    let mut out = Vec::new();
+    for death in &input.acl.deaths {
+        if death.cause != DeathCause::Overwritten {
+            continue;
+        }
+        let Some(ev) = input.faulty.events.get(death.event) else {
+            continue;
+        };
+        out.push(instance(
+            PatternKind::DataOverwriting,
+            death.event,
+            ev,
+            format!("corrupted {} overwritten with clean value", death.location),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftkr_ir::prelude::*;
+    use ftkr_ir::Global;
+    use ftkr_vm::{FaultSpec, Vm, VmConfig};
+
+    fn run_clean(module: &Module) -> Trace {
+        Vm::new(VmConfig::tracing())
+            .run(module)
+            .unwrap()
+            .trace
+            .unwrap()
+    }
+
+    fn run_faulty(module: &Module, fault: FaultSpec) -> Trace {
+        Vm::new(VmConfig::tracing_with_fault(fault))
+            .run(module)
+            .unwrap()
+            .trace
+            .unwrap()
+    }
+
+    fn detect(module: &Module, fault: FaultSpec) -> Vec<PatternInstance> {
+        let clean = run_clean(module);
+        let faulty = run_faulty(module, fault);
+        let acl = AclTable::from_fault(&faulty, &fault);
+        detect_all(DetectionInput {
+            faulty: &faulty,
+            clean: &clean,
+            acl: &acl,
+        })
+    }
+
+    /// Program exercising the shifting pattern: bucket = key >> 4.
+    fn shift_module() -> Module {
+        let mut m = Module::new("shift");
+        let keys = m.add_global(Global::with_i64("keys", vec![0x1234, 0x5678]));
+        let buckets = m.add_global(Global::zeroed_i64("buckets", 2));
+        let mut b = FunctionBuilder::new("main");
+        b.set_line(10);
+        let kaddr = b.global_addr(keys);
+        let baddr = b.global_addr(buckets);
+        let zero = b.const_i64(0);
+        let two = b.const_i64(2);
+        b.main_for("main_loop", zero, two, |b, i| {
+            let key = b.load_idx(kaddr, i);
+            let four = b.const_i64(4);
+            let bucket = b.lshr(key, four);
+            b.store_idx(baddr, i, bucket);
+            b.output(bucket, OutputFormat::Integer);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn shifting_pattern_detected_when_low_bits_flip() {
+        let module = shift_module();
+        let clean = run_clean(&module);
+        // Find the first load of a key (cells 0..2 hold the `keys` global)
+        // and flip bit 1, inside the shifted-out low nibble.
+        let (step, _) = clean
+            .iter()
+            .find(|(_, e)| {
+                matches!(e.kind, EventKind::Load)
+                    && e.reads
+                        .iter()
+                        .any(|(l, _)| matches!(l, Location::Mem { addr } if *addr < 2))
+            })
+            .unwrap();
+        let fault = FaultSpec::in_result(step as u64, 1);
+        let found = detect(&module, fault);
+        assert!(
+            found.iter().any(|p| p.kind == PatternKind::Shifting),
+            "expected a Shifting instance, got {found:?}"
+        );
+        // With the corrupted bits eliminated, downstream comparisons agree.
+        let faulty = run_faulty(&module, fault);
+        assert_eq!(clean.len(), faulty.len());
+    }
+
+    #[test]
+    fn shifting_pattern_not_reported_when_high_bits_flip() {
+        let module = shift_module();
+        let clean = run_clean(&module);
+        let (step, _) = clean
+            .iter()
+            .find(|(_, e)| {
+                matches!(e.kind, EventKind::Load)
+                    && e.reads
+                        .iter()
+                        .any(|(l, _)| matches!(l, Location::Mem { addr } if *addr < 2))
+            })
+            .unwrap();
+        // Bit 20 survives a 4-bit shift: the error propagates.
+        let fault = FaultSpec::in_result(step as u64, 20);
+        let found = detect(&module, fault);
+        assert!(!found.iter().any(|p| p.kind == PatternKind::Shifting));
+    }
+
+    /// Program exercising data overwriting: the corrupted cell is
+    /// unconditionally re-initialized before being used.
+    fn overwrite_module() -> Module {
+        let mut m = Module::new("overwrite");
+        let g = m.add_global(Global::zeroed_f64("v", 4));
+        let mut b = FunctionBuilder::new("main");
+        b.set_line(20);
+        let gaddr = b.global_addr(g);
+        let zero = b.const_i64(0);
+        let four = b.const_i64(4);
+        b.main_for("init", zero, four, |b, i| {
+            let f = b.sitofp(i);
+            b.store_idx(gaddr, i, f);
+        });
+        let z2 = b.const_i64(0);
+        let four2 = b.const_i64(4);
+        b.region_for("sum", z2, four2, |b, i| {
+            let v = b.load_idx(gaddr, i);
+            b.output(v, OutputFormat::Full);
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn data_overwriting_detected_for_preinit_fault() {
+        let module = overwrite_module();
+        // Corrupt cell 2 of the global before anything runs; the init loop
+        // overwrites it with clean data.
+        let fault = FaultSpec::in_memory(0, 2, 30);
+        let found = detect(&module, fault);
+        assert!(found
+            .iter()
+            .any(|p| p.kind == PatternKind::DataOverwriting));
+        // And the fault leaves no trace in the output.
+        let clean = run_clean(&module);
+        let faulty = run_faulty(&module, fault);
+        assert!(clean
+            .events
+            .last()
+            .unwrap()
+            .written_value()
+            .map(|v| faulty.events.last().unwrap().written_value().unwrap().bit_eq(v))
+            .unwrap_or(true));
+    }
+
+    /// Program exercising the conditional-statement pattern: find the minimum
+    /// of an array; small perturbations of non-minimal elements do not change
+    /// the chosen index.
+    fn min_module() -> Module {
+        let mut m = Module::new("min");
+        let data = m.add_global(Global::with_f64("data", vec![5.0, 1.0, 9.0, 7.0]));
+        let out = m.add_global(Global::zeroed_i64("argmin", 1));
+        let mut b = FunctionBuilder::new("main");
+        b.set_line(30);
+        let daddr = b.global_addr(data);
+        let oaddr = b.global_addr(out);
+        let best = b.alloca("best", 1);
+        let besti = b.alloca("besti", 1);
+        let big = b.const_f64(1e30);
+        b.store(best, big);
+        let zero = b.const_i64(0);
+        b.store(besti, zero);
+        let four = b.const_i64(4);
+        b.main_for("scan", zero, four, |b, i| {
+            let v = b.load_idx(daddr, i);
+            let cur = b.load(best);
+            let lt = b.fcmp(CmpKind::Lt, v, cur);
+            b.if_then(lt, |b| {
+                b.store(best, v);
+                b.store(besti, i);
+            });
+        });
+        let besti_v = b.load(besti);
+        b.store(oaddr, besti_v);
+        b.output(besti_v, OutputFormat::Integer);
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn conditional_statement_detected_when_branch_outcome_is_preserved() {
+        let module = min_module();
+        let clean = run_clean(&module);
+        // Corrupt the load of data[0] (=5.0) with a low-order mantissa flip:
+        // it stays larger than 1.0, so every comparison keeps its outcome.
+        let (step, _) = clean
+            .iter()
+            .find(|(_, e)| matches!(e.kind, EventKind::Load) && e.reads.iter().any(|(l, _)| *l == Location::mem(0)))
+            .unwrap();
+        let fault = FaultSpec::in_result(step as u64, 2);
+        let found = detect(&module, fault);
+        assert!(found
+            .iter()
+            .any(|p| p.kind == PatternKind::ConditionalStatement));
+        // The final argmin is unchanged.
+        let faulty_run = Vm::new(VmConfig::with_fault(fault)).run(&module).unwrap();
+        assert_eq!(faulty_run.global_i64("argmin").unwrap(), vec![1]);
+    }
+
+    /// Program exercising truncation: a double is printed with few digits.
+    fn truncation_module() -> Module {
+        let mut m = Module::new("trunc");
+        let g = m.add_global(Global::with_f64("x", vec![1.25]));
+        let mut b = FunctionBuilder::new("main");
+        b.set_line(40);
+        let gaddr = b.global_addr(g);
+        let v = b.load(gaddr);
+        let t = b.fptosi(v);
+        b.output(t, OutputFormat::Integer);
+        b.output(v, OutputFormat::Scientific(3));
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn truncation_detected_for_low_mantissa_flips() {
+        let module = truncation_module();
+        let clean = run_clean(&module);
+        let (step, _) = clean
+            .iter()
+            .find(|(_, e)| matches!(e.kind, EventKind::Load))
+            .unwrap();
+        // Bit 5 of the mantissa is far below both the integer cut and the
+        // 3-digit scientific format.
+        let fault = FaultSpec::in_result(step as u64, 5);
+        let found = detect(&module, fault);
+        let truncs: Vec<_> = found
+            .iter()
+            .filter(|p| p.kind == PatternKind::Truncation)
+            .collect();
+        assert!(
+            !truncs.is_empty(),
+            "expected truncation instances, got {found:?}"
+        );
+    }
+
+    /// Program exercising repeated additions: an accumulator repeatedly
+    /// grows by clean increments after being corrupted, so the relative error
+    /// of the stored value shrinks.
+    fn repeated_addition_module() -> Module {
+        let mut m = Module::new("ra");
+        let g = m.add_global(Global::zeroed_f64("acc", 1));
+        let mut b = FunctionBuilder::new("main");
+        b.set_line(50);
+        let gaddr = b.global_addr(g);
+        let zero = b.const_i64(0);
+        let n = b.const_i64(50);
+        b.main_for("accumulate", zero, n, |b, _i| {
+            let cur = b.load(gaddr);
+            let inc = b.const_f64(1.0);
+            let next = b.fadd(cur, inc);
+            b.store(gaddr, next);
+        });
+        let total = b.load(gaddr);
+        b.output(total, OutputFormat::Scientific(6));
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn repeated_additions_detected_when_error_amortizes() {
+        let module = repeated_addition_module();
+        let clean = run_clean(&module);
+        // Corrupt an early loaded accumulator value (cell 0 holds `acc`) with
+        // a low-order flip; induction-variable loads are skipped so control
+        // flow is unaffected.
+        let (step, _) = clean
+            .iter()
+            .filter(|(_, e)| {
+                matches!(e.kind, EventKind::Load)
+                    && e.reads
+                        .iter()
+                        .any(|(l, _)| matches!(l, Location::Mem { addr } if *addr == 0))
+            })
+            .nth(3)
+            .unwrap();
+        let fault = FaultSpec::in_result(step as u64, 10);
+        let found = detect(&module, fault);
+        assert!(
+            found
+                .iter()
+                .any(|p| p.kind == PatternKind::RepeatedAdditions),
+            "expected RepeatedAdditions, got kinds {:?}",
+            found.iter().map(|p| p.kind).collect::<Vec<_>>()
+        );
+    }
+
+    /// Program exercising DCL: corrupted temporaries are reduced into one
+    /// output and never touched again.
+    fn dcl_module() -> Module {
+        let mut m = Module::new("dcl");
+        let src = m.add_global(Global::with_f64("src", vec![1.0, 2.0, 3.0, 4.0]));
+        let dst = m.add_global(Global::zeroed_f64("dst", 1));
+        let mut b = FunctionBuilder::new("main");
+        b.set_line(60);
+        let saddr = b.global_addr(src);
+        let daddr = b.global_addr(dst);
+        let tmp = b.alloca("tmp", 4);
+        let zero = b.const_i64(0);
+        let four = b.const_i64(4);
+        // Fill temporaries from source (faults land here).
+        b.main_for("fill_tmp", zero, four, |b, i| {
+            let v = b.load_idx(saddr, i);
+            let scaled = b.fmul(v, b.const_f64(2.0));
+            b.store_idx(tmp, i, scaled);
+        });
+        // Aggregate the temporaries into a single output; the temporaries are
+        // dead afterwards.
+        let z2 = b.const_i64(0);
+        let four2 = b.const_i64(4);
+        b.region_for("reduce", z2, four2, |b, i| {
+            let t = b.load_idx(tmp, i);
+            let cur = b.load(daddr);
+            let next = b.fadd(cur, t);
+            b.store(daddr, next);
+        });
+        let out = b.load(daddr);
+        b.output(out, OutputFormat::Scientific(2));
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn dead_corrupted_locations_detected_when_temporaries_die() {
+        let module = dcl_module();
+        let clean = run_clean(&module);
+        // Corrupt one of the temporaries as it is produced (the fmul result).
+        let (step, _) = clean
+            .iter()
+            .find(|(_, e)| matches!(e.kind, EventKind::Bin(BinKind::FMul)))
+            .unwrap();
+        let fault = FaultSpec::in_result(step as u64, 3);
+        let clean_trace = run_clean(&module);
+        let faulty = run_faulty(&module, fault);
+        let acl = AclTable::from_fault(&faulty, &fault);
+        let found = detect_all(DetectionInput {
+            faulty: &faulty,
+            clean: &clean_trace,
+            acl: &acl,
+        });
+        assert!(
+            found
+                .iter()
+                .any(|p| p.kind == PatternKind::DeadCorruptedLocations),
+            "expected DCL, got kinds {:?}",
+            found.iter().map(|p| p.kind).collect::<Vec<_>>()
+        );
+        // The ACL count must come back down once the temporaries die.
+        assert!(acl.max_count() >= 1);
+        assert!(!acl.decrease_events().is_empty());
+    }
+
+    #[test]
+    fn clean_run_produces_no_pattern_instances() {
+        let module = shift_module();
+        let clean = run_clean(&module);
+        let acl = AclTable::build(&clean, &[]);
+        let found = detect_all(DetectionInput {
+            faulty: &clean,
+            clean: &clean,
+            acl: &acl,
+        });
+        assert!(found.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! `ftkr-patterns` — detectors for the six resilience computation patterns.
+//!
+//! Section VI of the FlipTracker paper defines six patterns that make HPC
+//! code naturally resilient to bit flips:
+//!
+//! 1. **Dead Corrupted Locations (DCL)** — corrupted temporaries are
+//!    aggregated into fewer outputs and then never used again;
+//! 2. **Repeated Additions (RA)** — a corrupted value is repeatedly updated
+//!    with clean addends, amortizing the error until it is acceptable;
+//! 3. **Conditional Statements (CS)** — a comparison reads corrupted data but
+//!    still takes the same branch as the fault-free run;
+//! 4. **Shifting** — shift operations discard the corrupted bits;
+//! 5. **Truncation** — precision-losing conversions or formatted output drop
+//!    the corrupted bits before the user sees them;
+//! 6. **Data Overwriting (DO)** — the corrupted location is overwritten with
+//!    a clean value.
+//!
+//! [`detect::detect_all`] finds dynamic *instances* of each pattern given a
+//! matched pair of faulty / fault-free traces and the ACL table of the faulty
+//! run.  [`rates::static_rates`] computes the per-application *pattern rates*
+//! that feed the resilience-prediction model of the paper's second use case
+//! (Table IV), and [`summary`] maps detected instances back onto code regions
+//! for Table I.
+
+pub mod detect;
+pub mod kinds;
+pub mod rates;
+pub mod summary;
+
+pub use detect::{detect_all, DetectionInput};
+pub use kinds::{PatternInstance, PatternKind};
+pub use rates::{dynamic_rates, static_rates, PatternRates};
+pub use summary::{assign_to_regions, RegionPatternSummary};

@@ -1,0 +1,25 @@
+//! `ftkr-trace` — the code-region model and dynamic-trace partitioning.
+//!
+//! Section III-A of the FlipTracker paper models an HPC application as a
+//! chain of *code regions* delineated by loop structures: a code region is a
+//! first-level inner loop (or a block between two neighbouring loops), and
+//! each runtime invocation of a region is a *region instance*.  This crate
+//! turns the flat dynamic trace recorded by `ftkr-vm` into that model:
+//!
+//! * [`partition::partition_regions`] — split a trace into region instances
+//!   at a chosen loop level (the paper uses first-level inner loops);
+//! * [`partition::partition_iterations`] — treat every iteration of a single
+//!   loop (typically the main loop) as one instance, as the paper does for
+//!   its per-iteration experiments (Figure 6);
+//! * [`region::RegionInstance`] — one dynamic instance, with its event range,
+//!   the main-loop iteration it belongs to, and instruction counts;
+//! * [`split`] — utilities to slice a trace by instance, mirroring the
+//!   "trace splitting" step of Section IV-A.
+
+pub mod partition;
+pub mod region;
+pub mod split;
+
+pub use partition::{partition_iterations, partition_regions, RegionSelector};
+pub use region::{RegionInstance, RegionKey};
+pub use split::{instance_slice, region_instruction_counts};

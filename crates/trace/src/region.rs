@@ -1,0 +1,85 @@
+//! Region instances: one dynamic execution of a code region.
+
+use serde::{Deserialize, Serialize};
+
+use ftkr_ir::{FunctionId, LoopId};
+
+/// Static identity of a code region: which loop of which function.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegionKey {
+    /// Function containing the loop.
+    pub func: FunctionId,
+    /// Loop id within that function.
+    pub loop_id: LoopId,
+    /// Region name (from the builder's loop metadata, e.g. `cg_b`).
+    pub name: String,
+}
+
+/// One dynamic instance of a code region: a contiguous range of trace events.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionInstance {
+    /// Which static region this is an instance of.
+    pub key: RegionKey,
+    /// Index of the first event of the instance (the `LoopBegin` marker for
+    /// loop regions, the `LoopIter` marker for iteration regions).
+    pub start: usize,
+    /// One past the last event of the instance.
+    pub end: usize,
+    /// 0-based instance number of this region (how many instances of the
+    /// same region started before this one).
+    pub instance: usize,
+    /// 0-based iteration of the application's main loop this instance runs
+    /// in; `None` when the instance starts outside any main loop (e.g.
+    /// initialization code).
+    pub main_iteration: Option<usize>,
+    /// Source line range of the region (from loop metadata).
+    pub lines: (u32, u32),
+}
+
+impl RegionInstance {
+    /// Number of dynamic events covered (including marker events).
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the instance covers no events (cannot normally happen).
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+
+    /// True if the given event index falls inside this instance.
+    pub fn contains(&self, event_index: usize) -> bool {
+        event_index >= self.start && event_index < self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> RegionKey {
+        RegionKey {
+            func: FunctionId(0),
+            loop_id: LoopId(1),
+            name: "cg_b".to_string(),
+        }
+    }
+
+    #[test]
+    fn instance_geometry() {
+        let inst = RegionInstance {
+            key: key(),
+            start: 10,
+            end: 25,
+            instance: 2,
+            main_iteration: Some(0),
+            lines: (440, 453),
+        };
+        assert_eq!(inst.len(), 15);
+        assert!(!inst.is_empty());
+        assert!(inst.contains(10));
+        assert!(inst.contains(24));
+        assert!(!inst.contains(25));
+        assert!(!inst.contains(9));
+    }
+}

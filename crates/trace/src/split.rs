@@ -1,0 +1,102 @@
+//! Trace splitting: slicing a trace by region instance and computing
+//! per-region instruction counts (Table I's "#instr in an iteration").
+
+use std::collections::BTreeMap;
+
+use ftkr_vm::{Trace, TraceEvent};
+
+use crate::region::RegionInstance;
+
+/// The events covered by one region instance (a borrowed slice — splitting
+/// never copies the trace, mirroring the paper's observation that splitting
+/// is what keeps per-region analysis tractable).
+pub fn instance_slice<'t>(trace: &'t Trace, instance: &RegionInstance) -> &'t [TraceEvent] {
+    &trace.events[instance.start..instance.end]
+}
+
+/// Dynamic instruction count (markers excluded) of every region, summed over
+/// the instances that belong to the given main-loop iteration.  This is the
+/// figure Table I reports per code region.
+pub fn region_instruction_counts(
+    trace: &Trace,
+    instances: &[RegionInstance],
+    main_iteration: usize,
+) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for inst in instances {
+        if inst.main_iteration != Some(main_iteration) {
+            continue;
+        }
+        let n = instance_slice(trace, inst)
+            .iter()
+            .filter(|e| !e.kind.is_marker())
+            .count();
+        *counts.entry(inst.key.name.clone()).or_insert(0) += n;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{partition_regions, RegionSelector};
+    use ftkr_ir::prelude::*;
+    use ftkr_ir::Global;
+    use ftkr_vm::{Vm, VmConfig};
+
+    fn module() -> Module {
+        let mut m = Module::new("m");
+        let g = m.add_global(Global::zeroed_f64("x", 4));
+        let mut b = FunctionBuilder::new("main");
+        let zero = b.const_i64(0);
+        let two = b.const_i64(2);
+        let gaddr = b.global_addr(g);
+        b.main_for("main_loop", zero, two, |b, _| {
+            let z = b.const_i64(0);
+            let four = b.const_i64(4);
+            b.region_for("fill", z, four, |b, i| {
+                let f = b.sitofp(i);
+                b.store_idx(gaddr, i, f);
+            });
+        });
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn slices_and_counts_are_consistent() {
+        let module = module();
+        let trace = Vm::new(VmConfig::tracing())
+            .run(&module)
+            .unwrap()
+            .trace
+            .unwrap();
+        let regions = partition_regions(&trace, &module, &RegionSelector::FirstLevelInner);
+        assert_eq!(regions.len(), 2); // one `fill` instance per main iteration
+
+        let slice = instance_slice(&trace, &regions[0]);
+        assert_eq!(slice.len(), regions[0].len());
+
+        let counts0 = region_instruction_counts(&trace, &regions, 0);
+        let counts1 = region_instruction_counts(&trace, &regions, 1);
+        assert_eq!(counts0.len(), 1);
+        assert!(counts0["fill"] > 0);
+        // The loop body does the same work in both main iterations.
+        assert_eq!(counts0["fill"], counts1["fill"]);
+        // Marker events are excluded from counts.
+        assert!(counts0["fill"] < regions[0].len());
+    }
+
+    #[test]
+    fn counts_for_missing_iteration_are_empty() {
+        let module = module();
+        let trace = Vm::new(VmConfig::tracing())
+            .run(&module)
+            .unwrap()
+            .trace
+            .unwrap();
+        let regions = partition_regions(&trace, &module, &RegionSelector::FirstLevelInner);
+        assert!(region_instruction_counts(&trace, &regions, 99).is_empty());
+    }
+}

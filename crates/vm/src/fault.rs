@@ -1,0 +1,71 @@
+//! Fault specifications: where and when to flip a bit.
+//!
+//! This mirrors FlipIt's model: a single bit of a dynamically chosen value is
+//! flipped once during the run.  Two target kinds cover the paper's injection
+//! sites: the *result register* of a dynamic instruction (faults in
+//! computation / internal locations) and a *memory cell* at a given dynamic
+//! time (faults in input locations of a code-region instance — the injector
+//! corrupts the cell right when the region instance begins).
+
+use serde::{Deserialize, Serialize};
+
+/// What to corrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// Flip a bit of the value produced by the dynamic instruction executed
+    /// at `at_step` (0-based dynamic instruction index, counted over
+    /// non-marker instructions and markers alike).
+    InstructionResult,
+    /// Flip a bit of the memory cell `addr` just before executing the
+    /// dynamic instruction at `at_step`.
+    MemoryCell {
+        /// Cell address to corrupt.
+        addr: u64,
+    },
+}
+
+/// A single-bit-flip fault to inject during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Dynamic instruction index at which the fault strikes.
+    pub at_step: u64,
+    /// Bit to flip (0 = least significant of the 64-bit payload).
+    pub bit: u8,
+    /// What to corrupt.
+    pub target: FaultTarget,
+}
+
+impl FaultSpec {
+    /// Fault in the result of the instruction at `at_step`.
+    pub fn in_result(at_step: u64, bit: u8) -> Self {
+        FaultSpec {
+            at_step,
+            bit,
+            target: FaultTarget::InstructionResult,
+        }
+    }
+
+    /// Fault in memory cell `addr` at dynamic time `at_step`.
+    pub fn in_memory(at_step: u64, addr: u64, bit: u8) -> Self {
+        FaultSpec {
+            at_step,
+            bit,
+            target: FaultTarget::MemoryCell { addr },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = FaultSpec::in_result(100, 40);
+        assert_eq!(r.at_step, 100);
+        assert_eq!(r.bit, 40);
+        assert_eq!(r.target, FaultTarget::InstructionResult);
+        let m = FaultSpec::in_memory(5, 1234, 63);
+        assert!(matches!(m.target, FaultTarget::MemoryCell { addr: 1234 }));
+    }
+}

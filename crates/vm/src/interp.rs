@@ -1,0 +1,1002 @@
+//! The interpreter: executes a verified module, optionally recording a trace
+//! and optionally flipping one bit somewhere along the way.
+
+use ftkr_ir::verify::verify_executable;
+use ftkr_ir::{
+    BinKind, BlockId, CastKind, CmpKind, FunctionId, Module, Op, Operand, ValueId, VerifyError,
+};
+use ftkr_ir::inst::Intrinsic;
+
+use crate::fault::{FaultSpec, FaultTarget};
+use crate::location::Location;
+use crate::memory::{MemError, Memory};
+use crate::output::ProgramOutput;
+use crate::trace::{EventKind, Trace, TraceEvent};
+use crate::value::Value;
+
+/// Reasons a run can abort; all of them map to the paper's *Crashed*
+/// manifestation (crash or hang).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TrapKind {
+    /// Load or store outside valid memory (the segmentation faults that
+    /// dominate KMEANS input-location injections in the paper).
+    OutOfBounds,
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// The dynamic step limit was exceeded (proxy for a hang).
+    StepLimit,
+    /// The call-depth limit was exceeded.
+    CallDepth,
+    /// An `alloca` exceeded the memory limit.
+    OutOfMemory,
+    /// An operand had the wrong runtime kind (e.g. a float used as address).
+    TypeMismatch,
+    /// A register was read before being defined.
+    UninitializedRegister,
+}
+
+impl std::fmt::Display for TrapKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TrapKind::OutOfBounds => "out-of-bounds memory access",
+            TrapKind::DivisionByZero => "integer division by zero",
+            TrapKind::StepLimit => "dynamic step limit exceeded (hang)",
+            TrapKind::CallDepth => "call depth limit exceeded",
+            TrapKind::OutOfMemory => "allocation limit exceeded",
+            TrapKind::TypeMismatch => "operand kind mismatch",
+            TrapKind::UninitializedRegister => "read of an undefined register",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RunOutcome {
+    /// The program ran to completion (its verification phase decides whether
+    /// the result is acceptable).
+    Completed,
+    /// The program crashed or hung.
+    Trapped(TrapKind),
+}
+
+impl RunOutcome {
+    /// True when the program completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed)
+    }
+}
+
+/// Interpreter configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VmConfig {
+    /// Record a full dynamic trace (needed for analysis runs, not for
+    /// campaign runs).
+    pub record_trace: bool,
+    /// Optional single-bit fault to inject.
+    pub fault: Option<FaultSpec>,
+    /// Maximum dynamic instructions before the run is declared hung.
+    pub max_steps: u64,
+    /// Maximum memory cells (globals + stack).
+    pub max_memory_cells: u64,
+    /// Maximum call depth.
+    pub max_call_depth: u32,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            record_trace: false,
+            fault: None,
+            max_steps: 200_000_000,
+            max_memory_cells: 1 << 24,
+            max_call_depth: 512,
+        }
+    }
+}
+
+impl VmConfig {
+    /// Configuration for an analysis run: tracing on, no fault.
+    pub fn tracing() -> Self {
+        VmConfig {
+            record_trace: true,
+            ..Default::default()
+        }
+    }
+
+    /// Configuration for a faulty run without tracing (campaign run).
+    pub fn with_fault(fault: FaultSpec) -> Self {
+        VmConfig {
+            fault: Some(fault),
+            ..Default::default()
+        }
+    }
+
+    /// Configuration for a faulty run *with* tracing (fine-grained analysis
+    /// of one injection, e.g. the paper's Figure 7).
+    pub fn tracing_with_fault(fault: FaultSpec) -> Self {
+        VmConfig {
+            record_trace: true,
+            fault: Some(fault),
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Number of dynamic instructions executed.
+    pub steps: u64,
+    /// The program's output stream.
+    pub outputs: ProgramOutput,
+    /// Final memory image (used by application verification phases).
+    pub memory: Memory,
+    /// The dynamic trace, when tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+impl RunResult {
+    /// Convenience: final contents of a global as floats.
+    pub fn global_f64(&self, name: &str) -> Option<Vec<f64>> {
+        self.memory.read_global_f64(name)
+    }
+
+    /// Convenience: final contents of a global as integers.
+    pub fn global_i64(&self, name: &str) -> Option<Vec<i64>> {
+        self.memory.read_global_i64(name)
+    }
+}
+
+/// The interpreter.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    config: VmConfig,
+}
+
+struct Frame {
+    func: FunctionId,
+    frame_id: u32,
+    block: BlockId,
+    ip: usize,
+    regs: Vec<Option<Value>>,
+    args: Vec<Value>,
+    arg_locs: Vec<Option<Location>>,
+    stack_mark: u64,
+    /// Register of the *caller* that receives this frame's return value.
+    ret_dest: Option<(usize, ValueId)>,
+}
+
+impl Vm {
+    /// Create an interpreter with the given configuration.
+    pub fn new(config: VmConfig) -> Self {
+        Vm { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &VmConfig {
+        &self.config
+    }
+
+    /// Execute the module's `main` function.
+    pub fn run(&self, module: &Module) -> Result<RunResult, VerifyError> {
+        verify_executable(module)?;
+        let (entry, _) = module
+            .function_by_name("main")
+            .expect("verify_executable guarantees main");
+        Ok(self.execute(module, entry, Vec::new()))
+    }
+
+    /// Execute an arbitrary entry function with arguments (used by tests and
+    /// by the MPI driver, which runs one entry per rank).
+    pub fn run_function(
+        &self,
+        module: &Module,
+        entry: &str,
+        args: Vec<Value>,
+    ) -> Result<RunResult, VerifyError> {
+        ftkr_ir::verify::verify_module(module)?;
+        let (fid, f) = module
+            .function_by_name(entry)
+            .ok_or(VerifyError::NoMain)?;
+        assert_eq!(
+            f.num_args as usize,
+            args.len(),
+            "entry function argument count mismatch"
+        );
+        Ok(self.execute(module, fid, args))
+    }
+
+    fn execute(&self, module: &Module, entry: FunctionId, args: Vec<Value>) -> RunResult {
+        Interp::new(module, &self.config).run(entry, args)
+    }
+}
+
+struct Interp<'m> {
+    module: &'m Module,
+    config: VmConfig,
+    memory: Memory,
+    outputs: ProgramOutput,
+    trace: Trace,
+    frames: Vec<Frame>,
+    steps: u64,
+    next_frame_id: u32,
+}
+
+enum StepFlow {
+    Continue,
+    Finished,
+    Trap(TrapKind),
+}
+
+impl<'m> Interp<'m> {
+    fn new(module: &'m Module, config: &VmConfig) -> Self {
+        Interp {
+            module,
+            config: *config,
+            memory: Memory::for_module(module, config.max_memory_cells),
+            outputs: ProgramOutput::default(),
+            trace: Trace::new(),
+            frames: Vec::new(),
+            steps: 0,
+            next_frame_id: 0,
+        }
+    }
+
+    fn run(mut self, entry: FunctionId, args: Vec<Value>) -> RunResult {
+        let frame = self.make_frame(entry, args, Vec::new(), None);
+        self.frames.push(frame);
+
+        let outcome = loop {
+            if self.steps >= self.config.max_steps {
+                break RunOutcome::Trapped(TrapKind::StepLimit);
+            }
+            match self.step() {
+                StepFlow::Continue => {}
+                StepFlow::Finished => break RunOutcome::Completed,
+                StepFlow::Trap(t) => break RunOutcome::Trapped(t),
+            }
+        };
+
+        RunResult {
+            outcome,
+            steps: self.steps,
+            outputs: self.outputs,
+            memory: self.memory,
+            trace: if self.config.record_trace {
+                Some(self.trace)
+            } else {
+                None
+            },
+        }
+    }
+
+    fn make_frame(
+        &mut self,
+        func: FunctionId,
+        args: Vec<Value>,
+        arg_locs: Vec<Option<Location>>,
+        ret_dest: Option<(usize, ValueId)>,
+    ) -> Frame {
+        let f = self.module.function(func);
+        let frame_id = self.next_frame_id;
+        self.next_frame_id += 1;
+        Frame {
+            func,
+            frame_id,
+            block: f.entry(),
+            ip: 0,
+            regs: vec![None; f.num_insts()],
+            args,
+            arg_locs,
+            stack_mark: self.memory.stack_mark(),
+            ret_dest,
+        }
+    }
+
+    /// Resolve an operand to a value plus (for tracing) the location read.
+    fn resolve(
+        &self,
+        frame: &Frame,
+        operand: Operand,
+    ) -> Result<(Value, Option<Location>), TrapKind> {
+        match operand {
+            Operand::Value(v) => {
+                let val = frame.regs[v.index()].ok_or(TrapKind::UninitializedRegister)?;
+                Ok((
+                    val,
+                    Some(Location::reg(frame.func, frame.frame_id, v)),
+                ))
+            }
+            Operand::Arg(i) => {
+                let val = *frame
+                    .args
+                    .get(i as usize)
+                    .ok_or(TrapKind::UninitializedRegister)?;
+                Ok((val, frame.arg_locs.get(i as usize).copied().flatten()))
+            }
+            Operand::ConstI(c) => Ok((Value::I(c), None)),
+            Operand::ConstF(c) => Ok((Value::F(c), None)),
+            Operand::Global(g) => {
+                let name = &self.module.global(g).name;
+                let (base, _) = self
+                    .memory
+                    .global_extent(name)
+                    .expect("verified global must be laid out");
+                Ok((Value::P(base), None))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self) -> StepFlow {
+        // A memory-cell fault strikes *before* the instruction at `at_step`.
+        if let Some(fault) = self.config.fault {
+            if fault.at_step == self.steps {
+                if let FaultTarget::MemoryCell { addr } = fault.target {
+                    if let Some(v) = self.memory.peek(addr) {
+                        self.memory.poke(addr, v.flip_bit(fault.bit));
+                    }
+                }
+            }
+        }
+
+        let frame_idx = self.frames.len() - 1;
+        let (func_id, frame_id, inst_id) = {
+            let frame = &self.frames[frame_idx];
+            let f = self.module.function(frame.func);
+            let block = f.block(frame.block);
+            let inst_id = block.insts[frame.ip];
+            (frame.func, frame.frame_id, inst_id)
+        };
+        let func = self.module.function(func_id);
+        let inst = func.inst(inst_id);
+        let line = inst.line;
+
+        let record = self.config.record_trace;
+        let mut reads: Vec<(Location, Value)> = Vec::new();
+        let mut write: Option<(Location, Value)> = None;
+
+        // Most instructions simply advance ip; control flow overrides this.
+        self.frames[frame_idx].ip += 1;
+
+        macro_rules! resolve {
+            ($operand:expr) => {{
+                match self.resolve(&self.frames[frame_idx], $operand) {
+                    Ok((v, loc)) => {
+                        if record {
+                            if let Some(l) = loc {
+                                reads.push((l, v));
+                            }
+                        }
+                        v
+                    }
+                    Err(t) => return StepFlow::Trap(t),
+                }
+            }};
+        }
+
+        // Result register location of the current instruction.
+        macro_rules! result_loc {
+            () => {
+                Location::reg(func_id, frame_id, inst_id)
+            };
+        }
+
+        let faulty_result = match self.config.fault {
+            Some(FaultSpec {
+                at_step,
+                bit,
+                target: FaultTarget::InstructionResult,
+            }) if at_step == self.steps => Some(bit),
+            _ => None,
+        };
+        let apply_fault = |v: Value| -> Value {
+            match faulty_result {
+                Some(bit) => v.flip_bit(bit),
+                None => v,
+            }
+        };
+
+        let mut kind = EventKind::Nop;
+        let mut flow = StepFlow::Continue;
+
+        match &inst.op {
+            Op::Bin { kind: bk, lhs, rhs } => {
+                let a = resolve!(*lhs);
+                let b = resolve!(*rhs);
+                let result = match eval_bin(*bk, a, b) {
+                    Ok(v) => v,
+                    Err(t) => return StepFlow::Trap(t),
+                };
+                let result = apply_fault(result);
+                self.frames[frame_idx].regs[inst_id.index()] = Some(result);
+                kind = EventKind::Bin(*bk);
+                write = Some((result_loc!(), result));
+            }
+            Op::Cmp {
+                kind: ck,
+                float,
+                lhs,
+                rhs,
+            } => {
+                let a = resolve!(*lhs);
+                let b = resolve!(*rhs);
+                let result = match eval_cmp(*ck, *float, a, b) {
+                    Ok(v) => v,
+                    Err(t) => return StepFlow::Trap(t),
+                };
+                let result = apply_fault(Value::I(result as i64));
+                self.frames[frame_idx].regs[inst_id.index()] = Some(result);
+                kind = EventKind::Cmp {
+                    kind: *ck,
+                    float: *float,
+                    result: result.is_truthy(),
+                };
+                write = Some((result_loc!(), result));
+            }
+            Op::Cast { kind: ck, src } => {
+                let v = resolve!(*src);
+                let result = match eval_cast(*ck, v) {
+                    Ok(v) => v,
+                    Err(t) => return StepFlow::Trap(t),
+                };
+                let result = apply_fault(result);
+                self.frames[frame_idx].regs[inst_id.index()] = Some(result);
+                kind = EventKind::Cast(*ck);
+                write = Some((result_loc!(), result));
+            }
+            Op::Select {
+                cond,
+                then_v,
+                else_v,
+            } => {
+                let c = resolve!(*cond);
+                let a = resolve!(*then_v);
+                let b = resolve!(*else_v);
+                let result = apply_fault(if c.is_truthy() { a } else { b });
+                self.frames[frame_idx].regs[inst_id.index()] = Some(result);
+                kind = EventKind::Select;
+                write = Some((result_loc!(), result));
+            }
+            Op::Load { addr } => {
+                let a = resolve!(*addr);
+                let Some(addr) = a.as_ptr() else {
+                    return StepFlow::Trap(TrapKind::TypeMismatch);
+                };
+                let loaded = match self.memory.load(addr) {
+                    Ok(v) => v,
+                    Err(MemError::OutOfBounds { .. }) => {
+                        return StepFlow::Trap(TrapKind::OutOfBounds)
+                    }
+                };
+                if record {
+                    reads.push((Location::mem(addr), loaded));
+                }
+                let result = apply_fault(loaded);
+                self.frames[frame_idx].regs[inst_id.index()] = Some(result);
+                kind = EventKind::Load;
+                write = Some((result_loc!(), result));
+            }
+            Op::Store { addr, value } => {
+                let a = resolve!(*addr);
+                let v = resolve!(*value);
+                let Some(addr) = a.as_ptr() else {
+                    return StepFlow::Trap(TrapKind::TypeMismatch);
+                };
+                let stored = apply_fault(v);
+                if let Err(MemError::OutOfBounds { .. }) = self.memory.store(addr, stored) {
+                    return StepFlow::Trap(TrapKind::OutOfBounds);
+                }
+                kind = EventKind::Store;
+                write = Some((Location::mem(addr), stored));
+            }
+            Op::Alloca { size, .. } => {
+                let Some(base) = self.memory.alloca(*size as u64) else {
+                    return StepFlow::Trap(TrapKind::OutOfMemory);
+                };
+                let result = Value::P(base);
+                self.frames[frame_idx].regs[inst_id.index()] = Some(result);
+                kind = EventKind::Alloca {
+                    base,
+                    size: *size as u64,
+                };
+                write = Some((result_loc!(), result));
+            }
+            Op::Gep { base, index } => {
+                let b = resolve!(*base);
+                let i = resolve!(*index);
+                let (Some(base), Some(idx)) = (b.as_ptr(), i.as_i64()) else {
+                    return StepFlow::Trap(TrapKind::TypeMismatch);
+                };
+                let addr = (base as i64).wrapping_add(idx) as u64;
+                let result = apply_fault(Value::P(addr));
+                self.frames[frame_idx].regs[inst_id.index()] = Some(result);
+                kind = EventKind::Gep;
+                write = Some((result_loc!(), result));
+            }
+            Op::Call { callee, args } => {
+                if self.frames.len() as u32 >= self.config.max_call_depth {
+                    return StepFlow::Trap(TrapKind::CallDepth);
+                }
+                let (callee_id, _) = self
+                    .module
+                    .function_by_name(callee)
+                    .expect("verified callee exists");
+                let mut arg_vals = Vec::with_capacity(args.len());
+                let mut arg_locs = Vec::with_capacity(args.len());
+                for a in args {
+                    let (v, loc) = match self.resolve(&self.frames[frame_idx], *a) {
+                        Ok(x) => x,
+                        Err(t) => return StepFlow::Trap(t),
+                    };
+                    if record {
+                        if let Some(l) = loc {
+                            reads.push((l, v));
+                        }
+                    }
+                    arg_vals.push(v);
+                    arg_locs.push(loc);
+                }
+                kind = EventKind::Call { callee: callee_id };
+                let new_frame =
+                    self.make_frame(callee_id, arg_vals, arg_locs, Some((frame_idx, inst_id)));
+                self.frames.push(new_frame);
+            }
+            Op::CallIntrinsic { intrinsic, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(resolve!(*a));
+                }
+                let result = match eval_intrinsic(*intrinsic, &vals) {
+                    Ok(v) => v,
+                    Err(t) => return StepFlow::Trap(t),
+                };
+                let result = apply_fault(result);
+                self.frames[frame_idx].regs[inst_id.index()] = Some(result);
+                kind = EventKind::Intrinsic;
+                write = Some((result_loc!(), result));
+            }
+            Op::Ret { value } => {
+                let ret_val = match value {
+                    Some(v) => Some(resolve!(*v)),
+                    None => None,
+                };
+                kind = EventKind::Ret;
+                let frame = self.frames.pop().expect("at least one frame");
+                self.memory.release_to(frame.stack_mark);
+                match frame.ret_dest {
+                    Some((caller_idx, dest)) => {
+                        let ret_val = apply_fault(ret_val.unwrap_or(Value::I(0)));
+                        let caller = &mut self.frames[caller_idx];
+                        caller.regs[dest.index()] = Some(ret_val);
+                        write = Some((
+                            Location::reg(caller.func, caller.frame_id, dest),
+                            ret_val,
+                        ));
+                    }
+                    None => {
+                        flow = StepFlow::Finished;
+                    }
+                }
+            }
+            Op::Br { target } => {
+                let frame = &mut self.frames[frame_idx];
+                frame.block = *target;
+                frame.ip = 0;
+                kind = EventKind::Br;
+            }
+            Op::CondBr {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let c = resolve!(*cond);
+                let taken = c.is_truthy();
+                let frame = &mut self.frames[frame_idx];
+                frame.block = if taken { *then_b } else { *else_b };
+                frame.ip = 0;
+                kind = EventKind::CondBr { taken };
+            }
+            Op::Output { value, format } => {
+                let v = resolve!(*value);
+                self.outputs.emit(v, *format);
+                kind = EventKind::Output { format: *format };
+            }
+            Op::LoopBegin {
+                id, depth, kind: lk, ..
+            } => {
+                kind = EventKind::LoopBegin {
+                    id: *id,
+                    depth: *depth,
+                    kind: *lk,
+                };
+            }
+            Op::LoopEnd { id } => {
+                kind = EventKind::LoopEnd { id: *id };
+            }
+            Op::LoopIter { id } => {
+                kind = EventKind::LoopIter { id: *id };
+            }
+            Op::Nop => {}
+        }
+
+        if record {
+            self.trace.events.push(TraceEvent {
+                func: func_id,
+                frame: frame_id,
+                inst: inst_id,
+                line,
+                kind,
+                reads,
+                write,
+            });
+        }
+        self.steps += 1;
+        flow
+    }
+}
+
+fn eval_bin(kind: BinKind, a: Value, b: Value) -> Result<Value, TrapKind> {
+    use BinKind::*;
+    if kind.is_float() {
+        let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) else {
+            return Err(TrapKind::TypeMismatch);
+        };
+        let r = match kind {
+            FAdd => x + y,
+            FSub => x - y,
+            FMul => x * y,
+            FDiv => x / y,
+            FMin => x.min(y),
+            FMax => x.max(y),
+            _ => unreachable!("float op"),
+        };
+        return Ok(Value::F(r));
+    }
+    let (Some(x), Some(y)) = (a.as_i64(), b.as_i64()) else {
+        return Err(TrapKind::TypeMismatch);
+    };
+    let r = match kind {
+        Add => x.wrapping_add(y),
+        Sub => x.wrapping_sub(y),
+        Mul => x.wrapping_mul(y),
+        SDiv => {
+            if y == 0 {
+                return Err(TrapKind::DivisionByZero);
+            }
+            x.wrapping_div(y)
+        }
+        SRem => {
+            if y == 0 {
+                return Err(TrapKind::DivisionByZero);
+            }
+            x.wrapping_rem(y)
+        }
+        And => x & y,
+        Or => x | y,
+        Xor => x ^ y,
+        Shl => ((x as u64) << (y as u64 & 63)) as i64,
+        LShr => ((x as u64) >> (y as u64 & 63)) as i64,
+        AShr => x >> (y as u64 & 63),
+        SMin => x.min(y),
+        SMax => x.max(y),
+        _ => unreachable!("integer op"),
+    };
+    Ok(Value::I(r))
+}
+
+fn eval_cmp(kind: CmpKind, float: bool, a: Value, b: Value) -> Result<bool, TrapKind> {
+    if float {
+        let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) else {
+            return Err(TrapKind::TypeMismatch);
+        };
+        Ok(match kind {
+            CmpKind::Eq => x == y,
+            CmpKind::Ne => x != y,
+            CmpKind::Lt => x < y,
+            CmpKind::Le => x <= y,
+            CmpKind::Gt => x > y,
+            CmpKind::Ge => x >= y,
+        })
+    } else {
+        // Integer compares also accept pointers (address comparisons).
+        let x = match a {
+            Value::I(v) => v,
+            Value::P(v) => v as i64,
+            Value::F(_) => return Err(TrapKind::TypeMismatch),
+        };
+        let y = match b {
+            Value::I(v) => v,
+            Value::P(v) => v as i64,
+            Value::F(_) => return Err(TrapKind::TypeMismatch),
+        };
+        Ok(match kind {
+            CmpKind::Eq => x == y,
+            CmpKind::Ne => x != y,
+            CmpKind::Lt => x < y,
+            CmpKind::Le => x <= y,
+            CmpKind::Gt => x > y,
+            CmpKind::Ge => x >= y,
+        })
+    }
+}
+
+fn eval_cast(kind: CastKind, v: Value) -> Result<Value, TrapKind> {
+    match kind {
+        CastKind::FpToSi => {
+            let Some(x) = v.as_f64() else {
+                return Err(TrapKind::TypeMismatch);
+            };
+            Ok(Value::I(x as i64))
+        }
+        CastKind::SiToFp => {
+            let Some(x) = v.as_i64() else {
+                return Err(TrapKind::TypeMismatch);
+            };
+            Ok(Value::F(x as f64))
+        }
+        CastKind::TruncI32 => {
+            let Some(x) = v.as_i64() else {
+                return Err(TrapKind::TypeMismatch);
+            };
+            Ok(Value::I((x as i32) as i64))
+        }
+        CastKind::FpRound32 => {
+            let Some(x) = v.as_f64() else {
+                return Err(TrapKind::TypeMismatch);
+            };
+            Ok(Value::F((x as f32) as f64))
+        }
+        CastKind::BitcastFtoI => {
+            let Some(x) = v.as_f64() else {
+                return Err(TrapKind::TypeMismatch);
+            };
+            Ok(Value::I(x.to_bits() as i64))
+        }
+        CastKind::BitcastItoF => {
+            let Some(x) = v.as_i64() else {
+                return Err(TrapKind::TypeMismatch);
+            };
+            Ok(Value::F(f64::from_bits(x as u64)))
+        }
+    }
+}
+
+fn eval_intrinsic(intrinsic: Intrinsic, args: &[Value]) -> Result<Value, TrapKind> {
+    let get = |i: usize| -> Result<f64, TrapKind> {
+        args.get(i)
+            .and_then(|v| v.as_f64())
+            .ok_or(TrapKind::TypeMismatch)
+    };
+    let r = match intrinsic {
+        Intrinsic::Sqrt => get(0)?.sqrt(),
+        Intrinsic::Fabs => get(0)?.abs(),
+        Intrinsic::Pow => get(0)?.powf(get(1)?),
+        Intrinsic::Exp => get(0)?.exp(),
+        Intrinsic::Log => get(0)?.ln(),
+        Intrinsic::Cos => get(0)?.cos(),
+        Intrinsic::Sin => get(0)?.sin(),
+    };
+    Ok(Value::F(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftkr_ir::prelude::*;
+    use ftkr_ir::Global;
+
+    /// sum = 0; for i in 0..10 { sum += i }; store to global; output sum.
+    fn sum_module() -> Module {
+        let mut m = Module::new("sum");
+        let g = m.add_global(Global::zeroed_i64("sum", 1));
+        let mut b = FunctionBuilder::new("main");
+        let acc = b.alloca("acc", 1);
+        let zero = b.const_i64(0);
+        b.store(acc, zero);
+        let ten = b.const_i64(10);
+        b.main_for("main_loop", zero, ten, |b, i| {
+            let cur = b.load(acc);
+            let next = b.add(cur, i);
+            b.store(acc, next);
+        });
+        let total = b.load(acc);
+        let gaddr = b.global_addr(g);
+        b.store(gaddr, total);
+        b.output(total, OutputFormat::Integer);
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn sum_program_computes_45() {
+        let r = Vm::new(VmConfig::default()).run(&sum_module()).unwrap();
+        assert!(r.outcome.is_completed());
+        assert_eq!(r.global_i64("sum").unwrap(), vec![45]);
+        assert_eq!(r.outputs.records[0].text, "45");
+        assert!(r.trace.is_none());
+    }
+
+    #[test]
+    fn tracing_records_every_dynamic_instruction() {
+        let r = Vm::new(VmConfig::tracing()).run(&sum_module()).unwrap();
+        let trace = r.trace.unwrap();
+        assert_eq!(trace.len() as u64, r.steps);
+        // 10 iterations => 10 LoopIter markers.
+        let iters = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::LoopIter { .. }))
+            .count();
+        assert_eq!(iters, 10);
+        // Every store event writes a memory location.
+        assert!(trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Store))
+            .all(|e| e.write.map(|(l, _)| l.is_mem()).unwrap_or(false)));
+    }
+
+    #[test]
+    fn function_calls_return_values_and_release_allocas() {
+        let mut m = Module::new("m");
+        let mut callee = FunctionBuilder::with_args("square", 1);
+        let x = callee.arg(0);
+        let sq = callee.fmul(x, x);
+        let tmp = callee.alloca("tmp", 16);
+        callee.store(tmp, sq);
+        let back = callee.load(tmp);
+        callee.ret(Some(back));
+        m.add_function(callee.finish());
+
+        let mut main = FunctionBuilder::new("main");
+        let three = main.const_f64(3.0);
+        let nine = main.call("square", vec![three]);
+        main.output(nine, OutputFormat::Full);
+        main.ret(None);
+        m.add_function(main.finish());
+
+        let r = Vm::new(VmConfig::default()).run(&m).unwrap();
+        assert!(r.outcome.is_completed());
+        assert_eq!(r.outputs.records[0].value.as_f64().unwrap(), 9.0);
+        // The alloca made inside `square` is released: only globals remain.
+        assert_eq!(r.memory.valid_len(), r.memory.globals_len());
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main");
+        let one = b.const_i64(1);
+        let zero = b.const_i64(0);
+        b.sdiv(one, zero);
+        b.ret(None);
+        m.add_function(b.finish());
+        let r = Vm::new(VmConfig::default()).run(&m).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Trapped(TrapKind::DivisionByZero));
+    }
+
+    #[test]
+    fn out_of_bounds_store_traps() {
+        let mut m = Module::new("m");
+        m.add_global(Global::zeroed_f64("g", 2));
+        let mut b = FunctionBuilder::new("main");
+        let gaddr = b.global_addr(GlobalId(0));
+        let idx = b.const_i64(100);
+        let v = b.const_f64(1.0);
+        b.store_idx(gaddr, idx, v);
+        b.ret(None);
+        m.add_function(b.finish());
+        let r = Vm::new(VmConfig::default()).run(&m).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Trapped(TrapKind::OutOfBounds));
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main");
+        let one = b.const_i64(1);
+        b.while_loop(
+            "forever",
+            LoopKind::Main,
+            |_b| one,
+            |b| {
+                b.add(one, one);
+            },
+        );
+        b.ret(None);
+        m.add_function(b.finish());
+        let config = VmConfig {
+            max_steps: 10_000,
+            ..Default::default()
+        };
+        let r = Vm::new(config).run(&m).unwrap();
+        assert_eq!(r.outcome, RunOutcome::Trapped(TrapKind::StepLimit));
+    }
+
+    #[test]
+    fn result_fault_changes_the_computation() {
+        let module = sum_module();
+        // Find a dynamic add instruction in a fault-free traced run.
+        let clean = Vm::new(VmConfig::tracing()).run(&module).unwrap();
+        let trace = clean.trace.unwrap();
+        let (step, _) = trace
+            .iter()
+            .find(|(_, e)| matches!(e.kind, EventKind::Bin(BinKind::Add)))
+            .expect("sum program performs additions");
+        let fault = FaultSpec::in_result(step as u64, 5);
+        let faulty = Vm::new(VmConfig::with_fault(fault)).run(&module).unwrap();
+        assert!(faulty.outcome.is_completed());
+        assert_ne!(faulty.global_i64("sum").unwrap(), vec![45]);
+    }
+
+    #[test]
+    fn memory_fault_at_step_zero_corrupts_initial_global()  {
+        let module = sum_module();
+        // Global `sum` occupies cell 0; flipping bit 3 before any instruction
+        // gives it the value 8, but the program overwrites it => final value
+        // is still 45 (the paper's Data Overwriting pattern).
+        let fault = FaultSpec::in_memory(0, 0, 3);
+        let r = Vm::new(VmConfig::with_fault(fault)).run(&module).unwrap();
+        assert!(r.outcome.is_completed());
+        assert_eq!(r.global_i64("sum").unwrap(), vec![45]);
+    }
+
+    #[test]
+    fn faulty_and_clean_runs_have_identical_step_counts_when_completed() {
+        let module = sum_module();
+        let clean = Vm::new(VmConfig::default()).run(&module).unwrap();
+        // A fault in a value that does not steer control flow keeps the step
+        // count identical, which is what makes dynamic indices transferable
+        // between runs.
+        let fault = FaultSpec::in_result(20, 1);
+        let faulty = Vm::new(VmConfig::with_fault(fault)).run(&module).unwrap();
+        if faulty.outcome.is_completed() {
+            assert_eq!(clean.steps, faulty.steps);
+        }
+    }
+
+    #[test]
+    fn run_function_with_args() {
+        let mut m = Module::new("m");
+        let mut f = FunctionBuilder::with_args("axpy", 2);
+        let a = f.arg(0);
+        let x = f.arg(1);
+        let r = f.fmul(a, x);
+        f.ret(Some(r));
+        m.add_function(f.finish());
+        let res = Vm::new(VmConfig::default())
+            .run_function(&m, "axpy", vec![Value::F(2.0), Value::F(4.0)])
+            .unwrap();
+        assert!(res.outcome.is_completed());
+    }
+
+    #[test]
+    fn intrinsics_evaluate() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main");
+        let four = b.const_f64(4.0);
+        let s = b.sqrt(four);
+        b.output(s, OutputFormat::Full);
+        let neg = b.const_f64(-3.5);
+        let abs = b.fabs(neg);
+        b.output(abs, OutputFormat::Full);
+        let p = b.pow(b.const_f64(2.0), b.const_f64(10.0));
+        b.output(p, OutputFormat::Full);
+        b.ret(None);
+        m.add_function(b.finish());
+        let r = Vm::new(VmConfig::default()).run(&m).unwrap();
+        let vals: Vec<f64> = r.outputs.values().iter().map(|v| v.as_f64().unwrap()).collect();
+        assert_eq!(vals, vec![2.0, 3.5, 1024.0]);
+    }
+
+    #[test]
+    fn verification_error_is_propagated() {
+        let m = Module::new("empty");
+        assert!(Vm::new(VmConfig::default()).run(&m).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Dynamic instruction traces.
+//!
+//! A [`Trace`] is the central artifact of FlipTracker: every analysis
+//! (code-region partitioning, DDDG construction, ACL tables, pattern
+//! detection) consumes it.  Each [`TraceEvent`] records what the original
+//! LLVM-Tracer stores per instruction — instruction identity, source line,
+//! operand locations and values, and the location/value written — plus the
+//! loop markers that drive the paper's code-region model.
+
+use serde::{Deserialize, Serialize};
+
+use ftkr_ir::{BinKind, CastKind, CmpKind, FunctionId, LoopId, LoopKind, OutputFormat, ValueId};
+
+use crate::location::Location;
+use crate::value::Value;
+
+/// Dynamic classification of an executed instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Binary arithmetic/logical operation.
+    Bin(BinKind),
+    /// Comparison; `taken` is the boolean result.
+    Cmp {
+        /// Predicate.
+        kind: CmpKind,
+        /// Floating comparison?
+        float: bool,
+        /// Result of the comparison.
+        result: bool,
+    },
+    /// Conversion.
+    Cast(CastKind),
+    /// Branch-free select.
+    Select,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Stack allocation; `base`/`size` give the cells it created.
+    Alloca {
+        /// First cell of the allocation.
+        base: u64,
+        /// Number of cells.
+        size: u64,
+    },
+    /// Pointer arithmetic.
+    Gep,
+    /// Call to another function of the module.
+    Call {
+        /// Callee function.
+        callee: FunctionId,
+    },
+    /// Math intrinsic call.
+    Intrinsic,
+    /// Function return.
+    Ret,
+    /// Unconditional branch.
+    Br,
+    /// Conditional branch; `taken` tells which way it went (control-flow
+    /// divergence between faulty and fault-free runs is detected from this).
+    CondBr {
+        /// True if the "then" target was taken.
+        taken: bool,
+    },
+    /// Program output (printf model).
+    Output {
+        /// Formatting applied.
+        format: OutputFormat,
+    },
+    /// Entry into a loop (one per loop execution, not per iteration).
+    LoopBegin {
+        /// Static loop id.
+        id: LoopId,
+        /// Static nesting depth.
+        depth: u32,
+        /// Loop classification.
+        kind: LoopKind,
+    },
+    /// Exit from a loop.
+    LoopEnd {
+        /// Static loop id.
+        id: LoopId,
+    },
+    /// Start of one loop iteration.
+    LoopIter {
+        /// Static loop id.
+        id: LoopId,
+    },
+    /// No-op.
+    Nop,
+}
+
+impl EventKind {
+    /// True for the loop marker events.
+    pub fn is_marker(&self) -> bool {
+        matches!(
+            self,
+            EventKind::LoopBegin { .. } | EventKind::LoopEnd { .. } | EventKind::LoopIter { .. }
+        )
+    }
+}
+
+/// One executed instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Function the instruction belongs to.
+    pub func: FunctionId,
+    /// Dynamic invocation number of that function (frame id).
+    pub frame: u32,
+    /// Static instruction id within the function.
+    pub inst: ValueId,
+    /// Source line recorded for the instruction.
+    pub line: u32,
+    /// Dynamic classification.
+    pub kind: EventKind,
+    /// Locations read by the instruction together with the values observed.
+    pub reads: Vec<(Location, Value)>,
+    /// Location written (register defined or memory cell stored) and the
+    /// value written, if any.
+    pub write: Option<(Location, Value)>,
+}
+
+impl TraceEvent {
+    /// The value written, if any.
+    pub fn written_value(&self) -> Option<Value> {
+        self.write.map(|(_, v)| v)
+    }
+
+    /// The location written, if any.
+    pub fn written_location(&self) -> Option<Location> {
+        self.write.map(|(l, _)| l)
+    }
+
+    /// True if the event reads the given location.
+    pub fn reads_location(&self, loc: &Location) -> bool {
+        self.reads.iter().any(|(l, _)| l == loc)
+    }
+}
+
+/// A dynamic instruction trace (optionally produced by a run).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Executed instructions, in order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    /// Number of dynamic instructions (including marker events).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no instruction was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of dynamic instructions excluding loop markers — the paper's
+    /// "#instr in an iteration" excludes instrumentation artifacts.
+    pub fn len_without_markers(&self) -> usize {
+        self.events.iter().filter(|e| !e.kind.is_marker()).count()
+    }
+
+    /// Iterate over `(dynamic index, event)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &TraceEvent)> {
+        self.events.iter().enumerate()
+    }
+
+    /// Index of the first event where this trace and `other` differ in the
+    /// value written (bitwise), i.e. where an injected error first becomes
+    /// architecturally visible.  `None` when the traces agree everywhere they
+    /// overlap.
+    pub fn first_divergence(&self, other: &Trace) -> Option<usize> {
+        let n = self.events.len().min(other.events.len());
+        for i in 0..n {
+            let a = &self.events[i];
+            let b = &other.events[i];
+            let values_differ = match (a.write, b.write) {
+                (Some((_, va)), Some((_, vb))) => !va.bit_eq(vb),
+                (None, None) => false,
+                _ => true,
+            };
+            if values_differ || a.inst != b.inst || a.func != b.func {
+                return Some(i);
+            }
+        }
+        if self.events.len() != other.events.len() {
+            Some(n)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(val: f64) -> TraceEvent {
+        TraceEvent {
+            func: FunctionId(0),
+            frame: 0,
+            inst: ValueId(0),
+            line: 1,
+            kind: EventKind::Bin(BinKind::FAdd),
+            reads: vec![(Location::mem(0), Value::F(1.0))],
+            write: Some((Location::mem(1), Value::F(val))),
+        }
+    }
+
+    #[test]
+    fn trace_counting_skips_markers() {
+        let mut t = Trace::new();
+        t.events.push(event(1.0));
+        t.events.push(TraceEvent {
+            kind: EventKind::LoopIter { id: LoopId(0) },
+            reads: vec![],
+            write: None,
+            ..event(0.0)
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.len_without_markers(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn divergence_detection() {
+        let mut a = Trace::new();
+        let mut b = Trace::new();
+        a.events.push(event(1.0));
+        b.events.push(event(1.0));
+        assert_eq!(a.first_divergence(&b), None);
+        a.events.push(event(2.0));
+        b.events.push(event(2.5));
+        assert_eq!(a.first_divergence(&b), Some(1));
+        // Length mismatch counts as divergence at the shorter length.
+        b.events.push(event(3.0));
+        assert_eq!(a.first_divergence(&b), Some(1));
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = event(4.0);
+        assert_eq!(e.written_value(), Some(Value::F(4.0)));
+        assert_eq!(e.written_location(), Some(Location::mem(1)));
+        assert!(e.reads_location(&Location::mem(0)));
+        assert!(!e.reads_location(&Location::mem(9)));
+        assert!(!e.kind.is_marker());
+    }
+}

@@ -1,0 +1,19 @@
+//! Use Case 1: apply the Dead-Corrupted-Locations / Data-Overwriting and
+//! Truncation patterns to the CG source and measure the resilience gain
+//! (the Table III workflow).
+//!
+//! ```sh
+//! cargo run --release --example harden_cg [quick|standard|paper]
+//! ```
+
+use fliptracker::prelude::*;
+
+fn main() {
+    let effort = Effort::from_name(&std::env::args().nth(1).unwrap_or_default());
+    println!(
+        "Hardening CG with resilience patterns ({} injections per variant)…\n",
+        effort.tests_per_point
+    );
+    let table = use_cases::table3(&effort);
+    print!("{}", table.to_text());
+}

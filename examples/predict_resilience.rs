@@ -1,0 +1,20 @@
+//! Use Case 2: predict an application's success rate from its pattern rates
+//! with Bayesian linear regression, leave-one-out over the ten benchmarks
+//! (the Table IV workflow).
+//!
+//! ```sh
+//! cargo run --release --example predict_resilience [quick|standard|paper]
+//! ```
+
+use fliptracker::prelude::*;
+
+fn main() {
+    let effort = Effort::from_name(&std::env::args().nth(1).unwrap_or_default());
+    println!(
+        "Measuring and predicting resilience of all ten benchmarks \
+         ({} injections per benchmark)…\n",
+        effort.tests_per_point
+    );
+    let table = use_cases::table4(&effort);
+    print!("{}", table.to_text());
+}

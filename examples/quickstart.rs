@@ -1,0 +1,48 @@
+//! Quickstart: trace a benchmark, inject one fault, and see what FlipTracker
+//! learns about it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fliptracker::prelude::*;
+
+fn main() {
+    // 1. Pick an application (the miniature NPB MG kernel).
+    let app = ftkr_apps::mg();
+    println!("application: {} ({} code regions)", app.name, app.regions.len());
+
+    // 2. Run the full single-injection analysis: fault-free trace, faulty
+    //    trace, ACL table, DDDG comparison and pattern detection.  Passing
+    //    `None` lets FlipTracker pick a representative fault.
+    let analysis = analyze_injection(&app, None).expect("MG has injectable sites");
+
+    println!("injected fault  : {:?}", analysis.fault);
+    println!("run outcome     : {:?}", analysis.outcome);
+    println!(
+        "ACL: {} corrupted locations at peak, {} decrease points, cleaned: {}",
+        analysis.acl.max_count(),
+        analysis.acl.decrease_events().len(),
+        analysis.acl.fully_cleaned()
+    );
+
+    // 3. The resilience computation patterns that explain what happened.
+    println!("patterns found  :");
+    for p in &analysis.patterns {
+        println!(
+            "  - {:<10} at dynamic instruction {:>7} (line {:>4}): {}",
+            p.kind.short_name(),
+            p.event,
+            p.line,
+            p.detail
+        );
+    }
+
+    // 4. Which code regions masked or attenuated the error.
+    let tolerant = analysis.tolerant_regions();
+    if tolerant.is_empty() {
+        println!("no region masked the error on its own");
+    } else {
+        println!("tolerant regions: {}", tolerant.join(", "));
+    }
+}

@@ -1,0 +1,89 @@
+//! Integration tests for the statistically sized fault-injection campaigns
+//! and the experiment drivers (quick-effort versions of the paper's
+//! evaluation harness).
+
+use fliptracker::prelude::*;
+use ftkr_inject::TargetClass;
+
+fn tiny_effort() -> Effort {
+    let mut e = Effort::quick();
+    e.tests_per_point = 16;
+    e.analysis_injections = 2;
+    e.timing_runs = 1;
+    e.ranks = 2;
+    e
+}
+
+#[test]
+fn whole_program_success_rates_are_probabilities_and_apps_differ() {
+    let effort = tiny_effort();
+    let dc = fliptracker::experiments::whole_program_success_rate(
+        &app_by_name("DC").unwrap(),
+        &effort,
+    );
+    let mg = fliptracker::experiments::whole_program_success_rate(
+        &app_by_name("MG").unwrap(),
+        &effort,
+    );
+    assert!((0.0..=1.0).contains(&dc));
+    assert!((0.0..=1.0).contains(&mg));
+}
+
+#[test]
+fn table1_reports_every_region_the_paper_lists() {
+    let table = fliptracker::experiments::table1(&tiny_effort());
+    assert_eq!(table.programs.len(), 5);
+    let names: Vec<&str> = table
+        .programs
+        .iter()
+        .map(|p| p.program.as_str())
+        .collect();
+    assert_eq!(names, vec!["CG", "MG", "KMEANS", "IS", "LULESH"]);
+    let total_rows: usize = table.programs.iter().map(|p| p.rows.len()).sum();
+    assert_eq!(total_rows, 5 + 4 + 4 + 3 + 1);
+    // Every row has a line range and a dynamic instruction count.
+    for p in &table.programs {
+        for r in &p.rows {
+            assert!(r.instructions > 0, "{}/{} has no instructions", p.program, r.region);
+        }
+    }
+    assert!(table.to_text().contains("LULESH"));
+}
+
+#[test]
+fn fig6_produces_per_iteration_series_with_internal_and_input_bars() {
+    let series = fliptracker::experiments::fig6(&tiny_effort(), 3);
+    assert!(!series.points.is_empty());
+    // CG runs at least 3 iterations; both target classes must be present.
+    assert!(series.rate("CG", "iter1", TargetClass::Internal).is_some());
+    assert!(series.rate("CG", "iter1", TargetClass::Input).is_some());
+    for p in &series.points {
+        assert!((0.0..=1.0).contains(&p.success_rate));
+        assert!((0.0..=1.0).contains(&p.crash_rate));
+    }
+}
+
+#[test]
+fn fig4_measures_tracing_overhead_for_all_five_mpi_programs() {
+    let fig = fliptracker::experiments::fig4(&tiny_effort());
+    assert_eq!(fig.rows.len(), 5);
+    for row in &fig.rows {
+        assert!(row.seconds_plain > 0.0);
+        assert!(row.seconds_traced > 0.0);
+        assert_eq!(row.ranks, 2);
+    }
+    assert!(fig.to_text().contains("mean overhead"));
+}
+
+#[test]
+fn table4_prediction_pipeline_produces_ten_rows_and_a_fit() {
+    let table = use_cases::table4(&tiny_effort());
+    assert_eq!(table.rows.len(), 10);
+    for row in &table.rows {
+        assert!((0.0..=1.0).contains(&row.measured), "{row:?}");
+        assert!((0.0..=1.0).contains(&row.predicted), "{row:?}");
+        assert!(row.rates.iter().all(|r| *r >= 0.0));
+    }
+    assert!(table.r_squared <= 1.0);
+    assert!(table.to_text().contains("R-square"));
+}

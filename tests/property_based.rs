@@ -1,0 +1,174 @@
+//! Property-based tests over the core data structures and invariants,
+//! exercised through the public API of the workspace crates.
+
+use proptest::prelude::*;
+
+use ftkr_acl::AclTable;
+use ftkr_dddg::Dddg;
+use ftkr_ir::prelude::*;
+use ftkr_ir::Global;
+use ftkr_trace::{partition_regions, RegionSelector};
+use ftkr_vm::{FaultSpec, Location, Value, Vm, VmConfig};
+
+/// Build a small arithmetic program parameterized by the proptest inputs:
+/// `n` loop iterations accumulating `a*i + b` into a global, followed by a
+/// guarded normalization.
+fn parametric_module(n: i64, a: f64, b: f64) -> Module {
+    let mut m = Module::new("prop");
+    let g = m.add_global(Global::zeroed_f64("acc", 2));
+    let mut f = FunctionBuilder::new("main");
+    let gaddr = f.global_addr(g);
+    let zero = f.const_i64(0);
+    let end = f.const_i64(n);
+    f.main_for("accumulate", zero, end, |f, i| {
+        let fi = f.sitofp(i);
+        let ca = f.const_f64(a);
+        let cb = f.const_f64(b);
+        let term = f.fmul(ca, fi);
+        let term = f.fadd(term, cb);
+        let cur = f.load(gaddr);
+        let next = f.fadd(cur, term);
+        f.store(gaddr, next);
+    });
+    let total = f.load(gaddr);
+    let zero_f = f.const_f64(0.0);
+    let positive = f.fcmp(CmpKind::Gt, total, zero_f);
+    let one = f.const_f64(1.0);
+    let scale = f.select(positive, one, zero_f);
+    let scaled = f.fmul(total, scale);
+    let one_i = f.const_i64(1);
+    f.store_idx(gaddr, one_i, scaled);
+    f.output(scaled, OutputFormat::Scientific(6));
+    f.ret(None);
+    m.add_function(f.finish());
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The interpreter is deterministic: two runs of the same module produce
+    /// bit-identical traces and results.
+    #[test]
+    fn vm_is_deterministic(n in 1i64..40, a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let module = parametric_module(n, a, b);
+        let r1 = Vm::new(VmConfig::tracing()).run(&module).unwrap();
+        let r2 = Vm::new(VmConfig::tracing()).run(&module).unwrap();
+        prop_assert_eq!(r1.steps, r2.steps);
+        prop_assert_eq!(r1.global_f64("acc").unwrap(), r2.global_f64("acc").unwrap());
+        let t1 = r1.trace.unwrap();
+        let t2 = r2.trace.unwrap();
+        prop_assert_eq!(t1.first_divergence(&t2), None);
+    }
+
+    /// The interpreted accumulation matches host arithmetic.
+    #[test]
+    fn vm_matches_host_arithmetic(n in 1i64..40, a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let module = parametric_module(n, a, b);
+        let r = Vm::new(VmConfig::default()).run(&module).unwrap();
+        prop_assert!(r.outcome.is_completed());
+        let mut expected = 0.0f64;
+        for i in 0..n {
+            expected += a * i as f64 + b;
+        }
+        let got = r.global_f64("acc").unwrap()[0];
+        prop_assert!((got - expected).abs() <= 1e-9 * expected.abs().max(1.0),
+            "host {expected} vs vm {got}");
+    }
+
+    /// A single bit flip never makes the step count of a *completed* run
+    /// differ from the fault-free run unless control flow diverged — and a
+    /// fault never turns into a verifier panic, only into one of the three
+    /// manifestations.
+    #[test]
+    fn faulty_runs_always_classify(n in 2i64..30, step in 0u64..200, bit in 0u8..64) {
+        let module = parametric_module(n, 1.0, 0.5);
+        let clean = Vm::new(VmConfig::default()).run(&module).unwrap();
+        let config = VmConfig {
+            fault: Some(FaultSpec::in_result(step % clean.steps, bit)),
+            max_steps: clean.steps * 10 + 100,
+            ..VmConfig::default()
+        };
+        let faulty = Vm::new(config).run(&module).unwrap();
+        // Completed or trapped; both are valid manifestations.
+        if faulty.outcome.is_completed() {
+            prop_assert!(faulty.steps <= clean.steps * 10 + 100);
+        }
+    }
+
+    /// ACL invariants on arbitrary faulty runs: the table has one entry per
+    /// dynamic instruction, counts change by at most #births per step, and
+    /// every location that dies was born.
+    #[test]
+    fn acl_invariants_hold(n in 2i64..30, step in 0u64..150, bit in 0u8..64) {
+        let module = parametric_module(n, 2.0, 1.0);
+        let clean = Vm::new(VmConfig::tracing()).run(&module).unwrap();
+        let at_step = step % clean.steps;
+        let fault = FaultSpec::in_result(at_step, bit);
+        let faulty = Vm::new(VmConfig::tracing_with_fault(fault)).run(&module).unwrap();
+        let trace = faulty.trace.unwrap();
+        let acl = AclTable::from_fault(&trace, &fault);
+        prop_assert_eq!(acl.counts.len(), trace.len());
+        prop_assert_eq!(acl.tainted_reads.len(), trace.len());
+        let born: std::collections::HashSet<Location> =
+            acl.births.iter().map(|(_, l)| *l).collect();
+        for d in &acl.deaths {
+            prop_assert!(born.contains(&d.location), "death without birth: {:?}", d);
+        }
+        for f in &acl.final_corrupted {
+            prop_assert!(born.contains(f));
+        }
+        // The count after the last instruction equals the number of final
+        // corrupted locations.
+        if let Some(&last) = acl.counts.last() {
+            prop_assert_eq!(last as usize, acl.final_corrupted.len());
+        }
+    }
+
+    /// DDDGs built from arbitrary region instances of the parametric program
+    /// are acyclic, and input locations are disjoint from internal ones.
+    #[test]
+    fn dddg_invariants_hold(n in 2i64..40) {
+        let module = parametric_module(n, 1.5, -0.5);
+        let run = Vm::new(VmConfig::tracing()).run(&module).unwrap();
+        let trace = run.trace.unwrap();
+        let regions = partition_regions(&trace, &module, &RegionSelector::AllLoops);
+        prop_assert!(!regions.is_empty());
+        for inst in &regions {
+            let slice = &trace.events[inst.start..inst.end];
+            let dddg = Dddg::from_events(slice);
+            prop_assert!(dddg.is_acyclic());
+            let outputs = dddg.leaf_outputs();
+            let internals = dddg.internals(&outputs);
+            for (loc, _) in dddg.inputs() {
+                prop_assert!(!internals.contains(&loc));
+            }
+        }
+    }
+
+    /// Bit flips are involutive and preserve the value kind (the fault model
+    /// of the paper: payload corruption, not type corruption).
+    #[test]
+    fn bit_flips_are_involutive(v in any::<f64>(), bit in 0u8..64) {
+        let value = Value::F(v);
+        let flipped = value.flip_bit(bit);
+        prop_assert_eq!(flipped.kind(), value.kind());
+        prop_assert!(flipped.flip_bit(bit).bit_eq(value));
+        if bit != 63 || v != 0.0 {
+            // Flipping any bit changes the payload.
+            prop_assert!(!flipped.bit_eq(value));
+        }
+    }
+
+    /// The statistical sample size is monotone in the population and never
+    /// exceeds it.
+    #[test]
+    fn sample_size_is_sane(pop in 1u64..5_000_000) {
+        use ftkr_inject::{sample_size, Confidence};
+        let n = sample_size(pop, Confidence::C95, 0.03);
+        prop_assert!(n <= pop);
+        prop_assert!(n >= 1);
+        let bigger = sample_size(pop + 1000, Confidence::C95, 0.03);
+        prop_assert!(bigger >= n);
+    }
+}
