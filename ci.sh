@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Local CI for the FlipTracker workspace.
+#
+#   ./ci.sh         # tier-1 verify + lint + docs
+#   ./ci.sh quick   # tier-1 verify only
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" == "quick" ]]; then
+    echo "==> quick mode: skipping lint + docs"
+    exit 0
+fi
+
+echo "==> benches + examples compile"
+cargo build --release --benches --examples
+
+echo "==> clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> rustdoc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "==> OK"

@@ -58,8 +58,8 @@ impl Table1 {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "{:<8} {:<14} {:<11} {:>10}  {:<6} {}",
-            "Program", "Code region", "Lines", "#instr", "Found?", "DCL RA CS Shift Trunc DO"
+            "{:<8} {:<14} {:<11} {:>10}  {:<6} DCL RA CS Shift Trunc DO",
+            "Program", "Code region", "Lines", "#instr", "Found?"
         );
         for p in &self.programs {
             for r in &p.rows {

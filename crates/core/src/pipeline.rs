@@ -145,7 +145,7 @@ mod tests {
         let app = ftkr_apps::mg();
         let analysis = analyze_injection(&app, None).expect("MG has injectable sites");
         assert!(!analysis.regions.is_empty());
-        assert_eq!(analysis.acl.counts.len() as u64 > 0, true);
+        assert!(analysis.acl.counts.len() as u64 > 0);
         // The injected error must have produced at least one corrupted
         // location at some point.
         assert!(analysis.acl.max_count() >= 1);

@@ -207,22 +207,20 @@ fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyError> 
             }
         }
         match &inst.op {
-            Op::Br { target } => {
-                if target.0 >= n_blocks {
+            Op::Br { target }
+                if target.0 >= n_blocks => {
                     return Err(VerifyError::BadBlockTarget {
                         func: fname.clone(),
                         inst: iid.0,
                     });
                 }
-            }
-            Op::CondBr { then_b, else_b, .. } => {
-                if then_b.0 >= n_blocks || else_b.0 >= n_blocks {
+            Op::CondBr { then_b, else_b, .. }
+                if (then_b.0 >= n_blocks || else_b.0 >= n_blocks) => {
                     return Err(VerifyError::BadBlockTarget {
                         func: fname.clone(),
                         inst: iid.0,
                     });
                 }
-            }
             Op::Call { callee, args } => match module.function_by_name(callee) {
                 None => {
                     return Err(VerifyError::UnresolvedCallee {
@@ -239,14 +237,13 @@ fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyError> 
                     }
                 }
             },
-            Op::CallIntrinsic { intrinsic, args } => {
-                if intrinsic.arity() != args.len() {
+            Op::CallIntrinsic { intrinsic, args }
+                if intrinsic.arity() != args.len() => {
                     return Err(VerifyError::BadIntrinsicArity {
                         func: fname.clone(),
                         inst: iid.0,
                     });
                 }
-            }
             _ => {}
         }
     }

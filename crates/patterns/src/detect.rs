@@ -115,7 +115,7 @@ pub fn detect_repeated_additions(input: DetectionInput<'_>) -> Vec<PatternInstan
     for (idx, ev) in input.faulty.iter() {
         match ev.kind {
             EventKind::Load => {
-                if let Some((Location::Mem { addr }, _)) = ev.reads.first().map(|r| *r) {
+                if let Some((Location::Mem { addr }, _)) = ev.reads.first().copied() {
                     last_loads.insert(addr, idx);
                 }
                 // A load records the address actually read in its reads set
@@ -145,7 +145,7 @@ pub fn detect_repeated_additions(input: DetectionInput<'_>) -> Vec<PatternInstan
                 // A read-modify-write update loads the same address before
                 // storing to it.
                 let prev_store = chain.updates.last().map(|(e, _)| *e).unwrap_or(0);
-                if last_loads.get(&addr).map_or(false, |&l| l >= prev_store && l < idx) {
+                if last_loads.get(&addr).is_some_and(|&l| l >= prev_store && l < idx) {
                     chain.saw_self_load = true;
                 }
                 chain.updates.push((idx, err));

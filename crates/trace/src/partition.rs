@@ -93,11 +93,10 @@ pub fn partition_regions(
                     });
                 }
             }
-            EventKind::LoopIter { id } => {
-                if main_loop == Some((event.func, id)) {
+            EventKind::LoopIter { id }
+                if main_loop == Some((event.func, id)) => {
                     main_iteration = Some(main_iteration.map(|i| i + 1).unwrap_or(0));
                 }
-            }
             EventKind::LoopEnd { id } => {
                 // Close the innermost open region that matches this loop.
                 if let Some(pos) = open

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! and the `criterion_group!` / `criterion_main!` macros — measuring with
+//! plain wall-clock timing (median of `sample_size` samples, one iteration
+//! batch per sample). No statistics engine, plots, or baselines.
+//!
+//! When the binary is invoked with `--test` (as `cargo test` does for
+//! `harness = false` bench targets), each benchmark runs exactly once as a
+//! smoke execution.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_one(&id.into(), self.sample_size, self.test_mode, &mut f);
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, self.test_mode, &mut f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.text);
+        run_one(&full, self.sample_size, self.test_mode, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group (report footer).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, preventing its result from being optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..self.target.max(1) {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            std::hint::black_box(out);
+        }
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let samples = if test_mode { 1 } else { sample_size };
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+        target: samples,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let total: Duration = b.samples.iter().sum();
+    if test_mode {
+        println!("{name:<48} ok (smoke, {total:?})");
+    } else {
+        println!(
+            "{name:<48} median {median:>12?}   ({} samples, total {total:?})",
+            b.samples.len()
+        );
+    }
+}
+
+/// Re-export for compatibility with `criterion::black_box` users.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("g");
+        let mut ran = 0u32;
+        group.bench_function("f", |b| b.iter(|| ran += 1));
+        group.bench_with_input(BenchmarkId::new("g2", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(ran >= 1);
+    }
+}

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the [`proptest!`]
+//! macro over `arg in strategy` parameters, half-open range strategies,
+//! [`any`], `ProptestConfig::with_cases`, and the `prop_assert*` macros
+//! (which simply panic, as the std test harness reports failures fine).
+//!
+//! No shrinking: a failing case panics with the generated inputs visible in
+//! the assertion message. Case generation is deterministic per (test name,
+//! case index), so failures reproduce exactly.
+
+use std::ops::Range;
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-test RNG, backed by the vendored rand shim's `StdRng`
+/// (real proptest likewise sits on top of the rand ecosystem).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Next uniform 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        TestRng::next_u64(self)
+    }
+}
+
+/// Build the RNG for one generated case of one test, seeded from the test
+/// name and case index (stable across runs and platforms).
+pub fn test_rng(case: u32, test_name: &str) -> TestRng {
+    use rand::SeedableRng;
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng {
+        inner: rand::rngs::StdRng::seed_from_u64(
+            h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        ),
+    }
+}
+
+/// Strategies: sources of generated values.
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// A source of generated values of type `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Generate one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Every range the rand shim can sample is a strategy (integers and
+    /// floats, uniform, half-open).
+    impl<T> Strategy for Range<T>
+    where
+        Range<T>: rand::SampleRange + Clone,
+    {
+        type Value = <Range<T> as rand::SampleRange>::Output;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            rand::SampleRange::sample(self.clone(), rng)
+        }
+    }
+}
+
+/// Types with a canonical "arbitrary value" strategy (see [`any`]).
+pub trait Arbitrary {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Arbitrary finite doubles across the full exponent span, including
+        // negatives, zero, and subnormals (NaN/inf excluded, as the fault
+        // model corrupts payloads of ordinary values).
+        loop {
+            let v = f64::from_bits(rng.next_u64());
+            if v.is_finite() {
+                return v;
+            }
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> strategy::Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of arbitrary values of `T` (`any::<f64>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Assert inside a property test (panics like `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { ... }` item
+/// becomes a `#[test]` that runs the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_rng(__case, stringify!($name));
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+    };
+}
+
+/// Keep `Range<T>` strategies nameable through the prelude's `Strategy`.
+impl<T> strategy::Strategy for &Range<T>
+where
+    Range<T>: strategy::Strategy + Clone,
+{
+    type Value = <Range<T> as strategy::Strategy>::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (*self).clone().sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3i64..10, f in -1.0f64..1.0, b in 0u8..64) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(b < 64);
+        }
+
+        #[test]
+        fn any_f64_is_finite(v in any::<f64>()) {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_also_works(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = 0u64..1000;
+        let a: Vec<u64> = (0..10)
+            .map(|c| Strategy::sample(&s, &mut crate::test_rng(c, "t")))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|c| Strategy::sample(&s, &mut crate::test_rng(c, "t")))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

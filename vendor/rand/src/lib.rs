@@ -1,0 +1,208 @@
+//! Offline stand-in for the `rand` crate (0.9-style API surface).
+//!
+//! Provides exactly what the workspace uses: [`rngs::StdRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and [`RngExt::random_range`] over integer
+//! and float ranges. The generator is xoshiro256++ (seeded through
+//! SplitMix64), which is deterministic across platforms — campaign
+//! reproducibility tests rely on that.
+
+use std::ops::Range;
+
+/// Core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build an RNG whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods over [`RngCore`] (the `Rng` trait of real rand, renamed
+/// as this workspace imports it).
+pub trait RngExt: RngCore {
+    /// Sample uniformly from `range` (half-open).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange {
+    /// Element type produced by sampling.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample<G: RngCore>(self, rng: &mut G) -> Self::Output;
+}
+
+/// Uniform integer in `[0, span)` by rejection sampling (no modulo bias).
+fn uniform_below<G: RngCore>(rng: &mut G, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),+) => {
+        $(impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<G: RngCore>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        })+
+    };
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<G: RngCore>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + (self.end - self.start) * unit;
+        // Interpolation can round up onto `end` (or produce a non-finite
+        // value if the span overflows); keep the half-open contract.
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample<G: RngCore>(self, rng: &mut G) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // 24 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        let v = self.start + (self.end - self.start) * unit;
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as rand_core does for small seeds.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1_000_000u64), b.random_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let f = rng.random_range(-1.0..1.0f64);
+            assert!((-1.0..1.0).contains(&f));
+            let b = rng.random_range(0..64u32);
+            assert!(b < 64);
+        }
+    }
+
+    #[test]
+    fn float_ranges_are_half_open_even_when_rounding_bites() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // The ulp at 1e16 is 2.0, so naive interpolation rounds onto `end`
+        // for a large fraction of draws; the contract must still hold.
+        for _ in 0..10_000 {
+            let v = rng.random_range(1.0e16..1.0e16 + 2.0);
+            assert!((1.0e16..1.0e16 + 2.0).contains(&v), "out of range: {v}");
+            let f = rng.random_range(0.0f32..0.1f32);
+            assert!((0.0..0.1).contains(&f), "f32 out of range: {f}");
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

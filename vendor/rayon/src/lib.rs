@@ -1,0 +1,121 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the subset the workspace uses — `slice.par_iter().map(f)
+//! .reduce(identity, op)` — with genuine data parallelism: the input slice is
+//! chunked across `std::thread::scope` threads (one per available core), each
+//! chunk is mapped and folded locally, and the per-thread partials are folded
+//! with `op`. Campaign throughput therefore still scales with cores, it just
+//! skips rayon's work-stealing machinery.
+
+/// Import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{ParIter, ParMap, ParallelSliceExt};
+}
+
+/// Adds [`par_iter`](ParallelSliceExt::par_iter) to slices (and via deref,
+/// `Vec`).
+pub trait ParallelSliceExt<T: Sync> {
+    /// A parallel iterator over the slice.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]; consumed by [`reduce`](ParMap::reduce).
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Fold the mapped items with `op`, starting each parallel chunk from
+    /// `identity()` — the same contract as rayon's `reduce`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.items.len().max(1));
+        if threads <= 1 || self.items.len() < 2 {
+            return self
+                .items
+                .iter()
+                .map(&self.f)
+                .fold(identity(), &op);
+        }
+        let chunk_size = self.items.len().div_ceil(threads);
+        let f = &self.f;
+        let op_ref = &op;
+        let id_ref = &identity;
+        let partials: Vec<R> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || chunk.iter().map(f).fold(id_ref(), op_ref))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let parallel = data.par_iter().map(|&x| x * 2).reduce(|| 0, |a, b| a + b);
+        let sequential: u64 = data.iter().map(|&x| x * 2).sum();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn empty_input_yields_identity() {
+        let data: Vec<u64> = Vec::new();
+        assert_eq!(data.par_iter().map(|&x| x).reduce(|| 7, |a, b| a + b), 7);
+    }
+
+    #[test]
+    fn single_item_reduces() {
+        let data = [5u64];
+        assert_eq!(data.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b), 5);
+    }
+}

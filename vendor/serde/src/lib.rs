@@ -1,0 +1,234 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this vendored crate provides the subset of serde's API the workspace
+//! actually uses: the [`Serialize`] / [`Deserialize`] traits, their derive
+//! macros, and impls for the std types that appear in serialized structs.
+//!
+//! Instead of serde's visitor-based data model, [`Serialize`] lowers a value
+//! into a [`Content`] tree that `serde_json` renders. The derive macros are
+//! implemented in `serde_derive` by hand-parsing the token stream (no `syn`
+//! or `quote` available offline).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree — the intermediate form between a Rust value
+/// and its JSON rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (unit, unit structs, `None`, non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string (also unit enum variants and map keys).
+    Str(String),
+    /// An ordered sequence (slices, tuples, tuple structs).
+    Seq(Vec<Content>),
+    /// An ordered string-keyed map (structs, maps, data-carrying variants).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Render this content as a JSON object key, as serde_json does for
+    /// string and integer map keys.
+    pub fn as_key(&self) -> String {
+        match self {
+            Content::Str(s) => s.clone(),
+            Content::I64(i) => i.to_string(),
+            Content::U64(u) => u.to_string(),
+            Content::Bool(b) => b.to_string(),
+            other => panic!("unsupported map key content: {other:?}"),
+        }
+    }
+}
+
+/// A value that can be lowered to a [`Content`] tree.
+pub trait Serialize {
+    /// Lower `self` into the serde data model.
+    fn to_content(&self) -> Content;
+}
+
+/// Marker trait mirroring serde's `Deserialize`.
+///
+/// Nothing in the workspace deserializes yet, so the derive emits an empty
+/// impl; the trait exists so `#[derive(Deserialize)]` and trait bounds keep
+/// compiling unchanged once a real serde is swapped back in.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_int {
+    ($variant:ident: $($t:ty),+) => {
+        $(impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::$variant(*self as _)
+            }
+        })+
+    };
+}
+
+impl_int!(I64: i8, i16, i32, i64, isize);
+impl_int!(U64: u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content().as_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content().as_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_content() {
+        assert_eq!(3u32.to_content(), Content::U64(3));
+        assert_eq!((-2i64).to_content(), Content::I64(-2));
+        assert_eq!(1.5f64.to_content(), Content::F64(1.5));
+        assert_eq!("x".to_content(), Content::Str("x".into()));
+        assert_eq!(Option::<u8>::None.to_content(), Content::Null);
+    }
+
+    #[test]
+    fn collections_lower_recursively() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(
+            v.to_content(),
+            Content::Seq(vec![Content::U64(1), Content::U64(2), Content::U64(3)])
+        );
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        assert_eq!(
+            m.to_content(),
+            Content::Map(vec![("a".to_string(), Content::U64(1))])
+        );
+    }
+}

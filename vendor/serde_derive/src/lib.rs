@@ -1,0 +1,290 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable without a network, so the derives parse the
+//! `proc_macro::TokenStream` by hand. Coverage is deliberately limited to the
+//! shapes that occur in this workspace: non-generic structs (named, tuple,
+//! unit) and non-generic enums (unit, tuple, and struct variants). Anything
+//! else fails the build with a clear message rather than silently
+//! mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize` by lowering the value into `serde::Content`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..n)
+                .map(|i| format!("serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("serde::Content::Seq(vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| arm_for(&name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive the marker trait `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _shape) = parse_input(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+/// Externally-tagged representation, matching serde's default for enums.
+fn arm_for(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        VariantFields::Unit => format!(
+            "{enum_name}::{vname} => serde::Content::Str(\"{vname}\".to_string()),"
+        ),
+        VariantFields::Tuple(1) => format!(
+            "{enum_name}::{vname}(f0) => serde::Content::Map(vec![(\"{vname}\".to_string(), \
+             serde::Serialize::to_content(f0))]),"
+        ),
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("serde::Serialize::to_content({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{vname}({}) => serde::Content::Map(vec![(\"{vname}\".to_string(), \
+                 serde::Content::Seq(vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_content({f}))"))
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {} }} => serde::Content::Map(vec![(\"{vname}\".to_string(), \
+                 serde::Content::Map(vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+/// Parse `[attrs] [vis] (struct|enum) Name <no generics> body`.
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, possibly followed by `(crate)` — the group is
+                // consumed by the next loop turn if present.
+            }
+            Some(TokenTree::Group(_)) => {} // `(crate)` after `pub`
+            other => panic!("unexpected token before struct/enum keyword: {other:?}"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+    let shape = if kind == "struct" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for `{name}`: {other:?}"),
+        }
+    };
+    (name, shape)
+}
+
+/// Field names of a named-field body (`a: T, b: U, ...`).
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        let field = loop {
+            match iter.next() {
+                None => return names,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if matches!(iter.peek(), Some(TokenTree::Group(_))) {
+                        iter.next(); // `(crate)` etc.
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => panic!("unexpected token in named fields: {other:?}"),
+            }
+        };
+        names.push(field);
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_type_until_comma(&mut iter);
+    }
+}
+
+/// Consume type tokens up to (and including) the next top-level comma,
+/// treating `<...>` nesting as one level (angle brackets are bare puncts in
+/// the token stream, unlike delimited groups).
+fn skip_type_until_comma(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    while let Some(tt) = iter.peek() {
+        if let TokenTree::Punct(p) = tt {
+            let c = p.as_char();
+            if c == ',' && angle_depth == 0 {
+                iter.next();
+                return;
+            }
+            if c == '<' {
+                angle_depth += 1;
+            } else if c == '>' && !prev_dash {
+                angle_depth -= 1;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+        iter.next();
+    }
+}
+
+/// Number of fields in a tuple body — top-level commas + 1 (angle-aware).
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tt in stream {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &tt {
+            let c = p.as_char();
+            if c == ',' && angle_depth == 0 {
+                commas += 1;
+                trailing_comma = true;
+            } else if c == '<' {
+                angle_depth += 1;
+            } else if c == '>' && !prev_dash {
+                angle_depth -= 1;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+    if !any {
+        return 0;
+    }
+    commas + if trailing_comma { 0 } else { 1 }
+}
+
+/// Parse enum variants: `[attrs] Name [(..) | {..}] [= disc] , ...`.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let name = loop {
+            match iter.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => panic!("unexpected token in enum body: {other:?}"),
+            }
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level_fields(g.stream());
+                iter.next();
+                VariantFields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = named_field_names(g.stream());
+                iter.next();
+                VariantFields::Named(names)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        for tt in iter.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+}

@@ -1,0 +1,164 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the [`serde::Content`] tree produced by the vendored serde shim as
+//! JSON text. Only the serialization entry points the workspace uses are
+//! provided ([`to_string`], [`to_string_pretty`]).
+
+use std::fmt::Write as _;
+
+use serde::{Content, Serialize};
+
+/// Serialization error.
+///
+/// The shim's data model is infallible, so this is never constructed; it
+/// exists to keep serde_json's `Result` signatures source-compatible.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_content(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as a pretty-printed (2-space indent) JSON string.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_content(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(c: &Content, indent: Option<usize>, depth: usize, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Content::I64(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Content::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Content::F64(x) => {
+            if x.is_finite() {
+                // Match serde_json: integral floats keep a `.0` suffix.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{x:.1}");
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => render_string(s, out),
+        Content::Seq(items) => render_block('[', ']', items.len(), indent, depth, out, |i, out| {
+            render(&items[i], indent, depth + 1, out);
+        }),
+        Content::Map(entries) => {
+            render_block('{', '}', entries.len(), indent, depth, out, |i, out| {
+                let (k, v) = &entries[i];
+                render_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(v, indent, depth + 1, out);
+            })
+        }
+    }
+}
+
+fn render_block(
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    mut item: impl FnMut(usize, &mut String),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(n) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', n * (depth + 1)));
+        }
+        item(i, out);
+    }
+    if let Some(n) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', n * depth));
+    }
+    out.push(close);
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = vec![1u64, 2];
+        assert_eq!(to_string(&v).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn pretty_rendering_indents_maps() {
+        let c = Content::Map(vec![
+            ("a".to_string(), Content::U64(1)),
+            ("b".to_string(), Content::Seq(vec![Content::Bool(true)])),
+        ]);
+        struct Raw(Content);
+        impl Serialize for Raw {
+            fn to_content(&self) -> Content {
+                self.0.clone()
+            }
+        }
+        let s = to_string_pretty(&Raw(c)).unwrap();
+        assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+    }
+
+    #[test]
+    fn floats_and_escapes() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&"a\"b").unwrap(), "\"a\\\"b\"");
+    }
+}
