@@ -3,8 +3,22 @@
 #
 #   ./ci.sh         # tier-1 verify + lint + docs
 #   ./ci.sh quick   # tier-1 verify only
+#   ./ci.sh bench   # run the Criterion-style benches and record
+#                   # before/after medians in BENCH_fliptracker.json
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "bench" ]]; then
+    echo "==> bench mode: collecting medians from the three bench suites"
+    medians="target/criterion-medians.jsonl"
+    rm -f "$medians"
+    for bench in analysis_costs tracing_overhead campaign_throughput; do
+        CRITERION_JSON="$PWD/$medians" cargo bench -p ftkr-bench --bench "$bench"
+    done
+    cargo run --release -q -p ftkr-bench --bin bench_report -- \
+        "$medians" crates/bench/baseline_seed.jsonl BENCH_fliptracker.json
+    exit 0
+fi
 
 echo "==> tier-1: cargo build --release"
 cargo build --release

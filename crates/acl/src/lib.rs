@@ -19,7 +19,14 @@
 //! [`AclTable::build`] produces the per-instruction counts (the last row of
 //! the paper's Figure 3), the birth/death log of every corrupted location,
 //! and the final corrupted set.
+//!
+//! The builder runs once per injection, which makes it the most expensive
+//! analysis stage of Table-I-scale hunts; it therefore works in the trace's
+//! dense [`ftkr_vm::LocationId`] space (flat last-access tables and a bitmap
+//! taint set).  The original hash-based algorithm is retained in
+//! [`mod@reference`] for differential testing.
 
+pub mod reference;
 pub mod table;
 
 pub use table::{AclDeath, AclTable, DeathCause};

@@ -1,8 +1,13 @@
 //! Construction of the ACL table from a faulty trace.
+//!
+//! The builder is the hottest analysis stage of the pipeline (it runs once
+//! per injection), so it works entirely in the trace's dense [`LocationId`]
+//! space: flat `Vec<u32>` last-access tables, a counting-sort reverse index
+//! of death events, and a bitmap taint set — no hash maps.  The retained
+//! hash-based implementation lives in [`crate::reference`] and is compared
+//! against this one by the workspace property tests.
 
-use std::collections::{HashMap, HashSet};
-
-use ftkr_vm::{FaultSpec, FaultTarget, Location, Trace};
+use ftkr_vm::{FaultSpec, FaultTarget, Location, LocationId, Trace};
 
 /// Why a corrupted location stopped being alive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +50,83 @@ pub struct AclTable {
     pub tainted_reads: Vec<bool>,
 }
 
+/// Sentinel for "never accessed" in the dense last-access table.
+const NEVER: u32 = u32::MAX;
+
+/// Dense bitmap over the trace's location-id space, with a live counter —
+/// the taint set of the ACL sweep.
+struct TaintSet {
+    words: Vec<u64>,
+    alive: u32,
+}
+
+impl TaintSet {
+    fn new(num_locations: usize) -> Self {
+        TaintSet {
+            words: vec![0u64; num_locations.div_ceil(64)],
+            alive: 0,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, id: LocationId) -> bool {
+        let i = id.index();
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Set the bit; true if it was newly set.
+    #[inline]
+    fn insert(&mut self, id: LocationId) -> bool {
+        let i = id.index();
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *word & mask != 0 {
+            return false;
+        }
+        *word |= mask;
+        self.alive += 1;
+        true
+    }
+
+    /// Clear the bit; true if it was set.
+    #[inline]
+    fn remove(&mut self, id: LocationId) -> bool {
+        let i = id.index();
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if *word & mask == 0 {
+            return false;
+        }
+        *word &= !mask;
+        self.alive -= 1;
+        true
+    }
+
+    /// Ids of all set bits, ascending.
+    fn iter_set(&self) -> impl Iterator<Item = LocationId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            let mut bits = bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(LocationId((w * 64) as u32 + b))
+            })
+        })
+    }
+}
+
+/// A seed corruption with its (optional) interned id: seeds naming locations
+/// the trace never touches have no id and are born dead immediately.
+#[derive(Clone, Copy)]
+struct Seed {
+    event: usize,
+    location: Location,
+    id: Option<LocationId>,
+}
+
 impl AclTable {
     /// Build the table given the seed corruptions: `(event index, location)`
     /// pairs stating that `location` becomes corrupted at the instruction
@@ -52,78 +134,124 @@ impl AclTable {
     /// defining instruction; for a memory fault it is the instruction about
     /// to execute when the cell is struck).
     pub fn build(trace: &Trace, seeds: &[(usize, Location)]) -> AclTable {
-        // Backward pass: last dynamic index at which each location is
-        // *accessed* (read, or written — a pending overwrite keeps the
-        // location of interest, exactly as in Figure 3 of the paper where
-        // Loc_1 stays alive until the instruction that overwrites it).
-        let mut last_access: HashMap<Location, usize> = HashMap::new();
+        let n = trace.len();
+        let nloc = trace.num_locations();
+
+        // Backward-pass equivalent, done forward in one scan: last dynamic
+        // index at which each location is *accessed* (read, or written — a
+        // pending overwrite keeps the location of interest, exactly as in
+        // Figure 3 of the paper where Loc_1 stays alive until the
+        // instruction that overwrites it).
+        let mut last_access: Vec<u32> = vec![NEVER; nloc];
         for (idx, event) in trace.iter() {
-            for &(loc, _) in &event.reads {
-                last_access.insert(loc, idx);
+            for &(id, _) in trace.reads_of(event) {
+                last_access[id.index()] = idx as u32;
             }
-            if let Some((loc, _)) = event.write {
-                last_access.insert(loc, idx);
+            if let Some((id, _)) = event.write {
+                last_access[id.index()] = idx as u32;
             }
-        }
-        // Reverse index: locations whose final access is at event i.
-        let mut dies_at: HashMap<usize, Vec<Location>> = HashMap::new();
-        for (&loc, &idx) in &last_access {
-            dies_at.entry(idx).or_default().push(loc);
-        }
-        // Seeds grouped by event.
-        let mut seeds_at: HashMap<usize, Vec<Location>> = HashMap::new();
-        for &(idx, loc) in seeds {
-            seeds_at.entry(idx).or_default().push(loc);
         }
 
-        let mut tainted: HashSet<Location> = HashSet::new();
+        // Reverse index as a counting sort: `dying[die_off[i]..die_off[i+1]]`
+        // holds the ids whose final access is event `i`.
+        let mut die_off: Vec<u32> = vec![0; n + 2];
+        for &la in &last_access {
+            if la != NEVER {
+                die_off[la as usize + 1] += 1;
+            }
+        }
+        for i in 1..die_off.len() {
+            die_off[i] += die_off[i - 1];
+        }
+        let mut dying: Vec<u32> = vec![0; *die_off.last().unwrap_or(&0) as usize];
+        {
+            let mut cursor = die_off.clone();
+            for (id, &la) in last_access.iter().enumerate() {
+                if la != NEVER {
+                    dying[cursor[la as usize] as usize] = id as u32;
+                    cursor[la as usize] += 1;
+                }
+            }
+        }
+
+        // Seeds sorted by event (stable: preserves caller order per event).
+        let mut sorted_seeds: Vec<Seed> = seeds
+            .iter()
+            .map(|&(event, location)| Seed {
+                event,
+                location,
+                id: trace.location_id(&location),
+            })
+            .collect();
+        sorted_seeds.sort_by_key(|s| s.event);
+        let mut next_seed = 0usize;
+
+        let mut tainted = TaintSet::new(nloc);
         let mut table = AclTable {
-            counts: Vec::with_capacity(trace.len()),
-            tainted_reads: Vec::with_capacity(trace.len()),
+            counts: Vec::with_capacity(n),
+            tainted_reads: Vec::with_capacity(n),
             ..Default::default()
         };
 
+        // A corruption that is never accessed from here on is born dead
+        // ("tainted locations that are never used are excluded").
         let birth = |table: &mut AclTable,
-                         tainted: &mut HashSet<Location>,
+                         tainted: &mut TaintSet,
                          idx: usize,
-                         loc: Location,
+                         id: Option<LocationId>,
+                         location: Location,
                          line: u32| {
-            // A corrupted value that is never accessed from here on is born
-            // dead ("tainted locations that are never used are excluded").
-            let lives = matches!(last_access.get(&loc), Some(&lu) if lu >= idx);
+            let lives = matches!(id, Some(id) if {
+                let la = last_access[id.index()];
+                la != NEVER && la as usize >= idx
+            });
             if !lives {
-                table.births.push((idx, loc));
+                table.births.push((idx, location));
                 table.deaths.push(AclDeath {
                     event: idx,
-                    location: loc,
+                    location,
                     cause: DeathCause::NeverUsedAgain,
                     line,
                 });
                 return;
             }
-            if tainted.insert(loc) {
-                table.births.push((idx, loc));
+            let id = id.expect("live seed has an id");
+            if tainted.insert(id) {
+                table.births.push((idx, location));
             }
         };
 
         for (idx, event) in trace.iter() {
             // Seed corruptions strike at this instruction.
-            let seeded_here: &[Location] = seeds_at.get(&idx).map(Vec::as_slice).unwrap_or(&[]);
-            for &loc in seeded_here {
-                birth(&mut table, &mut tainted, idx, loc, event.line);
+            let seed_start = next_seed;
+            while next_seed < sorted_seeds.len() && sorted_seeds[next_seed].event == idx {
+                let s = sorted_seeds[next_seed];
+                birth(&mut table, &mut tainted, idx, s.id, s.location, event.line);
+                next_seed += 1;
             }
+            let seeded_here = &sorted_seeds[seed_start..next_seed];
 
-            let reads_tainted = event.reads.iter().any(|(l, _)| tainted.contains(l));
+            let reads_tainted = trace
+                .reads_of(event)
+                .iter()
+                .any(|&(id, _)| tainted.contains(id));
             table.tainted_reads.push(reads_tainted);
 
-            if let Some((wloc, _)) = event.write {
+            if let Some((wid, _)) = event.write {
                 if reads_tainted {
-                    birth(&mut table, &mut tainted, idx, wloc, event.line);
-                } else if !seeded_here.contains(&wloc) && tainted.remove(&wloc) {
+                    birth(
+                        &mut table,
+                        &mut tainted,
+                        idx,
+                        Some(wid),
+                        trace.location(wid),
+                        event.line,
+                    );
+                } else if !seeded_here.iter().any(|s| s.id == Some(wid)) && tainted.remove(wid) {
                     // Overwritten by a value not derived from corrupted data.
                     table.deaths.push(AclDeath {
                         event: idx,
-                        location: wloc,
+                        location: trace.location(wid),
                         cause: DeathCause::Overwritten,
                         line: event.line,
                     });
@@ -132,23 +260,25 @@ impl AclTable {
 
             // Corrupted locations whose final access is this instruction will
             // never be referenced again: they die here.
-            if let Some(locs) = dies_at.get(&idx) {
-                for &loc in locs {
-                    if tainted.remove(&loc) {
-                        table.deaths.push(AclDeath {
-                            event: idx,
-                            location: loc,
-                            cause: DeathCause::NeverUsedAgain,
-                            line: event.line,
-                        });
-                    }
+            let dying_here =
+                &dying[die_off[idx] as usize..die_off[idx + 1] as usize];
+            for &raw in dying_here {
+                let id = LocationId(raw);
+                if tainted.remove(id) {
+                    table.deaths.push(AclDeath {
+                        event: idx,
+                        location: trace.location(id),
+                        cause: DeathCause::NeverUsedAgain,
+                        line: event.line,
+                    });
                 }
             }
 
-            table.counts.push(tainted.len() as u32);
+            table.counts.push(tainted.alive);
         }
 
-        let mut final_corrupted: Vec<Location> = tainted.into_iter().collect();
+        let mut final_corrupted: Vec<Location> =
+            tainted.iter_set().map(|id| trace.location(id)).collect();
         final_corrupted.sort();
         table.final_corrupted = final_corrupted;
         table
@@ -165,7 +295,7 @@ impl AclTable {
                     .events
                     .get(step)
                     .and_then(|e| e.write)
-                    .map(|(loc, _)| vec![(step, loc)])
+                    .map(|(id, _)| vec![(step, trace.location(id))])
                     .unwrap_or_default()
             }
             FaultTarget::MemoryCell { addr } => {
@@ -186,18 +316,28 @@ impl AclTable {
     }
 
     /// `(event, count)` series, down-sampled to at most `max_points` points —
-    /// the series plotted in Figure 7 of the paper.
+    /// the series plotted in Figure 7 of the paper.  The first and last
+    /// events are always included (when `max_points >= 2`).
     pub fn series(&self, max_points: usize) -> Vec<(usize, u32)> {
-        if self.counts.is_empty() || max_points == 0 {
+        let len = self.counts.len();
+        if len == 0 || max_points == 0 {
             return Vec::new();
         }
-        let stride = (self.counts.len() / max_points).max(1);
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % stride == 0 || *i + 1 == self.counts.len())
-            .map(|(i, &c)| (i, c))
-            .collect()
+        if len <= max_points {
+            return self.counts.iter().copied().enumerate().collect();
+        }
+        if max_points == 1 {
+            return vec![(len - 1, self.counts[len - 1])];
+        }
+        // stride ≥ (len-1)/(max_points-1) guarantees at most max_points-1
+        // stride samples in [0, len-2], plus the forced final point.
+        let stride = (len - 1).div_ceil(max_points - 1);
+        let mut out: Vec<(usize, u32)> = (0..len - 1)
+            .step_by(stride)
+            .map(|i| (i, self.counts[i]))
+            .collect();
+        out.push((len - 1, self.counts[len - 1]));
+        out
     }
 
     /// Events at which the alive-corrupted count decreased — the candidate
@@ -223,10 +363,10 @@ impl AclTable {
 mod tests {
     use super::*;
     use ftkr_ir::{BinKind, FunctionId, ValueId};
-    use ftkr_vm::{EventKind, TraceEvent, Value};
+    use ftkr_vm::{EventKind, ResolvedEvent, Trace, Value};
 
-    fn ev(reads: Vec<Location>, write: Option<Location>) -> TraceEvent {
-        TraceEvent {
+    fn ev(reads: Vec<Location>, write: Option<Location>) -> ResolvedEvent {
+        ResolvedEvent {
             func: FunctionId(0),
             frame: 0,
             inst: ValueId(0),
@@ -252,23 +392,21 @@ mod tests {
         let loc1 = Location::mem(1);
         let loc2 = Location::mem(2);
         let other = Location::mem(99);
-        let trace = Trace {
-            events: vec![
-                // dynamic instruction 1 (index 0): produces Loc_1 (fault here)
-                ev(vec![], Some(loc1)),
-                // instruction 2: unrelated
-                ev(vec![other], Some(other)),
-                // instruction 3: reads Loc_1, writes Loc_2
-                ev(vec![loc1, other], Some(loc2)),
-                // instruction 4: unrelated
-                ev(vec![other], Some(other)),
-                // instruction 5: overwrites Loc_1 with clean data; also the
-                // last time Loc_2 is of interest is later...
-                ev(vec![other], Some(loc1)),
-                // instruction 6: reads Loc_2 for the last time
-                ev(vec![loc2], Some(other)),
-            ],
-        };
+        let trace = Trace::from_resolved(vec![
+            // dynamic instruction 1 (index 0): produces Loc_1 (fault here)
+            ev(vec![], Some(loc1)),
+            // instruction 2: unrelated
+            ev(vec![other], Some(other)),
+            // instruction 3: reads Loc_1, writes Loc_2
+            ev(vec![loc1, other], Some(loc2)),
+            // instruction 4: unrelated
+            ev(vec![other], Some(other)),
+            // instruction 5: overwrites Loc_1 with clean data; also the
+            // last time Loc_2 is of interest is later...
+            ev(vec![other], Some(loc1)),
+            // instruction 6: reads Loc_2 for the last time
+            ev(vec![loc2], Some(other)),
+        ]);
         // The injected error corrupts the result of instruction 1 (index 0).
         let table = AclTable::build(&trace, &[(0, loc1)]);
         assert_eq!(table.counts, vec![1, 1, 2, 2, 1, 0]);
@@ -290,9 +428,10 @@ mod tests {
     #[test]
     fn corrupted_value_never_read_again_is_born_dead() {
         let loc = Location::mem(5);
-        let trace = Trace {
-            events: vec![ev(vec![], Some(loc)), ev(vec![Location::mem(9)], None)],
-        };
+        let trace = Trace::from_resolved(vec![
+            ev(vec![], Some(loc)),
+            ev(vec![Location::mem(9)], None),
+        ]);
         let table = AclTable::build(&trace, &[(0, loc)]);
         assert_eq!(table.counts, vec![0, 0]);
         assert_eq!(table.births.len(), 1);
@@ -301,18 +440,28 @@ mod tests {
     }
 
     #[test]
+    fn seeds_on_locations_the_trace_never_touches_are_born_dead() {
+        let trace = Trace::from_resolved(vec![ev(vec![Location::mem(1)], None)]);
+        let ghost = Location::mem(777);
+        let table = AclTable::build(&trace, &[(0, ghost)]);
+        assert_eq!(table.counts, vec![0]);
+        assert_eq!(table.births, vec![(0, ghost)]);
+        assert_eq!(table.deaths.len(), 1);
+        assert_eq!(table.deaths[0].location, ghost);
+        assert!(table.fully_cleaned());
+    }
+
+    #[test]
     fn taint_propagates_through_chains_and_survives_at_end() {
         let a = Location::mem(1);
         let b = Location::mem(2);
         let c = Location::mem(3);
-        let trace = Trace {
-            events: vec![
-                ev(vec![], Some(a)),
-                ev(vec![a], Some(b)),
-                ev(vec![b], Some(c)),
-                ev(vec![c], None), // c read at the end (e.g. output)
-            ],
-        };
+        let trace = Trace::from_resolved(vec![
+            ev(vec![], Some(a)),
+            ev(vec![a], Some(b)),
+            ev(vec![b], Some(c)),
+            ev(vec![c], None), // c read at the end (e.g. output)
+        ]);
         let table = AclTable::build(&trace, &[(0, a)]);
         // a dies after event 1 (its last read), b after event 2, c stays
         // alive through event 3 where it is read by the final event... and
@@ -320,9 +469,12 @@ mod tests {
         assert_eq!(table.counts, vec![1, 1, 1, 0]);
         assert!(table.fully_cleaned());
         let t2 = AclTable::build(
-            &Trace {
-                events: vec![ev(vec![], Some(a)), ev(vec![a], Some(b)), ev(vec![b], Some(c)), ev(vec![c], Some(b))],
-            },
+            &Trace::from_resolved(vec![
+                ev(vec![], Some(a)),
+                ev(vec![a], Some(b)),
+                ev(vec![b], Some(c)),
+                ev(vec![c], Some(b)),
+            ]),
             &[(0, a)],
         );
         // b is re-corrupted by the final write but never read => dead; final
@@ -333,9 +485,10 @@ mod tests {
     #[test]
     fn memory_fault_seeds_from_fault_spec() {
         let loc = Location::mem(7);
-        let trace = Trace {
-            events: vec![ev(vec![loc], Some(Location::mem(8))), ev(vec![Location::mem(8)], None)],
-        };
+        let trace = Trace::from_resolved(vec![
+            ev(vec![loc], Some(Location::mem(8))),
+            ev(vec![Location::mem(8)], None),
+        ]);
         let fault = FaultSpec::in_memory(0, 7, 3);
         let table = AclTable::from_fault(&trace, &fault);
         // m[7] corrupted before event 0; it propagates to m[8].
@@ -346,9 +499,7 @@ mod tests {
     #[test]
     fn result_fault_seeds_from_fault_spec() {
         let loc = Location::mem(7);
-        let trace = Trace {
-            events: vec![ev(vec![], Some(loc)), ev(vec![loc], None)],
-        };
+        let trace = Trace::from_resolved(vec![ev(vec![], Some(loc)), ev(vec![loc], None)]);
         let fault = FaultSpec::in_result(0, 10);
         let table = AclTable::from_fault(&trace, &fault);
         assert_eq!(table.counts, vec![1, 0]);
@@ -361,7 +512,7 @@ mod tests {
         for _ in 0..99 {
             events.push(ev(vec![loc], None));
         }
-        let trace = Trace { events };
+        let trace = Trace::from_resolved(events);
         let table = AclTable::build(&trace, &[(0, loc)]);
         assert_eq!(table.counts.len(), 100);
         let series = table.series(10);
@@ -372,11 +523,38 @@ mod tests {
     }
 
     #[test]
+    fn series_never_exceeds_max_points() {
+        let loc = Location::mem(1);
+        for len in [1usize, 2, 3, 9, 10, 11, 97, 100, 101, 1000] {
+            let mut events = vec![ev(vec![], Some(loc))];
+            for _ in 1..len {
+                events.push(ev(vec![loc], None));
+            }
+            let trace = Trace::from_resolved(events);
+            let table = AclTable::build(&trace, &[(0, loc)]);
+            for max_points in [1usize, 2, 3, 7, 10, 12, 1000] {
+                let series = table.series(max_points);
+                assert!(
+                    series.len() <= max_points,
+                    "len {len}, max_points {max_points}: got {} points",
+                    series.len()
+                );
+                assert!(!series.is_empty());
+                // The final count is always present.
+                assert_eq!(series.last().unwrap().0, len - 1);
+                if max_points >= 2 {
+                    assert_eq!(series.first().unwrap().0, 0);
+                }
+                // Events are strictly increasing.
+                assert!(series.windows(2).all(|w| w[0].0 < w[1].0));
+            }
+        }
+    }
+
+    #[test]
     fn clean_overwrite_of_untainted_location_is_not_a_death() {
         let loc = Location::mem(1);
-        let trace = Trace {
-            events: vec![ev(vec![], Some(loc)), ev(vec![loc], None)],
-        };
+        let trace = Trace::from_resolved(vec![ev(vec![], Some(loc)), ev(vec![loc], None)]);
         let table = AclTable::build(&trace, &[]);
         assert_eq!(table.counts, vec![0, 0]);
         assert!(table.deaths.is_empty());

@@ -32,12 +32,40 @@ fn analysis_costs(c: &mut Criterion) {
         })
     });
 
+    group.bench_function("trace_generation_mg_presized", |b| {
+        b.iter(|| {
+            Vm::new(VmConfig::tracing_sized(clean_run.steps))
+                .run(std::hint::black_box(&app.module))
+                .unwrap()
+                .steps
+        })
+    });
+
     group.bench_function("untraced_execution_mg", |b| {
         b.iter(|| {
             Vm::new(VmConfig::default())
                 .run(std::hint::black_box(&app.module))
                 .unwrap()
                 .steps
+        })
+    });
+
+    // Region-scoped tracing of the largest first-level region instance.
+    let scoped_regions =
+        partition_regions(&clean, &app.module, &RegionSelector::FirstLevelInner);
+    let scoped = scoped_regions
+        .iter()
+        .max_by_key(|r| r.len())
+        .expect("MG has regions");
+    group.bench_function("region_scoped_tracing_mg", |b| {
+        b.iter(|| {
+            Vm::new(VmConfig::tracing_region(
+                scoped.start as u64,
+                scoped.end as u64,
+            ))
+            .run(std::hint::black_box(&app.module))
+            .unwrap()
+            .steps
         })
     });
 
@@ -59,7 +87,7 @@ fn analysis_costs(c: &mut Criterion) {
         .expect("MG has regions")
         .clone();
     group.bench_function("dddg_construction_largest_region", |b| {
-        b.iter(|| Dddg::from_events(std::hint::black_box(instance_slice(&clean, &biggest))).num_nodes())
+        b.iter(|| Dddg::from_slice(std::hint::black_box(instance_slice(&clean, &biggest))).num_nodes())
     });
 
     group.bench_function("acl_construction_mg", |b| {

@@ -1,0 +1,135 @@
+//! Merge fresh Criterion-style medians with the recorded seed baseline into
+//! `BENCH_fliptracker.json`, so the workspace's perf trajectory is tracked
+//! from PR to PR.
+//!
+//! ```sh
+//! bench_report <fresh.jsonl> <baseline.jsonl> <out.json>
+//! ```
+//!
+//! Both inputs are JSON-lines files of
+//! `{"name": ..., "median_ns": ..., "samples": ...}` records — the format the
+//! vendored criterion shim appends when `CRITERION_JSON` is set (see
+//! `ci.sh bench`, which wires the whole flow).
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+/// Before/after medians of one benchmark.
+#[derive(Debug, Clone, Serialize)]
+struct BenchEntry {
+    /// Benchmark name (`group/function[/param]`).
+    name: String,
+    /// Seed ("before") median in nanoseconds, when recorded.
+    before_ns: Option<u64>,
+    /// Fresh ("after") median in nanoseconds.
+    after_ns: Option<u64>,
+    /// `before_ns / after_ns` — above 1.0 means faster than the seed.
+    speedup: Option<f64>,
+}
+
+/// The whole report.
+#[derive(Debug, Clone, Serialize)]
+struct Report {
+    /// Per-benchmark before/after medians.
+    benchmarks: Vec<BenchEntry>,
+    /// Tracing overhead ratio (traced / plain wall time, MG) before/after —
+    /// the paper's Figure-4 cost, tracked by the ROADMAP.
+    tracing_overhead_ratio_mg_before: Option<f64>,
+    tracing_overhead_ratio_mg_after: Option<f64>,
+    /// ACL construction speedup vs the seed (the Table-I hot path).
+    acl_construction_speedup: Option<f64>,
+}
+
+/// Parse one `{"name":...,"median_ns":...,"samples":...}` line of the shim's
+/// JSONL output (flat format under our control — no JSON parser needed, the
+/// vendored serde_json shim is serialize-only).
+fn parse_line(line: &str) -> Option<(String, u64)> {
+    let name = line.split("\"name\":\"").nth(1)?.split('"').next()?;
+    let median = line
+        .split("\"median_ns\":")
+        .nth(1)?
+        .split(|c: char| !c.is_ascii_digit())
+        .next()?
+        .parse()
+        .ok()?;
+    Some((name.to_string(), median))
+}
+
+fn load(path: &str) -> BTreeMap<String, u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("bench_report: warning: cannot read {path}; treating as empty");
+        return BTreeMap::new();
+    };
+    // Later lines win, so re-running a bench within one collection session
+    // records the freshest median.
+    text.lines().filter_map(parse_line).collect()
+}
+
+fn ratio(num: Option<&u64>, den: Option<&u64>) -> Option<f64> {
+    match (num, den) {
+        (Some(&n), Some(&d)) if d > 0 => Some(n as f64 / d as f64),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [fresh_path, baseline_path, out_path] = match args.as_slice() {
+        [a, b, c] => [a.clone(), b.clone(), c.clone()],
+        _ => {
+            eprintln!("usage: bench_report <fresh.jsonl> <baseline.jsonl> <out.json>");
+            std::process::exit(2);
+        }
+    };
+
+    let fresh = load(&fresh_path);
+    let baseline = load(&baseline_path);
+
+    let mut names: Vec<&String> = baseline.keys().chain(fresh.keys()).collect();
+    names.sort();
+    names.dedup();
+
+    let benchmarks: Vec<BenchEntry> = names
+        .into_iter()
+        .map(|name| {
+            let before_ns = baseline.get(name).copied();
+            let after_ns = fresh.get(name).copied();
+            BenchEntry {
+                name: name.clone(),
+                before_ns,
+                after_ns,
+                speedup: ratio(before_ns.as_ref(), after_ns.as_ref()),
+            }
+        })
+        .collect();
+
+    let report = Report {
+        tracing_overhead_ratio_mg_before: ratio(
+            baseline.get("tracing_overhead/traced/MG"),
+            baseline.get("tracing_overhead/plain/MG"),
+        ),
+        tracing_overhead_ratio_mg_after: ratio(
+            fresh.get("tracing_overhead/traced/MG"),
+            fresh.get("tracing_overhead/plain/MG"),
+        ),
+        acl_construction_speedup: ratio(
+            baseline.get("analysis/acl_construction_mg"),
+            fresh.get("analysis/acl_construction_mg"),
+        ),
+        benchmarks,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json).expect("write report");
+    println!("bench_report: wrote {out_path}");
+    if let (Some(b), Some(a)) = (
+        report.tracing_overhead_ratio_mg_before,
+        report.tracing_overhead_ratio_mg_after,
+    ) {
+        println!("bench_report: tracing overhead ratio (MG): {b:.2}x -> {a:.2}x");
+    }
+    if let Some(s) = report.acl_construction_speedup {
+        println!("bench_report: ACL construction speedup vs seed: {s:.2}x");
+    }
+}

@@ -295,7 +295,7 @@ pub fn fig5(effort: &Effort) -> SuccessRateSeries {
         for view in region_views(&app, clean) {
             let slice = instance_slice(clean, &view.instance);
             let internal = internal_sites(clean, view.instance.start, view.instance.end);
-            let dddg = Dddg::from_events(slice);
+            let dddg = Dddg::from_slice(slice);
             let input = input_sites(view.instance.start, &dddg.inputs());
             if !internal.is_empty() {
                 points.push(campaign_point(
@@ -336,7 +336,7 @@ pub fn fig6(effort: &Effort, max_iterations: usize) -> SuccessRateSeries {
             let label = format!("iter{}", inst.instance + 1);
             let internal = internal_sites(clean, inst.start, inst.end);
             let slice = instance_slice(clean, inst);
-            let dddg = Dddg::from_events(slice);
+            let dddg = Dddg::from_slice(slice);
             let input = input_sites(inst.start, &dddg.inputs());
             if !internal.is_empty() {
                 points.push(campaign_point(
@@ -419,6 +419,7 @@ pub fn fig7() -> Fig7 {
     let fault = FaultSpec::in_result(step as u64, 52);
     let config = VmConfig {
         record_trace: true,
+        trace_hint: Some(clean_run.steps),
         fault: Some(fault),
         max_steps: clean_run.steps * 10 + 10_000,
         ..VmConfig::default()
@@ -506,10 +507,15 @@ impl Table2 {
 /// Value of memory cell `addr` at dynamic step `end` according to a trace
 /// (last store before `end`, or the initial value if it was never stored).
 fn cell_value_at(trace: &ftkr_vm::Trace, addr: u64, end: usize, initial: f64) -> f64 {
+    // Resolve the cell's id once; if the trace never touches it, its value
+    // never changes.
+    let Some(id) = trace.location_id(&Location::mem(addr)) else {
+        return initial;
+    };
     let mut value = initial;
     for event in trace.events.iter().take(end) {
-        if let Some((Location::Mem { addr: a }, v)) = event.write {
-            if a == addr {
+        if let Some((wid, v)) = event.write {
+            if wid == id {
                 value = v.to_f64_lossy();
             }
         }
@@ -534,6 +540,7 @@ pub fn table2(element: usize, bit: u8) -> Table2 {
 
     let config = VmConfig {
         record_trace: true,
+        trace_hint: Some(clean_run.steps),
         fault: Some(fault),
         max_steps: clean_run.steps * 10 + 10_000,
         ..VmConfig::default()

@@ -72,9 +72,12 @@ pub fn analyze_injection(app: &App, fault: Option<FaultSpec>) -> Option<Injectio
         None => default_fault(app, &clean)?,
     };
 
-    // Faulty traced run.
+    // Faulty traced run, pre-sized from the fault-free step count (completed
+    // faulty runs of a deterministic program execute the same number of
+    // dynamic instructions unless control flow diverges).
     let faulty_config = VmConfig {
         record_trace: true,
+        trace_hint: Some(clean_run.steps),
         fault: Some(fault),
         max_steps: clean_run.steps * 10 + 10_000,
         ..VmConfig::default()
@@ -112,13 +115,13 @@ pub fn analyze_injection(app: &App, fault: Option<FaultSpec>) -> Option<Injectio
         if faulty_inst.end <= fault.at_step as usize {
             continue;
         }
-        let clean_dddg = Dddg::from_events(instance_slice(&clean, clean_inst));
-        let faulty_dddg = Dddg::from_events(instance_slice(&faulty, faulty_inst));
+        let clean_dddg = Dddg::from_slice(instance_slice(&clean, clean_inst));
+        let faulty_dddg = Dddg::from_slice(instance_slice(&faulty, faulty_inst));
         let cmp = compare_io(
             &clean_dddg,
             &faulty_dddg,
-            &clean.events[clean_inst.end.min(clean.len())..],
-            &faulty.events[faulty_inst.end.min(faulty.len())..],
+            clean.slice(clean_inst.end.min(clean.len()), clean.len()),
+            faulty.slice(faulty_inst.end.min(faulty.len()), faulty.len()),
         );
         if cmp.case != ToleranceCase::NotAffected {
             region_cases.push((clean_inst.key.name.clone(), cmp.case));

@@ -75,6 +75,7 @@ pub fn region_table(app: &App, effort: &Effort) -> Vec<RegionPatternSummary> {
                     let fault = site.with_bit(bit);
                     let config = VmConfig {
                         record_trace: true,
+                        trace_hint: Some(clean_run.steps),
                         fault: Some(fault),
                         max_steps: clean_run.steps * 10 + 10_000,
                         ..VmConfig::default()

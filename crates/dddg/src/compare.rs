@@ -80,14 +80,15 @@ fn diff(
 
 /// Compare the inputs and outputs of a matched pair of region-instance DDDGs.
 ///
-/// `clean_later` / `faulty_later` are the events following each instance and
-/// are used to decide which written locations are true outputs (live after the
-/// region).  Pass empty slices to fall back to leaf outputs.
+/// `clean_later` / `faulty_later` are the trace slices following each
+/// instance (of the same traces the DDDGs were built from) and are used to
+/// decide which written locations are true outputs (live after the region).
+/// Pass empty slices to fall back to leaf outputs.
 pub fn compare_io(
     clean: &Dddg,
     faulty: &Dddg,
-    clean_later: &[ftkr_vm::TraceEvent],
-    faulty_later: &[ftkr_vm::TraceEvent],
+    clean_later: ftkr_vm::TraceSlice<'_>,
+    faulty_later: ftkr_vm::TraceSlice<'_>,
 ) -> IoComparison {
     let clean_inputs = clean.inputs();
     let faulty_inputs = faulty.inputs();
@@ -128,13 +129,13 @@ pub fn compare_io(
 mod tests {
     use super::*;
     use ftkr_ir::{BinKind, FunctionId, ValueId};
-    use ftkr_vm::{EventKind, TraceEvent};
+    use ftkr_vm::{EventKind, ResolvedEvent, Trace};
 
     fn ev(
         reads: Vec<(Location, Value)>,
         write: Option<(Location, Value)>,
-    ) -> TraceEvent {
-        TraceEvent {
+    ) -> ResolvedEvent {
+        ResolvedEvent {
             func: FunctionId(0),
             frame: 0,
             inst: ValueId(0),
@@ -145,49 +146,57 @@ mod tests {
         }
     }
 
+    /// One-event region followed by a read of m[1] (so m[1] is an output).
+    fn region_trace(region: ResolvedEvent) -> Trace {
+        Trace::from_resolved(vec![
+            region,
+            ev(vec![(Location::mem(1), Value::F(0.0))], None),
+        ])
+    }
+
     /// Region computing m[1] = m[0] * 0 — any error in m[0] is masked.
-    fn masking_region(input: f64) -> Vec<TraceEvent> {
-        vec![ev(
+    fn masking_region(input: f64) -> Trace {
+        region_trace(ev(
             vec![(Location::mem(0), Value::F(input))],
             Some((Location::mem(1), Value::F(input * 0.0))),
-        )]
+        ))
     }
 
     /// Region computing m[1] = m[0] (copy) — errors pass straight through.
-    fn copying_region(input: f64) -> Vec<TraceEvent> {
-        vec![ev(
+    fn copying_region(input: f64) -> Trace {
+        region_trace(ev(
             vec![(Location::mem(0), Value::F(input))],
             Some((Location::mem(1), Value::F(input))),
-        )]
+        ))
     }
 
     /// Region computing m[1] = (m[0] + 9*2.0) / 10 — averaging shrinks errors.
-    fn averaging_region(input: f64) -> Vec<TraceEvent> {
+    fn averaging_region(input: f64) -> Trace {
         let out = (input + 18.0) / 10.0;
-        vec![ev(
+        region_trace(ev(
             vec![(Location::mem(0), Value::F(input))],
             Some((Location::mem(1), Value::F(out))),
-        )]
+        ))
     }
 
-    fn later_reads_m1() -> Vec<TraceEvent> {
-        vec![ev(vec![(Location::mem(1), Value::F(0.0))], None)]
+    /// Compare the one-event regions of two traces, using the rest of each
+    /// trace as the "later" liveness window.
+    fn compare(clean: &Trace, faulty: &Trace) -> IoComparison {
+        let c = Dddg::from_slice(clean.slice(0, 1));
+        let f = Dddg::from_slice(faulty.slice(0, 1));
+        compare_io(&c, &f, clean.slice(1, 2), faulty.slice(1, 2))
     }
 
     #[test]
     fn clean_inputs_mean_not_affected() {
-        let clean = Dddg::from_events(&copying_region(2.0));
-        let faulty = Dddg::from_events(&copying_region(2.0));
-        let cmp = compare_io(&clean, &faulty, &later_reads_m1(), &later_reads_m1());
+        let cmp = compare(&copying_region(2.0), &copying_region(2.0));
         assert_eq!(cmp.case, ToleranceCase::NotAffected);
         assert!(!cmp.case.is_tolerant());
     }
 
     #[test]
     fn masked_error_is_case_1() {
-        let clean = Dddg::from_events(&masking_region(2.0));
-        let faulty = Dddg::from_events(&masking_region(2.5));
-        let cmp = compare_io(&clean, &faulty, &later_reads_m1(), &later_reads_m1());
+        let cmp = compare(&masking_region(2.0), &masking_region(2.5));
         assert_eq!(cmp.case, ToleranceCase::Masked);
         assert!(cmp.case.is_tolerant());
         assert_eq!(cmp.corrupted_inputs.len(), 1);
@@ -196,9 +205,7 @@ mod tests {
 
     #[test]
     fn attenuated_error_is_case_2() {
-        let clean = Dddg::from_events(&averaging_region(2.0));
-        let faulty = Dddg::from_events(&averaging_region(4.0));
-        let cmp = compare_io(&clean, &faulty, &later_reads_m1(), &later_reads_m1());
+        let cmp = compare(&averaging_region(2.0), &averaging_region(4.0));
         // input error = 1.0, output error = (2.2 vs 2.0) = 0.1
         assert_eq!(cmp.case, ToleranceCase::Attenuated);
         assert!(cmp.max_output_error < cmp.max_input_error);
@@ -206,18 +213,18 @@ mod tests {
 
     #[test]
     fn propagated_error_is_not_tolerant() {
-        let clean = Dddg::from_events(&copying_region(2.0));
-        let faulty = Dddg::from_events(&copying_region(4.0));
-        let cmp = compare_io(&clean, &faulty, &later_reads_m1(), &later_reads_m1());
+        let cmp = compare(&copying_region(2.0), &copying_region(4.0));
         assert_eq!(cmp.case, ToleranceCase::Propagated);
         assert!(!cmp.case.is_tolerant());
     }
 
     #[test]
     fn leaf_fallback_when_no_later_events() {
-        let clean = Dddg::from_events(&copying_region(2.0));
-        let faulty = Dddg::from_events(&copying_region(4.0));
-        let cmp = compare_io(&clean, &faulty, &[], &[]);
+        let clean_t = copying_region(2.0);
+        let faulty_t = copying_region(4.0);
+        let clean = Dddg::from_slice(clean_t.slice(0, 1));
+        let faulty = Dddg::from_slice(faulty_t.slice(0, 1));
+        let cmp = compare_io(&clean, &faulty, clean_t.slice(1, 1), faulty_t.slice(1, 1));
         assert_eq!(cmp.case, ToleranceCase::Propagated);
     }
 }

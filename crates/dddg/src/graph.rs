@@ -1,8 +1,8 @@
 //! DDDG construction from a trace slice.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-use ftkr_vm::{Location, TraceEvent, Value};
+use ftkr_vm::{Location, LocationId, TraceSlice, Value};
 
 /// Index of a node within a [`Dddg`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -45,61 +45,81 @@ pub struct DddgEdge {
     pub event: usize,
 }
 
+/// Sentinel for "no node yet" in the dense per-location tables.
+const NO_NODE: u32 = u32::MAX;
+
 /// A dynamic data dependence graph for one code-region instance.
+///
+/// Construction works in the owning trace's dense [`LocationId`] space: the
+/// latest-version table is a flat vector indexed by id instead of a hash map
+/// keyed by `Location`, so building a region DDDG costs one pass over the
+/// slice plus one id-indexed array.
 #[derive(Debug, Clone, Default)]
 pub struct Dddg {
     nodes: Vec<DddgNode>,
     edges: Vec<DddgEdge>,
-    /// Latest version of every location touched in the region.
-    latest: HashMap<Location, NodeId>,
-    /// Version-0 node of every location first observed by a read.
-    roots: HashMap<Location, NodeId>,
-    /// Locations that were written at least once inside the region.
-    written: HashSet<Location>,
+    /// Version-0 nodes (locations first observed by a read — the inputs).
+    roots: Vec<NodeId>,
+    /// Final version of every location written inside the region, as
+    /// `(interned id, node)` pairs in first-write order.
+    written_final: Vec<(LocationId, NodeId)>,
 }
 
 impl Dddg {
     /// Build the graph from the events of one region instance.
-    pub fn from_events(events: &[TraceEvent]) -> Self {
+    pub fn from_slice(slice: TraceSlice<'_>) -> Self {
+        let trace = slice.trace();
         let mut g = Dddg::default();
-        for (idx, event) in events.iter().enumerate() {
-            let mut read_nodes = Vec::with_capacity(event.reads.len());
-            for &(loc, value) in &event.reads {
-                let node = match g.latest.get(&loc) {
-                    Some(&n) => n,
-                    None => {
-                        // First observation of this location inside the
-                        // region: it carries a pre-existing value => input.
-                        let n = g.push_node(DddgNode {
-                            location: loc,
-                            version: 0,
-                            value,
-                            def_event: None,
-                            line: event.line,
-                        });
-                        g.latest.insert(loc, n);
-                        g.roots.insert(loc, n);
-                        n
-                    }
+        // Dense per-location tables over the owning trace's id space.
+        let mut latest: Vec<u32> = vec![NO_NODE; trace.num_locations()];
+        let mut written_at: Vec<u32> = vec![NO_NODE; trace.num_locations()];
+        let mut read_nodes: Vec<NodeId> = Vec::new();
+
+        for (idx, view) in slice.iter() {
+            let event = view.event();
+            read_nodes.clear();
+            for &(id, value) in view.read_ids() {
+                let slot = latest[id.index()];
+                let node = if slot != NO_NODE {
+                    NodeId(slot)
+                } else {
+                    // First observation of this location inside the region:
+                    // it carries a pre-existing value => input.
+                    let n = g.push_node(DddgNode {
+                        location: trace.location(id),
+                        version: 0,
+                        value,
+                        def_event: None,
+                        line: event.line,
+                    });
+                    latest[id.index()] = n.0;
+                    g.roots.push(n);
+                    n
                 };
                 read_nodes.push(node);
             }
-            if let Some((loc, value)) = event.write {
-                let version = g
-                    .latest
-                    .get(&loc)
-                    .map(|&n| g.nodes[n.index()].version + 1)
-                    .unwrap_or(0);
+            if let Some((id, value)) = event.write {
+                let slot = latest[id.index()];
+                let version = if slot != NO_NODE {
+                    g.nodes[slot as usize].version + 1
+                } else {
+                    0
+                };
                 let to = g.push_node(DddgNode {
-                    location: loc,
+                    location: trace.location(id),
                     version,
                     value,
                     def_event: Some(idx),
                     line: event.line,
                 });
-                g.latest.insert(loc, to);
-                g.written.insert(loc);
-                for from in read_nodes {
+                latest[id.index()] = to.0;
+                if written_at[id.index()] == NO_NODE {
+                    written_at[id.index()] = g.written_final.len() as u32;
+                    g.written_final.push((id, to));
+                } else {
+                    g.written_final[written_at[id.index()] as usize].1 = to;
+                }
+                for &from in &read_nodes {
                     g.edges.push(DddgEdge { from, to, event: idx });
                 }
             }
@@ -133,7 +153,7 @@ impl Dddg {
     pub fn inputs(&self) -> Vec<(Location, Value)> {
         let mut v: Vec<_> = self
             .roots
-            .values()
+            .iter()
             .map(|&n| {
                 let node = &self.nodes[n.index()];
                 (node.location, node.value)
@@ -146,10 +166,9 @@ impl Dddg {
     /// Final value of every location written inside the region.
     pub fn final_writes(&self) -> Vec<(Location, Value)> {
         let mut v: Vec<_> = self
-            .written
+            .written_final
             .iter()
-            .map(|loc| {
-                let n = self.latest[loc];
+            .map(|&(_, n)| {
                 let node = &self.nodes[n.index()];
                 (node.location, node.value)
             })
@@ -163,21 +182,17 @@ impl Dddg {
     /// them afterwards).  This is the classification available without
     /// looking past the region.
     pub fn leaf_outputs(&self) -> Vec<(Location, Value)> {
-        let mut has_out: HashSet<NodeId> = HashSet::new();
+        let mut has_out = vec![false; self.nodes.len()];
         for e in &self.edges {
-            has_out.insert(e.from);
+            has_out[e.from.index()] = true;
         }
         let mut v: Vec<_> = self
-            .written
+            .written_final
             .iter()
-            .filter_map(|loc| {
-                let n = self.latest[loc];
-                if has_out.contains(&n) {
-                    None
-                } else {
-                    let node = &self.nodes[n.index()];
-                    Some((node.location, node.value))
-                }
+            .filter(|&&(_, n)| !has_out[n.index()])
+            .map(|&(_, n)| {
+                let node = &self.nodes[n.index()];
+                (node.location, node.value)
             })
             .collect();
         v.sort_by_key(|(l, _)| *l);
@@ -186,18 +201,21 @@ impl Dddg {
 
     /// Output locations refined with the rest of the trace: written locations
     /// whose value is referenced again *after* the region instance ends.
-    /// `later_events` must be the events following the instance.
-    pub fn outputs_live_after(&self, later_events: &[TraceEvent]) -> Vec<(Location, Value)> {
-        let used_later: HashSet<Location> = later_events
-            .iter()
-            .flat_map(|e| e.reads.iter().map(|&(l, _)| l))
-            .collect();
+    /// `later` must be the slice of events following the instance (of the
+    /// same trace, so location ids agree).
+    pub fn outputs_live_after(&self, later: TraceSlice<'_>) -> Vec<(Location, Value)> {
+        let trace = later.trace();
+        let mut used_later = vec![false; trace.num_locations()];
+        for event in later.events() {
+            for &(id, _) in trace.reads_of(event) {
+                used_later[id.index()] = true;
+            }
+        }
         let mut v: Vec<_> = self
-            .written
+            .written_final
             .iter()
-            .filter(|loc| used_later.contains(loc))
-            .map(|loc| {
-                let n = self.latest[loc];
+            .filter(|&&(id, _)| used_later.get(id.index()).copied().unwrap_or(false))
+            .map(|&(_, n)| {
                 let node = &self.nodes[n.index()];
                 (node.location, node.value)
             })
@@ -209,7 +227,11 @@ impl Dddg {
     /// Internal locations: touched by the region but neither inputs nor
     /// written-and-live-after outputs.
     pub fn internals(&self, outputs: &[(Location, Value)]) -> Vec<Location> {
-        let inputs: HashSet<Location> = self.roots.keys().copied().collect();
+        let inputs: HashSet<Location> = self
+            .roots
+            .iter()
+            .map(|&n| self.nodes[n.index()].location)
+            .collect();
         let outs: HashSet<Location> = outputs.iter().map(|(l, _)| *l).collect();
         let mut all: HashSet<Location> = self.nodes.iter().map(|n| n.location).collect();
         all.retain(|l| !inputs.contains(l) && !outs.contains(l));
@@ -265,7 +287,7 @@ impl Dddg {
 mod tests {
     use super::*;
     use ftkr_ir::{BinKind, FunctionId, ValueId};
-    use ftkr_vm::EventKind;
+    use ftkr_vm::{EventKind, ResolvedEvent, Trace};
 
     fn reg(v: u32) -> Location {
         Location::reg(FunctionId(0), 0, ValueId(v))
@@ -275,8 +297,8 @@ mod tests {
         reads: Vec<(Location, Value)>,
         write: Option<(Location, Value)>,
         line: u32,
-    ) -> TraceEvent {
-        TraceEvent {
+    ) -> ResolvedEvent {
+        ResolvedEvent {
             func: FunctionId(0),
             frame: 0,
             inst: ValueId(0),
@@ -288,8 +310,8 @@ mod tests {
     }
 
     /// c = a + b; d = c * c; store d to m[7]
-    fn sample_events() -> Vec<TraceEvent> {
-        vec![
+    fn sample_trace() -> Trace {
+        Trace::from_resolved(vec![
             ev(
                 vec![(reg(0), Value::F(1.0)), (reg(1), Value::F(2.0))],
                 Some((reg(2), Value::F(3.0))),
@@ -305,12 +327,13 @@ mod tests {
                 Some((Location::mem(7), Value::F(9.0))),
                 12,
             ),
-        ]
+        ])
     }
 
     #[test]
     fn inputs_are_roots_and_outputs_are_leaves() {
-        let g = Dddg::from_events(&sample_events());
+        let t = sample_trace();
+        let g = Dddg::from_slice(t.full());
         let inputs = g.inputs();
         assert_eq!(inputs.len(), 2);
         assert!(inputs.iter().any(|(l, v)| *l == reg(0) && *v == Value::F(1.0)));
@@ -326,18 +349,38 @@ mod tests {
 
     #[test]
     fn outputs_live_after_uses_the_remaining_trace() {
-        let g = Dddg::from_events(&sample_events());
-        // Later code reads m[7] => it is an output; nothing reads reg(3).
-        let later = vec![ev(vec![(Location::mem(7), Value::F(9.0))], None, 20)];
-        let outs = g.outputs_live_after(&later);
+        // The sample region followed by a read of m[7]: it is an output;
+        // nothing reads reg(3) afterwards.
+        let mut events: Vec<ResolvedEvent> = vec![
+            ev(
+                vec![(reg(0), Value::F(1.0)), (reg(1), Value::F(2.0))],
+                Some((reg(2), Value::F(3.0))),
+                10,
+            ),
+            ev(
+                vec![(reg(2), Value::F(3.0)), (reg(2), Value::F(3.0))],
+                Some((reg(3), Value::F(9.0))),
+                11,
+            ),
+            ev(
+                vec![(reg(3), Value::F(9.0))],
+                Some((Location::mem(7), Value::F(9.0))),
+                12,
+            ),
+        ];
+        events.push(ev(vec![(Location::mem(7), Value::F(9.0))], None, 20));
+        let t = Trace::from_resolved(events);
+        let g = Dddg::from_slice(t.slice(0, 3));
+        let outs = g.outputs_live_after(t.slice(3, 4));
         assert_eq!(outs, vec![(Location::mem(7), Value::F(9.0))]);
         // Nothing read later => no outputs.
-        assert!(g.outputs_live_after(&[]).is_empty());
+        assert!(g.outputs_live_after(t.slice(4, 4)).is_empty());
     }
 
     #[test]
     fn internals_exclude_inputs_and_outputs() {
-        let g = Dddg::from_events(&sample_events());
+        let t = sample_trace();
+        let g = Dddg::from_slice(t.full());
         let outs = g.leaf_outputs();
         let internals = g.internals(&outs);
         assert!(internals.contains(&reg(2)));
@@ -348,7 +391,7 @@ mod tests {
 
     #[test]
     fn rewriting_a_location_bumps_versions() {
-        let events = vec![
+        let t = Trace::from_resolved(vec![
             ev(vec![], Some((Location::mem(0), Value::F(1.0))), 1),
             ev(vec![], Some((Location::mem(0), Value::F(2.0))), 2),
             ev(
@@ -356,8 +399,8 @@ mod tests {
                 Some((reg(5), Value::F(2.0))),
                 3,
             ),
-        ];
-        let g = Dddg::from_events(&events);
+        ]);
+        let g = Dddg::from_slice(t.full());
         let versions: Vec<u32> = g
             .nodes()
             .iter()
@@ -375,7 +418,8 @@ mod tests {
 
     #[test]
     fn dot_output_mentions_nodes_and_edges() {
-        let g = Dddg::from_events(&sample_events());
+        let t = sample_trace();
+        let g = Dddg::from_slice(t.full());
         let dot = g.to_dot("region");
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("n0 ->") || dot.contains("-> n2"));
@@ -385,7 +429,8 @@ mod tests {
 
     #[test]
     fn empty_slice_produces_empty_graph() {
-        let g = Dddg::from_events(&[]);
+        let t = Trace::new();
+        let g = Dddg::from_slice(t.full());
         assert_eq!(g.num_nodes(), 0);
         assert_eq!(g.num_edges(), 0);
         assert!(g.inputs().is_empty());

@@ -9,7 +9,7 @@
 //! faults are injected and how faulty and fault-free runs are compared
 //! (Case 1 / Case 2 of Section III-D).
 //!
-//! * [`Dddg::from_events`] builds the graph from a region-instance slice;
+//! * [`Dddg::from_slice`] builds the graph from a region-instance slice;
 //! * [`Dddg::inputs`] / [`Dddg::leaf_outputs`] / [`Dddg::outputs_live_after`]
 //!   classify locations;
 //! * [`compare::compare_io`] compares the input/output values of matched

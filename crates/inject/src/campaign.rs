@@ -94,7 +94,30 @@ where
         }
     }
 
+    /// The fault injected by test `index` of a campaign: sampled uniformly
+    /// from `sites × 64 bits` by an RNG derived from `(seed, index)`.  Each
+    /// test owns its derivation, so campaigns stay deterministic per seed
+    /// without materializing the full fault vector up front, and any shard
+    /// of the index space can be replayed independently.
+    pub fn fault_for_index(&self, sites: &[FaultSite], index: u64) -> FaultSpec {
+        // SplitMix64-style mixing decorrelates per-index streams drawn from
+        // sequential indices under one seed.
+        let mut z = self
+            .seed
+            .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let mut rng = StdRng::seed_from_u64(z ^ (z >> 31));
+        let site = sites[rng.random_range(0..sites.len())];
+        let bit = rng.random_range(0..64u32) as u8;
+        site.with_bit(bit)
+    }
+
     /// Run `n_tests` injections sampled uniformly from `sites × 64 bits`.
+    ///
+    /// Each parallel worker derives its test's [`FaultSpec`] from
+    /// `(seed, index)` on the fly ([`Campaign::fault_for_index`]); nothing
+    /// proportional to `n_tests` is allocated.
     pub fn run(&self, sites: &[FaultSite], n_tests: u64) -> CampaignReport {
         let population = sites.len() as u64 * 64;
         if sites.is_empty() || n_tests == 0 {
@@ -104,20 +127,11 @@ where
                 population,
             };
         }
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let faults: Vec<FaultSpec> = (0..n_tests)
-            .map(|_| {
-                let site = sites[rng.random_range(0..sites.len())];
-                let bit = rng.random_range(0..64u32) as u8;
-                site.with_bit(bit)
-            })
-            .collect();
-
-        let counts = faults
-            .par_iter()
-            .map(|&fault| {
+        let counts = (0..n_tests)
+            .into_par_iter()
+            .map(|index| {
                 let mut c = CampaignCounts::default();
-                c.record(self.run_one(fault));
+                c.record(self.run_one(self.fault_for_index(sites, index)));
                 c
             })
             .reduce(CampaignCounts::default, CampaignCounts::merge);
@@ -245,6 +259,35 @@ mod tests {
         let campaign = Campaign::new(&m, verify).with_max_steps(trace.len() as u64 * 10 + 1000);
         let report = campaign.run(&sites, 64);
         assert!(report.success_rate() > 0.9, "rate {}", report.success_rate());
+    }
+
+    #[test]
+    fn per_index_fault_derivation_is_deterministic_and_shardable() {
+        let m = module();
+        let trace = clean_trace(&m);
+        let sites = internal_sites(&trace, 0, trace.len());
+        let max_steps = trace.len() as u64 * 10 + 1000;
+        let campaign = Campaign::new(&m, verify).with_seed(42).with_max_steps(max_steps);
+        // The fault of test i is a pure function of (seed, i).
+        for i in [0u64, 1, 7, 63] {
+            assert_eq!(
+                campaign.fault_for_index(&sites, i),
+                campaign.fault_for_index(&sites, i)
+            );
+        }
+        // Replaying every index sequentially reproduces the parallel tally —
+        // the property that makes campaigns shardable by index range.
+        let report = campaign.run(&sites, 48);
+        let mut replay = CampaignCounts::default();
+        for i in 0..48 {
+            replay.record(campaign.run_one(campaign.fault_for_index(&sites, i)));
+        }
+        assert_eq!(report.counts, replay);
+        // Neighbouring indices do not all sample the same site.
+        let distinct: std::collections::HashSet<u64> = (0..16)
+            .map(|i| campaign.fault_for_index(&sites, i).at_step)
+            .collect();
+        assert!(distinct.len() > 4, "indices collapse onto {distinct:?}");
     }
 
     #[test]

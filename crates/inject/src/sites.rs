@@ -71,10 +71,10 @@ pub fn internal_sites(trace: &Trace, start: usize, end: usize) -> Vec<FaultSite>
 mod tests {
     use super::*;
     use ftkr_ir::{BinKind, FunctionId, ValueId};
-    use ftkr_vm::{EventKind, FaultTarget, TraceEvent, Value};
+    use ftkr_vm::{EventKind, FaultTarget, ResolvedEvent, Value};
 
-    fn ev(write: Option<(Location, Value)>) -> TraceEvent {
-        TraceEvent {
+    fn ev(write: Option<(Location, Value)>) -> ResolvedEvent {
+        ResolvedEvent {
             func: FunctionId(0),
             frame: 0,
             inst: ValueId(0),
@@ -103,13 +103,11 @@ mod tests {
 
     #[test]
     fn internal_sites_skip_void_instructions() {
-        let trace = Trace {
-            events: vec![
-                ev(Some((Location::mem(0), Value::I(1)))),
-                ev(None),
-                ev(Some((Location::mem(1), Value::I(2)))),
-            ],
-        };
+        let trace = Trace::from_resolved(vec![
+            ev(Some((Location::mem(0), Value::I(1)))),
+            ev(None),
+            ev(Some((Location::mem(1), Value::I(2)))),
+        ]);
         let sites = internal_sites(&trace, 0, 3);
         assert_eq!(sites.len(), 2);
         assert_eq!(sites[0].at_step, 0);

@@ -80,16 +80,18 @@ pub fn detect_dead_corrupted_locations(input: DetectionInput<'_>) -> Vec<Pattern
         if death.cause != DeathCause::NeverUsedAgain {
             continue;
         }
-        let Some(ev) = input.faulty.events.get(death.event) else {
+        if death.event >= input.faulty.len() {
             continue;
-        };
-        let consumed_here = ev.reads_location(&death.location);
-        let aggregated_elsewhere = matches!(ev.write, Some((wloc, _)) if wloc != death.location);
+        }
+        let view = input.faulty.view(death.event);
+        let consumed_here = view.reads_location(&death.location);
+        let aggregated_elsewhere =
+            matches!(view.written_location(), Some(wloc) if wloc != death.location);
         if consumed_here && aggregated_elsewhere {
             out.push(instance(
                 PatternKind::DeadCorruptedLocations,
                 death.event,
-                ev,
+                view.event(),
                 format!("corrupted {} aggregated and dead", death.location),
             ));
         }
@@ -112,23 +114,21 @@ pub fn detect_repeated_additions(input: DetectionInput<'_>) -> Vec<PatternInstan
     let mut chains: HashMap<u64, Chain> = HashMap::new();
     let mut last_loads: HashMap<u64, usize> = HashMap::new();
 
-    for (idx, ev) in input.faulty.iter() {
+    for (idx, view) in input.faulty.iter_views() {
+        let ev = view.event();
         match ev.kind {
             EventKind::Load => {
-                if let Some((Location::Mem { addr }, _)) = ev.reads.first().copied() {
-                    last_loads.insert(addr, idx);
-                }
                 // A load records the address actually read in its reads set
                 // (address register first, memory cell second); handle both
                 // orders by scanning.
-                for &(loc, _) in &ev.reads {
+                for (loc, _) in view.reads() {
                     if let Location::Mem { addr } = loc {
                         last_loads.insert(addr, idx);
                     }
                 }
             }
             EventKind::Store => {
-                let Some((Location::Mem { addr }, stored)) = ev.write else {
+                let Some((Location::Mem { addr }, stored)) = view.write() else {
                     continue;
                 };
                 if !input.reads_tainted(idx) && !chains.contains_key(&addr) {
@@ -272,9 +272,10 @@ pub fn detect_truncation(input: DetectionInput<'_>) -> Vec<PatternInstance> {
             (EventKind::Output { format }, EventKind::Output { .. })
                 if *format != OutputFormat::Full =>
             {
-                let (Some(&(_, fv)), Some(&(_, cv))) =
-                    (ev.reads.first(), clean_ev.reads.first())
-                else {
+                let (Some(&(_, fv)), Some(&(_, cv))) = (
+                    input.faulty.reads_of(ev).first(),
+                    input.clean.reads_of(clean_ev).first(),
+                ) else {
                     continue;
                 };
                 if !fv.bit_eq(cv) && format_value(fv, *format) == format_value(cv, *format) {
@@ -378,12 +379,11 @@ mod tests {
         // Find the first load of a key (cells 0..2 hold the `keys` global)
         // and flip bit 1, inside the shifted-out low nibble.
         let (step, _) = clean
-            .iter()
-            .find(|(_, e)| {
-                matches!(e.kind, EventKind::Load)
-                    && e.reads
-                        .iter()
-                        .any(|(l, _)| matches!(l, Location::Mem { addr } if *addr < 2))
+            .iter_views()
+            .find(|(_, v)| {
+                matches!(v.event().kind, EventKind::Load)
+                    && v.reads()
+                        .any(|(l, _)| matches!(l, Location::Mem { addr } if addr < 2))
             })
             .unwrap();
         let fault = FaultSpec::in_result(step as u64, 1);
@@ -402,12 +402,11 @@ mod tests {
         let module = shift_module();
         let clean = run_clean(&module);
         let (step, _) = clean
-            .iter()
-            .find(|(_, e)| {
-                matches!(e.kind, EventKind::Load)
-                    && e.reads
-                        .iter()
-                        .any(|(l, _)| matches!(l, Location::Mem { addr } if *addr < 2))
+            .iter_views()
+            .find(|(_, v)| {
+                matches!(v.event().kind, EventKind::Load)
+                    && v.reads()
+                        .any(|(l, _)| matches!(l, Location::Mem { addr } if addr < 2))
             })
             .unwrap();
         // Bit 20 survives a 4-bit shift: the error propagates.
@@ -505,8 +504,10 @@ mod tests {
         // Corrupt the load of data[0] (=5.0) with a low-order mantissa flip:
         // it stays larger than 1.0, so every comparison keeps its outcome.
         let (step, _) = clean
-            .iter()
-            .find(|(_, e)| matches!(e.kind, EventKind::Load) && e.reads.iter().any(|(l, _)| *l == Location::mem(0)))
+            .iter_views()
+            .find(|(_, v)| {
+                matches!(v.event().kind, EventKind::Load) && v.reads_location(&Location::mem(0))
+            })
             .unwrap();
         let fault = FaultSpec::in_result(step as u64, 2);
         let found = detect(&module, fault);
@@ -588,12 +589,11 @@ mod tests {
         // a low-order flip; induction-variable loads are skipped so control
         // flow is unaffected.
         let (step, _) = clean
-            .iter()
-            .filter(|(_, e)| {
-                matches!(e.kind, EventKind::Load)
-                    && e.reads
-                        .iter()
-                        .any(|(l, _)| matches!(l, Location::Mem { addr } if *addr == 0))
+            .iter_views()
+            .filter(|(_, v)| {
+                matches!(v.event().kind, EventKind::Load)
+                    && v.reads()
+                        .any(|(l, _)| matches!(l, Location::Mem { addr } if addr == 0))
             })
             .nth(3)
             .unwrap();

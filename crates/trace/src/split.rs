@@ -3,15 +3,16 @@
 
 use std::collections::BTreeMap;
 
-use ftkr_vm::{Trace, TraceEvent};
+use ftkr_vm::{Trace, TraceSlice};
 
 use crate::region::RegionInstance;
 
-/// The events covered by one region instance (a borrowed slice — splitting
-/// never copies the trace, mirroring the paper's observation that splitting
-/// is what keeps per-region analysis tractable).
-pub fn instance_slice<'t>(trace: &'t Trace, instance: &RegionInstance) -> &'t [TraceEvent] {
-    &trace.events[instance.start..instance.end]
+/// The events covered by one region instance (a borrowed [`TraceSlice`] —
+/// splitting never copies the trace, mirroring the paper's observation that
+/// splitting is what keeps per-region analysis tractable; the slice carries
+/// its trace so operand spans and location ids stay resolvable).
+pub fn instance_slice<'t>(trace: &'t Trace, instance: &RegionInstance) -> TraceSlice<'t> {
+    trace.slice(instance.start, instance.end)
 }
 
 /// Dynamic instruction count (markers excluded) of every region, summed over
@@ -28,6 +29,7 @@ pub fn region_instruction_counts(
             continue;
         }
         let n = instance_slice(trace, inst)
+            .events()
             .iter()
             .filter(|e| !e.kind.is_marker())
             .count();

@@ -11,7 +11,7 @@ use crate::fault::{FaultSpec, FaultTarget};
 use crate::location::Location;
 use crate::memory::{MemError, Memory};
 use crate::output::ProgramOutput;
-use crate::trace::{EventKind, Trace, TraceEvent};
+use crate::trace::{EventKind, LocationId, ReadSpan, Trace, TraceEvent};
 use crate::value::Value;
 
 /// Reasons a run can abort; all of them map to the paper's *Crashed*
@@ -67,12 +67,60 @@ impl RunOutcome {
     }
 }
 
+/// Which part of the run a tracing interpreter records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TraceScope {
+    /// Record every dynamic instruction (the default).
+    Full,
+    /// Record only the dynamic steps in `[start, end)` — the region-scoped
+    /// mode used by per-region analyses (Figures 5/6): dynamic indices are
+    /// transferable between runs of a deterministic program, so the event
+    /// range of a region instance in a full reference trace selects the same
+    /// instructions here, at a fraction of the recording cost.  The produced
+    /// trace's [`Trace::base_step`] equals `start`.
+    Window {
+        /// First dynamic step recorded.
+        start: u64,
+        /// Past-the-end dynamic step.
+        end: u64,
+    },
+}
+
+impl TraceScope {
+    /// True when the given dynamic step should be recorded.
+    pub fn contains(self, step: u64) -> bool {
+        match self {
+            TraceScope::Full => true,
+            TraceScope::Window { start, end } => step >= start && step < end,
+        }
+    }
+
+    /// Number of steps recorded, if bounded.
+    pub fn len(self) -> Option<u64> {
+        match self {
+            TraceScope::Full => None,
+            TraceScope::Window { start, end } => Some(end.saturating_sub(start)),
+        }
+    }
+
+    /// True when the scope records nothing.
+    pub fn is_empty(self) -> bool {
+        self.len() == Some(0)
+    }
+}
+
 /// Interpreter configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct VmConfig {
-    /// Record a full dynamic trace (needed for analysis runs, not for
-    /// campaign runs).
+    /// Record a dynamic trace (needed for analysis runs, not for campaign
+    /// runs).
     pub record_trace: bool,
+    /// Which dynamic steps to record when tracing (full run by default).
+    pub trace_scope: TraceScope,
+    /// Expected dynamic step count of the run (usually the step count of a
+    /// prior untraced run).  Used to pre-size the trace's event and operand
+    /// buffers so a tracing run performs O(1) vector allocations.
+    pub trace_hint: Option<u64>,
     /// Optional single-bit fault to inject.
     pub fault: Option<FaultSpec>,
     /// Maximum dynamic instructions before the run is declared hung.
@@ -87,6 +135,8 @@ impl Default for VmConfig {
     fn default() -> Self {
         VmConfig {
             record_trace: false,
+            trace_scope: TraceScope::Full,
+            trace_hint: None,
             fault: None,
             max_steps: 200_000_000,
             max_memory_cells: 1 << 24,
@@ -100,6 +150,26 @@ impl VmConfig {
     pub fn tracing() -> Self {
         VmConfig {
             record_trace: true,
+            ..Default::default()
+        }
+    }
+
+    /// Tracing configuration pre-sized for a run of about `steps` dynamic
+    /// instructions (typically the step count of a prior untraced run).
+    pub fn tracing_sized(steps: u64) -> Self {
+        VmConfig {
+            record_trace: true,
+            trace_hint: Some(steps),
+            ..Default::default()
+        }
+    }
+
+    /// Region-scoped tracing: record only the dynamic steps in
+    /// `[start, end)`.  See [`TraceScope::Window`].
+    pub fn tracing_region(start: u64, end: u64) -> Self {
+        VmConfig {
+            record_trace: true,
+            trace_scope: TraceScope::Window { start, end },
             ..Default::default()
         }
     }
@@ -120,6 +190,19 @@ impl VmConfig {
             fault: Some(fault),
             ..Default::default()
         }
+    }
+
+    /// Builder form: set the expected step count used to pre-size trace
+    /// buffers.
+    pub fn with_trace_hint(mut self, steps: u64) -> Self {
+        self.trace_hint = Some(steps);
+        self
+    }
+
+    /// Builder form: restrict tracing to the given scope.
+    pub fn scoped(mut self, scope: TraceScope) -> Self {
+        self.trace_scope = scope;
+        self
     }
 }
 
@@ -162,11 +245,44 @@ struct Frame {
     block: BlockId,
     ip: usize,
     regs: Vec<Option<Value>>,
+    /// Interned [`LocationId`] of each register (lazy, `NO_ID` = not yet
+    /// interned).  Allocated only when tracing.
+    reg_ids: Vec<u32>,
     args: Vec<Value>,
-    arg_locs: Vec<Option<Location>>,
+    arg_locs: Vec<Option<LocationId>>,
     stack_mark: u64,
     /// Register of the *caller* that receives this frame's return value.
     ret_dest: Option<(usize, ValueId)>,
+}
+
+/// Sentinel for "location not interned yet" in the dense id tables.
+const NO_ID: u32 = u32::MAX;
+
+/// Intern a register location through the frame's dense per-register table:
+/// O(1), no hashing — the hot path of trace recording.
+fn intern_reg(trace: &mut Trace, frame: &mut Frame, v: ValueId) -> LocationId {
+    let slot = &mut frame.reg_ids[v.index()];
+    if *slot == NO_ID {
+        *slot = u32::try_from(trace.locations.len()).expect("≤ 2^32 locations per trace");
+        trace
+            .locations
+            .push(Location::reg(frame.func, frame.frame_id, v));
+    }
+    LocationId(*slot)
+}
+
+/// Intern a memory-cell location through the address-indexed dense table.
+fn intern_mem(trace: &mut Trace, mem_ids: &mut Vec<u32>, addr: u64) -> LocationId {
+    let a = addr as usize;
+    if a >= mem_ids.len() {
+        mem_ids.resize(a + 1, NO_ID);
+    }
+    let slot = &mut mem_ids[a];
+    if *slot == NO_ID {
+        *slot = u32::try_from(trace.locations.len()).expect("≤ 2^32 locations per trace");
+        trace.locations.push(Location::mem(addr));
+    }
+    LocationId(*slot)
 }
 
 impl Vm {
@@ -220,6 +336,8 @@ struct Interp<'m> {
     memory: Memory,
     outputs: ProgramOutput,
     trace: Trace,
+    /// Interned [`LocationId`] per memory cell (lazy, `NO_ID` sentinel).
+    mem_ids: Vec<u32>,
     frames: Vec<Frame>,
     steps: u64,
     next_frame_id: u32,
@@ -233,16 +351,44 @@ enum StepFlow {
 
 impl<'m> Interp<'m> {
     fn new(module: &'m Module, config: &VmConfig) -> Self {
-        Interp {
+        // Pre-size the trace from the expected step count (clamped to the
+        // scope window and the step limit): tracing then allocates O(1)
+        // vectors instead of growing them geometrically.  A scope window's
+        // length is an exact event count, so it serves as the hint when no
+        // explicit one is given.
+        let trace = if config.record_trace {
+            let hint = match (config.trace_hint, config.trace_scope.len()) {
+                (Some(h), Some(w)) => Some(h.min(w)),
+                (Some(h), None) => Some(h),
+                (None, Some(w)) => Some(w),
+                (None, None) => None,
+            }
+            .map(|h| h.min(config.max_steps));
+            match hint {
+                Some(h) => {
+                    let h = usize::try_from(h).unwrap_or(usize::MAX);
+                    Trace::with_capacity(h, 2 * h)
+                }
+                None => Trace::new(),
+            }
+        } else {
+            Trace::new()
+        };
+        let mut interp = Interp {
             module,
             config: *config,
             memory: Memory::for_module(module, config.max_memory_cells),
             outputs: ProgramOutput::default(),
-            trace: Trace::new(),
+            trace,
+            mem_ids: Vec::new(),
             frames: Vec::new(),
             steps: 0,
             next_frame_id: 0,
+        };
+        if let TraceScope::Window { start, .. } = config.trace_scope {
+            interp.trace.base_step = start;
         }
+        interp
     }
 
     fn run(mut self, entry: FunctionId, args: Vec<Value>) -> RunResult {
@@ -259,6 +405,16 @@ impl<'m> Interp<'m> {
                 StepFlow::Trap(t) => break RunOutcome::Trapped(t),
             }
         };
+
+        // A trap can abort a step after its operand reads were pooled but
+        // before the event was pushed; drop that dangling tail so the pool
+        // length always equals the sum of the event spans.
+        let pool_end = self
+            .trace
+            .events
+            .last()
+            .map_or(0, |e| e.reads.range().end);
+        self.trace.pool.truncate(pool_end);
 
         RunResult {
             outcome,
@@ -277,7 +433,7 @@ impl<'m> Interp<'m> {
         &mut self,
         func: FunctionId,
         args: Vec<Value>,
-        arg_locs: Vec<Option<Location>>,
+        arg_locs: Vec<Option<LocationId>>,
         ret_dest: Option<(usize, ValueId)>,
     ) -> Frame {
         let f = self.module.function(func);
@@ -289,6 +445,11 @@ impl<'m> Interp<'m> {
             block: f.entry(),
             ip: 0,
             regs: vec![None; f.num_insts()],
+            reg_ids: if self.config.record_trace {
+                vec![NO_ID; f.num_insts()]
+            } else {
+                Vec::new()
+            },
             args,
             arg_locs,
             stack_mark: self.memory.stack_mark(),
@@ -296,21 +457,23 @@ impl<'m> Interp<'m> {
         }
     }
 
-    /// Resolve an operand to a value plus (for tracing) the location read.
+    /// Resolve an operand to a value plus (when recording) the interned id of
+    /// the location read.
     fn resolve(
-        &self,
-        frame: &Frame,
+        &mut self,
+        frame_idx: usize,
         operand: Operand,
-    ) -> Result<(Value, Option<Location>), TrapKind> {
+        record: bool,
+    ) -> Result<(Value, Option<LocationId>), TrapKind> {
         match operand {
             Operand::Value(v) => {
+                let frame = &mut self.frames[frame_idx];
                 let val = frame.regs[v.index()].ok_or(TrapKind::UninitializedRegister)?;
-                Ok((
-                    val,
-                    Some(Location::reg(frame.func, frame.frame_id, v)),
-                ))
+                let loc = record.then(|| intern_reg(&mut self.trace, frame, v));
+                Ok((val, loc))
             }
             Operand::Arg(i) => {
+                let frame = &self.frames[frame_idx];
                 let val = *frame
                     .args
                     .get(i as usize)
@@ -355,20 +518,26 @@ impl<'m> Interp<'m> {
         let inst = func.inst(inst_id);
         let line = inst.line;
 
-        let record = self.config.record_trace;
-        let mut reads: Vec<(Location, Value)> = Vec::new();
-        let mut write: Option<(Location, Value)> = None;
+        // Record this step only when tracing is on *and* the step falls
+        // inside the configured scope (always true for TraceScope::Full).
+        let record = self.config.record_trace && self.config.trace_scope.contains(self.steps);
+        let pool_start = self.trace.pool.len();
+        let mut write: Option<(LocationId, Value)> = None;
 
         // Most instructions simply advance ip; control flow overrides this.
         self.frames[frame_idx].ip += 1;
 
         macro_rules! resolve {
             ($operand:expr) => {{
-                match self.resolve(&self.frames[frame_idx], $operand) {
+                match self.resolve(frame_idx, $operand, record) {
                     Ok((v, loc)) => {
+                        // `loc` can be Some even when not recording (argument
+                        // ids are interned for the whole tracing run so scope
+                        // windows resolve outer-frame arguments); only pool
+                        // reads of recorded events.
                         if record {
                             if let Some(l) = loc {
-                                reads.push((l, v));
+                                self.trace.pool.push((l, v));
                             }
                         }
                         v
@@ -378,10 +547,13 @@ impl<'m> Interp<'m> {
             }};
         }
 
-        // Result register location of the current instruction.
-        macro_rules! result_loc {
-            () => {
-                Location::reg(func_id, frame_id, inst_id)
+        // Record a write to the result register of the current instruction.
+        macro_rules! record_result {
+            ($value:expr) => {
+                if record {
+                    let id = intern_reg(&mut self.trace, &mut self.frames[frame_idx], inst_id);
+                    write = Some((id, $value));
+                }
             };
         }
 
@@ -414,7 +586,7 @@ impl<'m> Interp<'m> {
                 let result = apply_fault(result);
                 self.frames[frame_idx].regs[inst_id.index()] = Some(result);
                 kind = EventKind::Bin(*bk);
-                write = Some((result_loc!(), result));
+                record_result!(result);
             }
             Op::Cmp {
                 kind: ck,
@@ -435,7 +607,7 @@ impl<'m> Interp<'m> {
                     float: *float,
                     result: result.is_truthy(),
                 };
-                write = Some((result_loc!(), result));
+                record_result!(result);
             }
             Op::Cast { kind: ck, src } => {
                 let v = resolve!(*src);
@@ -446,7 +618,7 @@ impl<'m> Interp<'m> {
                 let result = apply_fault(result);
                 self.frames[frame_idx].regs[inst_id.index()] = Some(result);
                 kind = EventKind::Cast(*ck);
-                write = Some((result_loc!(), result));
+                record_result!(result);
             }
             Op::Select {
                 cond,
@@ -459,7 +631,7 @@ impl<'m> Interp<'m> {
                 let result = apply_fault(if c.is_truthy() { a } else { b });
                 self.frames[frame_idx].regs[inst_id.index()] = Some(result);
                 kind = EventKind::Select;
-                write = Some((result_loc!(), result));
+                record_result!(result);
             }
             Op::Load { addr } => {
                 let a = resolve!(*addr);
@@ -473,12 +645,13 @@ impl<'m> Interp<'m> {
                     }
                 };
                 if record {
-                    reads.push((Location::mem(addr), loaded));
+                    let id = intern_mem(&mut self.trace, &mut self.mem_ids, addr);
+                    self.trace.pool.push((id, loaded));
                 }
                 let result = apply_fault(loaded);
                 self.frames[frame_idx].regs[inst_id.index()] = Some(result);
                 kind = EventKind::Load;
-                write = Some((result_loc!(), result));
+                record_result!(result);
             }
             Op::Store { addr, value } => {
                 let a = resolve!(*addr);
@@ -491,7 +664,10 @@ impl<'m> Interp<'m> {
                     return StepFlow::Trap(TrapKind::OutOfBounds);
                 }
                 kind = EventKind::Store;
-                write = Some((Location::mem(addr), stored));
+                if record {
+                    let id = intern_mem(&mut self.trace, &mut self.mem_ids, addr);
+                    write = Some((id, stored));
+                }
             }
             Op::Alloca { size, .. } => {
                 let Some(base) = self.memory.alloca(*size as u64) else {
@@ -503,7 +679,7 @@ impl<'m> Interp<'m> {
                     base,
                     size: *size as u64,
                 };
-                write = Some((result_loc!(), result));
+                record_result!(result);
             }
             Op::Gep { base, index } => {
                 let b = resolve!(*base);
@@ -515,7 +691,7 @@ impl<'m> Interp<'m> {
                 let result = apply_fault(Value::P(addr));
                 self.frames[frame_idx].regs[inst_id.index()] = Some(result);
                 kind = EventKind::Gep;
-                write = Some((result_loc!(), result));
+                record_result!(result);
             }
             Op::Call { callee, args } => {
                 if self.frames.len() as u32 >= self.config.max_call_depth {
@@ -528,13 +704,17 @@ impl<'m> Interp<'m> {
                 let mut arg_vals = Vec::with_capacity(args.len());
                 let mut arg_locs = Vec::with_capacity(args.len());
                 for a in args {
-                    let (v, loc) = match self.resolve(&self.frames[frame_idx], *a) {
-                        Ok(x) => x,
-                        Err(t) => return StepFlow::Trap(t),
-                    };
+                    // Intern argument locations whenever tracing is on (not
+                    // just inside the scope window) so frames entered before
+                    // a window still resolve their argument reads inside it.
+                    let (v, loc) =
+                        match self.resolve(frame_idx, *a, self.config.record_trace) {
+                            Ok(x) => x,
+                            Err(t) => return StepFlow::Trap(t),
+                        };
                     if record {
                         if let Some(l) = loc {
-                            reads.push((l, v));
+                            self.trace.pool.push((l, v));
                         }
                     }
                     arg_vals.push(v);
@@ -557,7 +737,7 @@ impl<'m> Interp<'m> {
                 let result = apply_fault(result);
                 self.frames[frame_idx].regs[inst_id.index()] = Some(result);
                 kind = EventKind::Intrinsic;
-                write = Some((result_loc!(), result));
+                record_result!(result);
             }
             Op::Ret { value } => {
                 let ret_val = match value {
@@ -572,10 +752,10 @@ impl<'m> Interp<'m> {
                         let ret_val = apply_fault(ret_val.unwrap_or(Value::I(0)));
                         let caller = &mut self.frames[caller_idx];
                         caller.regs[dest.index()] = Some(ret_val);
-                        write = Some((
-                            Location::reg(caller.func, caller.frame_id, dest),
-                            ret_val,
-                        ));
+                        if record {
+                            let id = intern_reg(&mut self.trace, caller, dest);
+                            write = Some((id, ret_val));
+                        }
                     }
                     None => {
                         flow = StepFlow::Finished;
@@ -624,13 +804,15 @@ impl<'m> Interp<'m> {
         }
 
         if record {
+            let len = (self.trace.pool.len() - pool_start) as u32;
+            let offset = u32::try_from(pool_start).expect("≤ 2^32 operand reads per trace");
             self.trace.events.push(TraceEvent {
                 func: func_id,
                 frame: frame_id,
                 inst: inst_id,
                 line,
                 kind,
-                reads,
+                reads: ReadSpan { offset, len },
                 write,
             });
         }
@@ -826,6 +1008,7 @@ mod tests {
         let r = Vm::new(VmConfig::tracing()).run(&sum_module()).unwrap();
         let trace = r.trace.unwrap();
         assert_eq!(trace.len() as u64, r.steps);
+        assert_eq!(trace.base_step(), 0);
         // 10 iterations => 10 LoopIter markers.
         let iters = trace
             .events
@@ -835,10 +1018,85 @@ mod tests {
         assert_eq!(iters, 10);
         // Every store event writes a memory location.
         assert!(trace
-            .events
-            .iter()
-            .filter(|e| matches!(e.kind, EventKind::Store))
-            .all(|e| e.write.map(|(l, _)| l.is_mem()).unwrap_or(false)));
+            .iter_views()
+            .filter(|(_, v)| matches!(v.event().kind, EventKind::Store))
+            .all(|(_, v)| v.written_location().map(|l| l.is_mem()).unwrap_or(false)));
+        // The operand pool is exactly covered by the event spans.
+        let span_sum: usize = trace.events.iter().map(|e| e.num_reads()).sum();
+        assert_eq!(span_sum, trace.num_operands());
+    }
+
+    #[test]
+    fn presized_tracing_produces_the_same_trace() {
+        let module = sum_module();
+        let untraced = Vm::new(VmConfig::default()).run(&module).unwrap();
+        let plain = Vm::new(VmConfig::tracing()).run(&module).unwrap();
+        let sized = Vm::new(VmConfig::tracing_sized(untraced.steps))
+            .run(&module)
+            .unwrap();
+        let a = plain.trace.unwrap();
+        let b = sized.trace.unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn region_scoped_tracing_matches_the_full_trace_window() {
+        let module = sum_module();
+        let full = Vm::new(VmConfig::tracing())
+            .run(&module)
+            .unwrap()
+            .trace
+            .unwrap();
+        let (start, end) = (5u64, 25u64);
+        let scoped = Vm::new(VmConfig::tracing_region(start, end))
+            .run(&module)
+            .unwrap()
+            .trace
+            .unwrap();
+        assert_eq!(scoped.base_step(), start);
+        assert_eq!(scoped.len() as u64, end - start);
+        // Every windowed event resolves to the same instruction, locations
+        // and values as the corresponding event of the full trace.
+        for i in 0..scoped.len() {
+            let s = scoped.resolved(i);
+            let f = full.resolved(start as usize + i);
+            assert_eq!(s, f, "event {i} differs");
+        }
+    }
+
+    #[test]
+    fn region_scoped_tracing_resolves_arguments_of_outer_frames() {
+        // A function call made *before* the window starts must still resolve
+        // argument reads inside the window.
+        let mut m = Module::new("m");
+        let mut callee = FunctionBuilder::with_args("work", 1);
+        let x = callee.arg(0);
+        let mut last = x;
+        for _ in 0..8 {
+            last = callee.fadd(last, x);
+        }
+        callee.ret(Some(last));
+        m.add_function(callee.finish());
+        let mut main = FunctionBuilder::new("main");
+        let three = main.const_f64(3.0);
+        let r = main.call("work", vec![three]);
+        main.output(r, OutputFormat::Full);
+        main.ret(None);
+        m.add_function(main.finish());
+
+        let full = Vm::new(VmConfig::tracing()).run(&m).unwrap().trace.unwrap();
+        let scoped = Vm::new(VmConfig::tracing_region(3, 8))
+            .run(&m)
+            .unwrap()
+            .trace
+            .unwrap();
+        for i in 0..scoped.len() {
+            assert_eq!(scoped.resolved(i), full.resolved(3 + i));
+        }
+        // Argument reads outside the window must not leak orphan entries
+        // into the operand pool: the pool is exactly the event spans.
+        let span_sum: usize = scoped.events.iter().map(|e| e.num_reads()).sum();
+        assert_eq!(span_sum, scoped.num_operands());
     }
 
     #[test]

@@ -39,9 +39,12 @@ pub mod trace;
 pub mod value;
 
 pub use fault::{FaultSpec, FaultTarget};
-pub use interp::{RunOutcome, RunResult, TrapKind, Vm, VmConfig};
+pub use interp::{RunOutcome, RunResult, TraceScope, TrapKind, Vm, VmConfig};
 pub use location::Location;
 pub use memory::Memory;
 pub use output::{OutputRecord, ProgramOutput};
-pub use trace::{EventKind, Trace, TraceEvent};
+pub use trace::{
+    EventView, EventKind, LocationId, ReadSpan, ResolvedEvent, Trace, TraceBuilder, TraceEvent,
+    TraceSlice,
+};
 pub use value::Value;

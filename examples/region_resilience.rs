@@ -30,7 +30,7 @@ fn main() {
     );
     for view in &views {
         let slice = instance_slice(clean, &view.instance);
-        let dddg = Dddg::from_events(slice);
+        let dddg = Dddg::from_slice(slice);
         let internal = internal_sites(clean, view.instance.start, view.instance.end);
         let input = input_sites(view.instance.start, &dddg.inputs());
 

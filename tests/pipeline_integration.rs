@@ -31,7 +31,7 @@ fn dddgs_of_region_instances_are_acyclic_and_have_inputs() {
     let regions = partition_regions(&clean, &app.module, &RegionSelector::FirstLevelInner);
     let mut analysed = 0;
     for inst in regions.iter().filter(|r| r.main_iteration == Some(0)) {
-        let dddg = Dddg::from_events(instance_slice(&clean, inst));
+        let dddg = Dddg::from_slice(instance_slice(&clean, inst));
         assert!(dddg.is_acyclic(), "{}: cyclic DDDG", inst.key.name);
         if app.regions.contains(&inst.key.name) {
             assert!(
@@ -60,10 +60,10 @@ fn is_bucket_shift_masks_low_bit_faults_end_to_end() {
     let step = (inst.start..inst.end)
         .find(|&i| {
             matches!(trace.events[i].kind, EventKind::Load)
-                && trace.events[i]
-                    .reads
-                    .iter()
-                    .any(|(l, _)| matches!(l, Location::Mem { addr } if *addr < 64))
+                && trace
+                    .view(i)
+                    .reads()
+                    .any(|(l, _)| matches!(l, Location::Mem { addr } if addr < 64))
         })
         .expect("is_b loads keys");
     let fault = FaultSpec::in_result(step as u64, 1);

@@ -3,12 +3,12 @@
 
 use proptest::prelude::*;
 
-use ftkr_acl::AclTable;
+use ftkr_acl::{reference::build_reference, AclTable};
 use ftkr_dddg::Dddg;
 use ftkr_ir::prelude::*;
 use ftkr_ir::Global;
 use ftkr_trace::{partition_regions, RegionSelector};
-use ftkr_vm::{FaultSpec, Location, Value, Vm, VmConfig};
+use ftkr_vm::{FaultSpec, Location, ResolvedEvent, Trace, Value, Vm, VmConfig};
 
 /// Build a small arithmetic program parameterized by the proptest inputs:
 /// `n` loop iterations accumulating `a*i + b` into a global, followed by a
@@ -135,8 +135,8 @@ proptest! {
         let regions = partition_regions(&trace, &module, &RegionSelector::AllLoops);
         prop_assert!(!regions.is_empty());
         for inst in &regions {
-            let slice = &trace.events[inst.start..inst.end];
-            let dddg = Dddg::from_events(slice);
+            let slice = trace.slice(inst.start, inst.end);
+            let dddg = Dddg::from_slice(slice);
             prop_assert!(dddg.is_acyclic());
             let outputs = dddg.leaf_outputs();
             let internals = dddg.internals(&outputs);
@@ -144,6 +144,106 @@ proptest! {
                 prop_assert!(!internals.contains(&loc));
             }
         }
+    }
+
+    /// ACL bookkeeping identity on arbitrary faulty runs: the alive count
+    /// after event `i` equals the running number of births minus deaths up
+    /// to and including `i`, and the table is fully cleaned exactly when the
+    /// final count is zero.
+    #[test]
+    fn acl_counts_equal_births_minus_deaths(n in 2i64..30, step in 0u64..150, bit in 0u8..64) {
+        let module = parametric_module(n, 1.5, 0.25);
+        let clean = Vm::new(VmConfig::tracing()).run(&module).unwrap();
+        let at_step = step % clean.steps;
+        let fault = FaultSpec::in_result(at_step, bit);
+        let faulty = Vm::new(VmConfig::tracing_with_fault(fault)).run(&module).unwrap();
+        let trace = faulty.trace.unwrap();
+        let acl = AclTable::from_fault(&trace, &fault);
+        let mut births = acl.births.iter().map(|&(e, _)| e).peekable();
+        let mut deaths = acl.deaths.iter().map(|d| d.event).peekable();
+        let mut alive: i64 = 0;
+        for (i, &count) in acl.counts.iter().enumerate() {
+            while births.peek() == Some(&i) {
+                births.next();
+                alive += 1;
+            }
+            while deaths.peek() == Some(&i) {
+                deaths.next();
+                alive -= 1;
+            }
+            prop_assert_eq!(count as i64, alive, "count mismatch at event {}", i);
+        }
+        prop_assert!(births.peek().is_none() && deaths.peek().is_none());
+        if !acl.counts.is_empty() {
+            prop_assert_eq!(acl.fully_cleaned(), acl.counts.last() == Some(&0));
+        }
+        // The down-sampled series respects its budget at every size.
+        for max_points in [1usize, 2, 5, 16] {
+            prop_assert!(acl.series(max_points).len() <= max_points);
+        }
+    }
+
+    /// The dense compact-path ACL builder produces exactly the same table as
+    /// the retained hash-based reference implementation on random traces
+    /// (births/deaths compared as sorted multisets: ordering within one
+    /// event is unspecified for the reference's hash iteration).
+    #[test]
+    fn acl_compact_path_matches_reference(seed in any::<u64>(), n in 1usize..80, nloc in 1usize..10) {
+        use rand::{RngCore as _, SeedableRng as _};
+        // Deterministic random trace over a small location universe.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let loc = |k: u64| Location::mem(k);
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            let n_reads = (rng.next_u64() % 3) as usize;
+            let reads: Vec<(Location, Value)> = (0..n_reads)
+                .map(|_| (loc(rng.next_u64() % nloc as u64), Value::F(1.0)))
+                .collect();
+            let write = (rng.next_u64() % 4 != 0)
+                .then(|| (loc(rng.next_u64() % nloc as u64), Value::F(2.0)));
+            events.push(ResolvedEvent {
+                func: FunctionId(0),
+                frame: 0,
+                inst: ValueId(0),
+                line: 1,
+                kind: ftkr_vm::EventKind::Bin(BinKind::FAdd),
+                reads,
+                write,
+            });
+        }
+        let trace = Trace::from_resolved(events);
+        // 1-2 random seed corruptions (occasionally on a ghost location).
+        let n_seeds = 1 + (rng.next_u64() % 2) as usize;
+        let seeds: Vec<(usize, Location)> = (0..n_seeds)
+            .map(|_| {
+                let at = (rng.next_u64() % n as u64) as usize;
+                let l = loc(rng.next_u64() % (nloc as u64 + 1));
+                (at, l)
+            })
+            .collect();
+
+        let dense = AclTable::build(&trace, &seeds);
+        let reference = build_reference(&trace, &seeds);
+        prop_assert_eq!(&dense.counts, &reference.counts);
+        prop_assert_eq!(&dense.tainted_reads, &reference.tainted_reads);
+        prop_assert_eq!(&dense.final_corrupted, &reference.final_corrupted);
+        prop_assert_eq!(dense.fully_cleaned(), reference.fully_cleaned());
+        let sorted_births = |t: &AclTable| {
+            let mut b = t.births.clone();
+            b.sort();
+            b
+        };
+        prop_assert_eq!(sorted_births(&dense), sorted_births(&reference));
+        let sorted_deaths = |t: &AclTable| {
+            let mut d: Vec<(usize, Location, bool, u32)> = t
+                .deaths
+                .iter()
+                .map(|d| (d.event, d.location, d.cause == ftkr_acl::DeathCause::Overwritten, d.line))
+                .collect();
+            d.sort();
+            d
+        };
+        prop_assert_eq!(sorted_deaths(&dense), sorted_deaths(&reference));
     }
 
     /// Bit flips are involutive and preserve the value kind (the fault model

@@ -140,6 +140,33 @@ fn run_one(name: &str, sample_size: usize, test_mode: bool, f: &mut dyn FnMut(&m
             "{name:<48} median {median:>12?}   ({} samples, total {total:?})",
             b.samples.len()
         );
+        append_json_record(name, median, b.samples.len());
+    }
+}
+
+/// When `CRITERION_JSON` names a file, append one JSON line per benchmark
+/// (`{"name": ..., "median_ns": ..., "samples": ...}`) so harnesses can
+/// collect medians without parsing the human-readable report.
+fn append_json_record(name: &str, median: Duration, samples: usize) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write as _;
+    let line = format!(
+        "{{\"name\":\"{}\",\"median_ns\":{},\"samples\":{}}}\n",
+        name.replace('"', "'"),
+        median.as_nanos(),
+        samples
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(line.as_bytes());
     }
 }
 

@@ -9,7 +9,94 @@
 
 /// Import surface mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{ParIter, ParMap, ParallelSliceExt};
+    pub use crate::{
+        IntoParallelIterator, ParIter, ParMap, ParRange, ParRangeMap, ParallelSliceExt,
+    };
+}
+
+/// Types convertible into a parallel iterator (`(0..n).into_par_iter()`),
+/// mirroring rayon's trait of the same name for the range case the
+/// workspace uses.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a `Range<u64>` — items are produced by index, so
+/// no input buffer is materialized (campaigns derive each test from its
+/// index instead of collecting a fault vector first).
+pub struct ParRange {
+    range: std::ops::Range<u64>,
+}
+
+impl ParRange {
+    /// Map each index through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+    where
+        F: Fn(u64) -> R + Sync,
+        R: Send,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParRange::map`]; consumed by [`reduce`](ParRangeMap::reduce).
+pub struct ParRangeMap<F> {
+    range: std::ops::Range<u64>,
+    f: F,
+}
+
+impl<R, F> ParRangeMap<F>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    /// Fold the mapped indices with `op`, starting each parallel chunk from
+    /// `identity()` — the same contract as rayon's `reduce`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let len = (self.range.end.saturating_sub(self.range.start)) as usize;
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(len.max(1));
+        let f = &self.f;
+        if threads <= 1 || len < 2 {
+            return self.range.map(f).fold(identity(), &op);
+        }
+        let chunk_size = (len.div_ceil(threads)) as u64;
+        let op_ref = &op;
+        let id_ref = &identity;
+        let partials: Vec<R> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads as u64)
+                .map(|t| {
+                    let lo = self.range.start + t * chunk_size;
+                    let hi = (lo + chunk_size).min(self.range.end);
+                    scope.spawn(move || (lo..hi).map(f).fold(id_ref(), op_ref))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
 }
 
 /// Adds [`par_iter`](ParallelSliceExt::par_iter) to slices (and via deref,
@@ -117,5 +204,23 @@ mod tests {
     fn single_item_reduces() {
         let data = [5u64];
         assert_eq!(data.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b), 5);
+    }
+
+    #[test]
+    fn range_map_reduce_matches_sequential() {
+        let parallel = (0u64..10_000)
+            .into_par_iter()
+            .map(|x| x * 2)
+            .reduce(|| 0, |a, b| a + b);
+        let sequential: u64 = (0u64..10_000).map(|x| x * 2).sum();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn empty_range_yields_identity() {
+        assert_eq!(
+            (5u64..5).into_par_iter().map(|x| x).reduce(|| 3, |a, b| a + b),
+            3
+        );
     }
 }
