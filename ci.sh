@@ -15,6 +15,9 @@ if [[ "${1:-}" == "bench" ]]; then
     for bench in analysis_costs tracing_overhead campaign_throughput; do
         CRITERION_JSON="$PWD/$medians" cargo bench -p ftkr-bench --bench "$bench"
     done
+    # Traced-footprint stats of the Figure-5 window path (event/operand
+    # counts, appended in the same JSONL shape as the timing medians).
+    cargo run --release -q -p ftkr-bench --bin campaign_shard -- stats MG mg_a "$medians"
     cargo run --release -q -p ftkr-bench --bin bench_report -- \
         "$medians" crates/bench/baseline_seed.jsonl BENCH_fliptracker.json
     exit 0
@@ -30,6 +33,23 @@ if [[ "${1:-}" == "quick" ]]; then
     echo "==> quick mode: skipping lint + docs"
     exit 0
 fi
+
+echo "==> shard round-trip: two-shard CampaignPlan JSON == monolithic tally"
+sharddir="target/shard-roundtrip"
+rm -rf "$sharddir"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    plan IS region:is_a internal 32 7 2 "$sharddir" > /dev/null
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    run "$sharddir/plan_shard_0.json" "$sharddir/report_0.json"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    run "$sharddir/plan_shard_1.json" "$sharddir/report_1.json"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    run "$sharddir/plan.json" "$sharddir/report_monolithic.json"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    merge "$sharddir/report_0.json" "$sharddir/report_1.json" \
+    > "$sharddir/report_merged.json"
+diff "$sharddir/report_monolithic.json" "$sharddir/report_merged.json"
+echo "    merged shard tally is bit-identical to the monolithic run"
 
 echo "==> benches + examples compile"
 cargo build --release --benches --examples

@@ -43,6 +43,49 @@ fn tracing_overhead(c: &mut Criterion) {
             },
         );
     }
+
+    // The Figure-5 shard-executor path: deriving one region's internal site
+    // list in a fresh session, from a full reference trace vs. from a
+    // region-scoped `TraceScope::Window` re-run (the window a CampaignPlan
+    // carries).  The window path is what keeps per-region campaign shards
+    // from recording full traces.
+    let coordinator = fliptracker::Session::new(ftkr_apps::mg());
+    let target = ftkr_inject::CampaignTarget::Region {
+        name: "mg_a".to_string(),
+    };
+    let (start, end) = coordinator
+        .target_window(&target)
+        .expect("mg_a resolves");
+    group.bench_with_input(
+        BenchmarkId::new("fig5_sites_full", "MG"),
+        &target,
+        |b, target| {
+            b.iter(|| {
+                let session = fliptracker::Session::new(ftkr_apps::mg());
+                session
+                    .sites(target, ftkr_inject::TargetClass::Internal)
+                    .unwrap()
+                    .len()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("fig5_sites_window", "MG"),
+        &target,
+        |b, target| {
+            b.iter(|| {
+                let plan = ftkr_inject::CampaignPlan::new(
+                    "MG",
+                    target.clone(),
+                    ftkr_inject::TargetClass::Internal,
+                    0,
+                )
+                .with_window(start, end);
+                let session = fliptracker::Session::new(ftkr_apps::mg());
+                session.run_plan(&plan).unwrap().population
+            })
+        },
+    );
     group.finish();
 }
 

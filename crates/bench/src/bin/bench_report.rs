@@ -39,31 +39,49 @@ struct Report {
     tracing_overhead_ratio_mg_after: Option<f64>,
     /// ACL construction speedup vs the seed (the Table-I hot path).
     acl_construction_speedup: Option<f64>,
+    /// Figure-5 per-region site derivation: wall-time speedup of the
+    /// `TraceScope::Window` shard path over a full reference trace (MG,
+    /// region `mg_a`; fresh medians on both sides).
+    fig5_window_site_derivation_speedup: Option<f64>,
+    /// Figure-5 per-region tracing footprint: recorded events of the full
+    /// reference trace over the `TraceScope::Window` trace (MG, `mg_a`) —
+    /// how much trace memory the window path avoids.
+    fig5_window_traced_events_ratio: Option<f64>,
 }
 
-/// Parse one `{"name":...,"median_ns":...,"samples":...}` line of the shim's
-/// JSONL output (flat format under our control — no JSON parser needed, the
-/// vendored serde_json shim is serialize-only).
-fn parse_line(line: &str) -> Option<(String, u64)> {
+/// Parse one `{"name":...,"median_ns":...}` timing line or one
+/// `{"name":...,"count":...}` footprint line of the JSONL input (flat
+/// formats under our control — no full JSON parse needed).
+fn parse_line(line: &str, key: &str) -> Option<(String, u64)> {
     let name = line.split("\"name\":\"").nth(1)?.split('"').next()?;
-    let median = line
-        .split("\"median_ns\":")
+    let value = line
+        .split(&format!("\"{key}\":"))
         .nth(1)?
         .split(|c: char| !c.is_ascii_digit())
         .next()?
         .parse()
         .ok()?;
-    Some((name.to_string(), median))
+    Some((name.to_string(), value))
 }
 
-fn load(path: &str) -> BTreeMap<String, u64> {
+/// Timing medians and footprint counters of a JSONL collection file, kept
+/// separate so counters never masquerade as nanoseconds in the report.
+fn load(path: &str) -> (BTreeMap<String, u64>, BTreeMap<String, u64>) {
     let Ok(text) = std::fs::read_to_string(path) else {
         eprintln!("bench_report: warning: cannot read {path}; treating as empty");
-        return BTreeMap::new();
+        return (BTreeMap::new(), BTreeMap::new());
     };
     // Later lines win, so re-running a bench within one collection session
-    // records the freshest median.
-    text.lines().filter_map(parse_line).collect()
+    // records the freshest value.
+    let medians = text
+        .lines()
+        .filter_map(|l| parse_line(l, "median_ns"))
+        .collect();
+    let counts = text
+        .lines()
+        .filter_map(|l| parse_line(l, "count"))
+        .collect();
+    (medians, counts)
 }
 
 fn ratio(num: Option<&u64>, den: Option<&u64>) -> Option<f64> {
@@ -83,8 +101,8 @@ fn main() {
         }
     };
 
-    let fresh = load(&fresh_path);
-    let baseline = load(&baseline_path);
+    let (fresh, fresh_counts) = load(&fresh_path);
+    let (baseline, _) = load(&baseline_path);
 
     let mut names: Vec<&String> = baseline.keys().chain(fresh.keys()).collect();
     names.sort();
@@ -117,6 +135,14 @@ fn main() {
             baseline.get("analysis/acl_construction_mg"),
             fresh.get("analysis/acl_construction_mg"),
         ),
+        fig5_window_site_derivation_speedup: ratio(
+            fresh.get("tracing_overhead/fig5_sites_full/MG"),
+            fresh.get("tracing_overhead/fig5_sites_window/MG"),
+        ),
+        fig5_window_traced_events_ratio: ratio(
+            fresh_counts.get("fig5_trace/full_events/MG"),
+            fresh_counts.get("fig5_trace/window_events/MG"),
+        ),
         benchmarks,
     };
 
@@ -131,5 +157,11 @@ fn main() {
     }
     if let Some(s) = report.acl_construction_speedup {
         println!("bench_report: ACL construction speedup vs seed: {s:.2}x");
+    }
+    if let Some(s) = report.fig5_window_site_derivation_speedup {
+        println!("bench_report: fig5 site derivation, window vs full trace: {s:.2}x faster");
+    }
+    if let Some(s) = report.fig5_window_traced_events_ratio {
+        println!("bench_report: fig5 traced events, full vs window: {s:.1}x fewer recorded");
     }
 }

@@ -1,0 +1,251 @@
+//! Cross-process campaign execution from serialized [`CampaignPlan`]s.
+//!
+//! This binary is the distribution story of the campaign machinery: a
+//! coordinator writes a shard manifest of JSON plans, any number of worker
+//! processes (possibly on other machines) execute one plan each, and the
+//! coordinator merges the resulting reports — bit-identically to running the
+//! whole campaign in one process.
+//!
+//! ```sh
+//! campaign_shard plan  <app> <target> <class> <n_tests> <seed> <k> <dir>
+//! campaign_shard run   <plan.json> [report.json]
+//! campaign_shard merge <report.json> <report.json>...
+//! campaign_shard stats <app> <region> [out.jsonl]
+//! ```
+//!
+//! * `plan` resolves the target's dynamic window in a session and writes
+//!   `<dir>/plan.json` (the monolithic campaign) plus `<dir>/plan_shard_<i>.json`
+//!   (the `k`-way shard manifest).  Targets: `whole`, `region:<name>`,
+//!   `iter:<0-based index>`.  Classes: `internal`, `input`.
+//! * `run` executes one plan in a fresh session (a plan that carries its
+//!   window derives its sites from a region-scoped trace — no full trace is
+//!   recorded) and writes the `CampaignReport` JSON.
+//! * `merge` folds shard reports into one and prints the merged JSON.
+//! * `stats` records the traced footprint (event/operand counts) of
+//!   Figure-5-style site derivation under `TraceScope::Window` vs. a full
+//!   reference trace, as `{"name":...,"median_ns":...}` JSON lines that
+//!   `bench_report` folds into `BENCH_fliptracker.json`.
+
+use std::process::exit;
+
+use fliptracker::{execute_plan, Session};
+use ftkr_inject::{CampaignPlan, CampaignReport, CampaignTarget, TargetClass};
+use ftkr_vm::{Vm, VmConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  campaign_shard plan  <app> <whole|region:NAME|iter:N> <internal|input> \
+         <n_tests> <seed> <k> <dir>\n  campaign_shard run   <plan.json> [report.json]\n  \
+         campaign_shard merge <report.json> <report.json>...\n  \
+         campaign_shard stats <app> <region> [out.jsonl]"
+    );
+    exit(2);
+}
+
+fn parse_target(text: &str) -> CampaignTarget {
+    if text == "whole" {
+        return CampaignTarget::WholeProgram;
+    }
+    if let Some(name) = text.strip_prefix("region:") {
+        return CampaignTarget::Region {
+            name: name.to_string(),
+        };
+    }
+    if let Some(index) = text.strip_prefix("iter:") {
+        if let Ok(index) = index.parse() {
+            return CampaignTarget::Iteration { index };
+        }
+    }
+    eprintln!("campaign_shard: unknown target {text:?}");
+    usage();
+}
+
+fn parse_class(text: &str) -> TargetClass {
+    match text.to_ascii_lowercase().as_str() {
+        "internal" => TargetClass::Internal,
+        "input" => TargetClass::Input,
+        other => {
+            eprintln!("campaign_shard: unknown class {other:?}");
+            usage();
+        }
+    }
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("campaign_shard: cannot read {path}: {e}");
+        exit(1);
+    })
+}
+
+/// Write a JSON document with a trailing newline (so files written by `run`
+/// byte-match documents printed by `merge`).
+fn write(path: &str, text: &str) {
+    std::fs::write(path, format!("{text}\n")).unwrap_or_else(|e| {
+        eprintln!("campaign_shard: cannot write {path}: {e}");
+        exit(1);
+    });
+}
+
+fn cmd_plan(args: &[String]) {
+    let [app, target, class, n_tests, seed, k, dir] = args else {
+        usage();
+    };
+    let target = parse_target(target);
+    let class = parse_class(class);
+    let n_tests: u64 = n_tests.parse().unwrap_or_else(|_| usage());
+    let seed: u64 = seed.parse().unwrap_or_else(|_| usage());
+    let k: usize = k.parse().unwrap_or_else(|_| usage());
+
+    let session = Session::by_name(app).unwrap_or_else(|| {
+        eprintln!("campaign_shard: unknown application {app:?}");
+        exit(1);
+    });
+    let plan = session
+        .plan(target, class, n_tests)
+        .unwrap_or_else(|e| {
+            eprintln!("campaign_shard: {e}");
+            exit(1);
+        })
+        .with_seed(seed);
+
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+        eprintln!("campaign_shard: cannot create {dir}: {e}");
+        exit(1);
+    });
+    let mono_path = format!("{dir}/plan.json");
+    write(&mono_path, &plan.to_json());
+    println!("{mono_path}");
+    for (i, shard) in plan.shards(k).iter().enumerate() {
+        let path = format!("{dir}/plan_shard_{i}.json");
+        write(&path, &shard.to_json());
+        println!("{path}");
+    }
+}
+
+fn cmd_run(args: &[String]) {
+    let (plan_path, out) = match args {
+        [plan] => (plan, None),
+        [plan, out] => (plan, Some(out)),
+        _ => usage(),
+    };
+    let plan = CampaignPlan::from_json(&read(plan_path)).unwrap_or_else(|e| {
+        eprintln!("campaign_shard: {plan_path} is not a plan: {e}");
+        exit(1);
+    });
+    let report = execute_plan(&plan).unwrap_or_else(|e| {
+        eprintln!("campaign_shard: {e}");
+        exit(1);
+    });
+    let json = report.to_json();
+    match out {
+        Some(path) => write(path, &json),
+        None => println!("{json}"),
+    }
+}
+
+fn cmd_merge(args: &[String]) {
+    if args.is_empty() {
+        usage();
+    }
+    let reports: Vec<(String, CampaignReport)> = args
+        .iter()
+        .map(|path| {
+            let report = CampaignReport::from_json(&read(path)).unwrap_or_else(|e| {
+                eprintln!("campaign_shard: {path} is not a report: {e}");
+                exit(1);
+            });
+            (path.clone(), report)
+        })
+        .collect();
+    let (first_path, first) = &reports[0];
+    for (path, report) in &reports[1..] {
+        if !first.same_campaign(report) {
+            eprintln!(
+                "campaign_shard: {path} (population {}, seed {}) is not a shard of the \
+                 same campaign as {first_path} (population {}, seed {})",
+                report.population, report.seed, first.population, first.seed
+            );
+            exit(1);
+        }
+    }
+    let merged = reports
+        .into_iter()
+        .map(|(_, report)| report)
+        .reduce(|a, b| a.merge(&b))
+        .expect("at least one report");
+    println!("{}", merged.to_json());
+}
+
+fn cmd_stats(args: &[String]) {
+    let (app, region, out) = match args {
+        [app, region] => (app, region, None),
+        [app, region, out] => (app, region, Some(out)),
+        _ => usage(),
+    };
+    let session = Session::by_name(app).unwrap_or_else(|| {
+        eprintln!("campaign_shard: unknown application {app:?}");
+        exit(1);
+    });
+    let target = CampaignTarget::Region {
+        name: region.clone(),
+    };
+    let (start, end) = session.target_window(&target).unwrap_or_else(|e| {
+        eprintln!("campaign_shard: {e}");
+        exit(1);
+    });
+    // The full reference trace is already materialized by the window
+    // resolution above; a shard process would instead record only the
+    // region's window.
+    let full = session.clean_trace();
+    let windowed = Vm::new(VmConfig::tracing_region(start, end))
+        .run(&session.app().module)
+        .expect("module verifies")
+        .trace
+        .expect("tracing enabled");
+
+    let records = [
+        (format!("fig5_trace/full_events/{app}"), full.len() as u64),
+        (format!("fig5_trace/full_operands/{app}"), full.num_operands() as u64),
+        (format!("fig5_trace/window_events/{app}"), windowed.len() as u64),
+        (
+            format!("fig5_trace/window_operands/{app}"),
+            windowed.num_operands() as u64,
+        ),
+    ];
+    // `count`, not `median_ns`: these are footprint counters, and
+    // bench_report keeps them out of the timing table.
+    let mut lines = String::new();
+    for (name, value) in records {
+        lines.push_str(&format!("{{\"name\":\"{name}\",\"count\":{value}}}\n"));
+    }
+    match out {
+        Some(path) => {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| {
+                    eprintln!("campaign_shard: cannot open {path}: {e}");
+                    exit(1);
+                });
+            f.write_all(lines.as_bytes()).expect("append stats");
+        }
+        None => print!("{lines}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "plan" => cmd_plan(rest),
+            "run" => cmd_run(rest),
+            "merge" => cmd_merge(rest),
+            "stats" => cmd_stats(rest),
+            _ => usage(),
+        },
+        None => usage(),
+    }
+}

@@ -9,25 +9,25 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use ftkr_apps::{app_by_name, App};
+use ftkr_apps::App;
 use ftkr_acl::AclTable;
-use ftkr_dddg::Dddg;
-use ftkr_inject::{input_sites, internal_sites, Campaign, TargetClass};
+use ftkr_inject::TargetClass;
 use ftkr_mpi::{run_spmd, ReduceOp};
 use ftkr_patterns::{PatternKind, RegionPatternSummary};
-use ftkr_trace::{instance_slice, partition_iterations, partition_regions, RegionSelector};
+use ftkr_trace::partition_iterations;
 use ftkr_vm::{EventKind, FaultSpec, Location, Vm, VmConfig};
 
 use crate::effort::Effort;
-use crate::regions::{region_table, region_views};
+use crate::regions::region_table;
+use crate::session::Session;
 
 /// The five programs the paper analyses region-by-region.
 pub const REGION_APPS: [&str; 5] = ["CG", "MG", "KMEANS", "IS", "LULESH"];
 
-fn region_apps() -> Vec<App> {
+fn region_sessions() -> Vec<Session> {
     REGION_APPS
         .iter()
-        .map(|name| app_by_name(name).expect("known app"))
+        .map(|name| Session::by_name(name).expect("known app"))
         .collect()
 }
 
@@ -83,11 +83,11 @@ impl Table1 {
 /// regions of CG, MG, KMEANS, IS and LULESH.
 pub fn table1(effort: &Effort) -> Table1 {
     Table1 {
-        programs: region_apps()
+        programs: region_sessions()
             .iter()
-            .map(|app| Table1Program {
-                program: app.name.to_string(),
-                rows: region_table(app, effort),
+            .map(|session| Table1Program {
+                program: session.app().name.to_string(),
+                rows: session.region_table(effort),
             })
             .collect(),
     }
@@ -188,13 +188,16 @@ fn time_spmd(app: &App, ranks: usize, trace: bool, reps: usize) -> f64 {
 /// Reproduce Figure 4: per-process tracing overhead of the five MPI programs.
 pub fn fig4(effort: &Effort) -> Fig4 {
     Fig4 {
-        rows: region_apps()
+        rows: region_sessions()
             .iter()
-            .map(|app| Fig4Row {
-                program: app.name.to_string(),
-                ranks: effort.ranks,
-                seconds_plain: time_spmd(app, effort.ranks, false, effort.timing_runs),
-                seconds_traced: time_spmd(app, effort.ranks, true, effort.timing_runs),
+            .map(|session| {
+                let app = session.app();
+                Fig4Row {
+                    program: app.name.to_string(),
+                    ranks: effort.ranks,
+                    seconds_plain: time_spmd(app, effort.ranks, false, effort.timing_runs),
+                    seconds_traced: time_spmd(app, effort.ranks, true, effort.timing_runs),
+                }
             })
             .collect(),
     }
@@ -262,64 +265,14 @@ impl SuccessRateSeries {
     }
 }
 
-fn campaign_point(
-    app: &App,
-    clean_steps: u64,
-    sites: &[ftkr_inject::FaultSite],
-    class: TargetClass,
-    program: &str,
-    target: &str,
-    effort: &Effort,
-) -> SuccessRatePoint {
-    let campaign = Campaign::new(&app.module, |r| app.verify(r))
-        .with_max_steps(clean_steps * 10 + 10_000)
-        .with_seed(0xC0FFEE ^ target.len() as u64 ^ (class as u64) << 32);
-    let report = campaign.run(sites, effort.tests_per_point);
-    SuccessRatePoint {
-        program: program.to_string(),
-        target: target.to_string(),
-        class,
-        success_rate: report.success_rate(),
-        crash_rate: report.counts.crash_rate(),
-        injections: report.counts.total(),
-    }
-}
-
 /// Reproduce Figure 5: success rate per code region (iteration 0), for
-/// internal and input locations.
+/// internal and input locations.  Each program's points come from its
+/// session ([`Session::figure5`]), which derives every region's site list
+/// from one shared clean reference run.
 pub fn fig5(effort: &Effort) -> SuccessRateSeries {
     let mut points = Vec::new();
-    for app in region_apps() {
-        let clean_run = app.run_traced();
-        let clean = clean_run.trace.as_ref().expect("traced");
-        for view in region_views(&app, clean) {
-            let slice = instance_slice(clean, &view.instance);
-            let internal = internal_sites(clean, view.instance.start, view.instance.end);
-            let dddg = Dddg::from_slice(slice);
-            let input = input_sites(view.instance.start, &dddg.inputs());
-            if !internal.is_empty() {
-                points.push(campaign_point(
-                    &app,
-                    clean_run.steps,
-                    &internal,
-                    TargetClass::Internal,
-                    app.name,
-                    &view.name,
-                    effort,
-                ));
-            }
-            if !input.is_empty() {
-                points.push(campaign_point(
-                    &app,
-                    clean_run.steps,
-                    &input,
-                    TargetClass::Input,
-                    app.name,
-                    &view.name,
-                    effort,
-                ));
-            }
-        }
+    for session in region_sessions() {
+        points.extend(session.figure5(effort).points);
     }
     SuccessRateSeries { points }
 }
@@ -328,39 +281,8 @@ pub fn fig5(effort: &Effort) -> SuccessRateSeries {
 /// body treated as one code region), for internal and input locations.
 pub fn fig6(effort: &Effort, max_iterations: usize) -> SuccessRateSeries {
     let mut points = Vec::new();
-    for app in region_apps() {
-        let clean_run = app.run_traced();
-        let clean = clean_run.trace.as_ref().expect("traced");
-        let iterations = partition_iterations(clean, &app.module, Some(app.main_loop));
-        for inst in iterations.iter().take(max_iterations) {
-            let label = format!("iter{}", inst.instance + 1);
-            let internal = internal_sites(clean, inst.start, inst.end);
-            let slice = instance_slice(clean, inst);
-            let dddg = Dddg::from_slice(slice);
-            let input = input_sites(inst.start, &dddg.inputs());
-            if !internal.is_empty() {
-                points.push(campaign_point(
-                    &app,
-                    clean_run.steps,
-                    &internal,
-                    TargetClass::Internal,
-                    app.name,
-                    &label,
-                    effort,
-                ));
-            }
-            if !input.is_empty() {
-                points.push(campaign_point(
-                    &app,
-                    clean_run.steps,
-                    &input,
-                    TargetClass::Input,
-                    app.name,
-                    &label,
-                    effort,
-                ));
-            }
-        }
+    for session in region_sessions() {
+        points.extend(session.figure6(effort, max_iterations).points);
     }
     SuccessRateSeries { points }
 }
@@ -403,10 +325,9 @@ impl Fig7 {
 /// Reproduce Figure 7: inject into LULESH late in the run (the paper uses the
 /// third-from-last main-loop iteration) and track the ACL count.
 pub fn fig7() -> Fig7 {
-    let app = app_by_name("LULESH").expect("LULESH exists");
-    let clean_run = app.run_traced();
-    let clean = clean_run.trace.as_ref().expect("traced");
-    let iterations = partition_iterations(clean, &app.module, Some(app.main_loop));
+    let session = Session::by_name("LULESH").expect("LULESH exists");
+    let clean = session.clean_trace();
+    let iterations = session.iterations();
     let target_iter = &iterations[iterations.len().saturating_sub(3)];
     // First floating multiply of that iteration: a value inside the hourglass
     // force aggregation.
@@ -417,14 +338,7 @@ pub fn fig7() -> Fig7 {
         })
         .unwrap_or(target_iter.start);
     let fault = FaultSpec::in_result(step as u64, 52);
-    let config = VmConfig {
-        record_trace: true,
-        trace_hint: Some(clean_run.steps),
-        fault: Some(fault),
-        max_steps: clean_run.steps * 10 + 10_000,
-        ..VmConfig::default()
-    };
-    let faulty_run = Vm::new(config).run(&app.module).expect("module verifies");
+    let faulty_run = session.traced_faulty_run(fault);
     let faulty = faulty_run.trace.expect("traced");
     let acl = AclTable::from_fault(&faulty, &fault);
     // The interesting part of the trajectory starts at the injection; drop
@@ -504,60 +418,77 @@ impl Table2 {
     }
 }
 
-/// Value of memory cell `addr` at dynamic step `end` according to a trace
-/// (last store before `end`, or the initial value if it was never stored).
-fn cell_value_at(trace: &ftkr_vm::Trace, addr: u64, end: usize, initial: f64) -> f64 {
+/// Values of memory cell `addr` at each of the (ascending) dynamic-step
+/// `boundaries`, in a single forward pass over the trace: snapshot `i` is
+/// the cell's value after the events `[0, boundaries[i])` — the last store
+/// before the boundary, or `initial` if the cell was never stored by then.
+fn cell_values_at_boundaries(
+    trace: &ftkr_vm::Trace,
+    addr: u64,
+    boundaries: &[usize],
+    initial: f64,
+) -> Vec<f64> {
+    debug_assert!(boundaries.windows(2).all(|w| w[0] <= w[1]));
     // Resolve the cell's id once; if the trace never touches it, its value
     // never changes.
     let Some(id) = trace.location_id(&Location::mem(addr)) else {
-        return initial;
+        return vec![initial; boundaries.len()];
     };
+    let mut snapshots = Vec::with_capacity(boundaries.len());
     let mut value = initial;
-    for event in trace.events.iter().take(end) {
+    let mut next = boundaries.iter().peekable();
+    for (i, event) in trace.events.iter().enumerate() {
+        while next.next_if(|&&b| b <= i).is_some() {
+            snapshots.push(value);
+        }
+        if next.peek().is_none() {
+            break;
+        }
         if let Some((wid, v)) = event.write {
             if wid == id {
                 value = v.to_f64_lossy();
             }
         }
     }
-    value
+    // Boundaries at or past the end of the trace see the final value.
+    snapshots.resize(boundaries.len(), value);
+    snapshots
 }
 
 /// Reproduce Table II: flip bit `bit` of `u[element]` as the first `mg3P`
 /// invocation begins and report the element's error magnitude after every
 /// invocation.
 pub fn table2(element: usize, bit: u8) -> Table2 {
-    let app = app_by_name("MG").expect("MG exists");
-    let clean_run = app.run_traced();
-    let clean = clean_run.trace.as_ref().expect("traced");
+    let session = Session::by_name("MG").expect("MG exists");
+    let clean = session.clean_trace();
     // The `u` array is the first global of the MG module: cell address =
     // element index.
     let addr = element as u64;
     // Find the start of the first mg3P invocation = the first mg_a region.
-    let regions = partition_regions(clean, &app.module, &RegionSelector::named(["mg_a"]));
-    let first = regions.first().expect("MG has mg_a instances");
+    let first = session
+        .regions()
+        .iter()
+        .find(|r| r.key.name == "mg_a")
+        .expect("MG has mg_a instances");
     let fault = FaultSpec::in_memory(first.start as u64, addr, bit);
 
-    let config = VmConfig {
-        record_trace: true,
-        trace_hint: Some(clean_run.steps),
-        fault: Some(fault),
-        max_steps: clean_run.steps * 10 + 10_000,
-        ..VmConfig::default()
-    };
-    let faulty_run = Vm::new(config).run(&app.module).expect("module verifies");
+    let faulty_run = session.traced_faulty_run(fault);
     let faulty = faulty_run.trace.expect("traced");
 
-    // The element value after each main-loop iteration (each mg3P call).
-    let clean_iters = partition_iterations(clean, &app.module, Some(app.main_loop));
-    let faulty_iters = partition_iterations(&faulty, &app.module, Some(app.main_loop));
-    let rows = clean_iters
+    // The element value after each main-loop iteration (each mg3P call),
+    // snapshotted in one forward pass per trace instead of one rescan per
+    // iteration row.
+    let clean_iters = session.iterations();
+    let faulty_iters = partition_iterations(&faulty, &session.app().module, Some(session.app().main_loop));
+    let clean_ends: Vec<usize> = clean_iters.iter().map(|c| c.end).collect();
+    let faulty_ends: Vec<usize> = faulty_iters.iter().map(|f| f.end).collect();
+    let originals = cell_values_at_boundaries(clean, addr, &clean_ends, 0.0);
+    let corrupteds = cell_values_at_boundaries(&faulty, addr, &faulty_ends, 0.0);
+    let rows = originals
         .iter()
-        .zip(&faulty_iters)
+        .zip(&corrupteds)
         .enumerate()
-        .map(|(i, (c, f))| {
-            let original = cell_value_at(clean, addr, c.end, 0.0);
-            let corrupted = cell_value_at(&faulty, addr, f.end, 0.0);
+        .map(|(i, (&original, &corrupted))| {
             let error_magnitude = if original == 0.0 {
                 if corrupted == 0.0 {
                     0.0
@@ -587,21 +518,15 @@ pub fn table2(element: usize, bit: u8) -> Table2 {
 // --------------------------------------------------------------------------
 
 /// Measured whole-program success rate for an application: a campaign over
-/// the internal sites of the entire execution.
+/// the internal sites of the entire execution.  One-shot wrapper around
+/// [`Session::whole_program_success_rate`].
 pub fn whole_program_success_rate(app: &App, effort: &Effort) -> f64 {
-    let clean_run = app.run_traced();
-    let clean = clean_run.trace.as_ref().expect("traced");
-    let sites = internal_sites(clean, 0, clean.len());
-    let campaign = Campaign::new(&app.module, |r| app.verify(r))
-        .with_max_steps(clean_run.steps * 10 + 10_000)
-        .with_seed(0xAB5C155A);
-    campaign.run(&sites, effort.tests_per_point).success_rate()
+    Session::new(app.clone()).whole_program_success_rate(effort)
 }
 
 /// Per-pattern dynamic rates for an application (features of Use Case 2).
 pub fn app_pattern_rates(app: &App) -> BTreeMap<&'static str, f64> {
-    let clean = app.run_traced().trace.expect("traced");
-    let rates = ftkr_patterns::dynamic_rates(&app.module, &clean);
+    let rates = Session::new(app.clone()).pattern_rates();
     ftkr_patterns::PatternRates::feature_names()
         .into_iter()
         .zip(rates.as_features())

@@ -6,6 +6,9 @@
 //! patterns, and run the two use cases (resilience-aware rewriting and
 //! resilience prediction).
 //!
+//! * [`session`] — the analysis session: one application, one cached clean
+//!   reference run, every driver's entry point, and the executor for
+//!   serializable campaign plans;
 //! * [`pipeline`] — single-injection analysis: trace, ACL, patterns, region
 //!   tolerance cases;
 //! * [`regions`] — region-level views of an application;
@@ -17,8 +20,8 @@
 //! ```no_run
 //! use fliptracker::prelude::*;
 //!
-//! let app = ftkr_apps::mg();
-//! let analysis = analyze_injection(&app, None).expect("analysis");
+//! let session = Session::by_name("MG").expect("MG exists");
+//! let analysis = session.analyze(None).expect("analysis");
 //! println!("{} pattern instances", analysis.patterns.len());
 //! ```
 
@@ -26,11 +29,13 @@ pub mod effort;
 pub mod experiments;
 pub mod pipeline;
 pub mod regions;
+pub mod session;
 pub mod use_cases;
 
 pub use effort::Effort;
 pub use pipeline::{analyze_injection, InjectionAnalysis};
 pub use regions::{region_table, RegionView};
+pub use session::{execute_plan, PlanError, Session};
 
 /// Common imports for examples and the experiment harness.
 pub mod prelude {
@@ -38,7 +43,9 @@ pub mod prelude {
     pub use crate::experiments;
     pub use crate::pipeline::{analyze_injection, InjectionAnalysis};
     pub use crate::regions::{region_table, RegionView};
+    pub use crate::session::{execute_plan, PlanError, Session};
     pub use crate::use_cases;
     pub use ftkr_apps::{all_apps, app_by_name, App};
+    pub use ftkr_inject::{CampaignPlan, CampaignTarget, IndexRange, TargetClass};
     pub use ftkr_patterns::PatternKind;
 }

@@ -1,12 +1,19 @@
 //! Single-injection analysis: the core FlipTracker workflow of Figure 1.
+//!
+//! The heavy lifting lives in [`Session::analyze`](crate::Session::analyze);
+//! this module defines the result type and keeps the classic one-shot entry
+//! point for callers that analyse a single fault and do not need to reuse
+//! the session's cached clean run.
 
 use ftkr_acl::AclTable;
 use ftkr_apps::App;
-use ftkr_dddg::{compare_io, Dddg, ToleranceCase};
+use ftkr_dddg::ToleranceCase;
 use ftkr_inject::Outcome;
-use ftkr_patterns::{detect_all, DetectionInput, PatternInstance};
-use ftkr_trace::{instance_slice, partition_regions, RegionInstance, RegionSelector};
-use ftkr_vm::{EventKind, FaultSpec, Trace, Vm, VmConfig};
+use ftkr_patterns::PatternInstance;
+use ftkr_trace::RegionInstance;
+use ftkr_vm::FaultSpec;
+
+use crate::session::Session;
 
 /// Everything FlipTracker learns from one injected fault.
 #[derive(Debug, Clone)]
@@ -39,104 +46,17 @@ impl InjectionAnalysis {
     }
 }
 
-/// Pick a default injection target for an application: the first
-/// floating-point (or otherwise value-producing) instruction inside the first
-/// instance of its first named region, flipping a mid-mantissa bit.  Used
-/// when the caller passes `None` to [`analyze_injection`].
-fn default_fault(app: &App, clean: &Trace) -> Option<FaultSpec> {
-    let regions = partition_regions(clean, &app.module, &RegionSelector::FirstLevelInner);
-    let first = regions
-        .iter()
-        .find(|r| app.regions.contains(&r.key.name))?;
-    let step = (first.start..first.end).find(|&i| {
-        let e = &clean.events[i];
-        e.write.is_some() && matches!(e.kind, EventKind::Bin(_) | EventKind::Load)
-    })?;
-    Some(FaultSpec::in_result(step as u64, 30))
-}
-
 /// Run the full FlipTracker analysis for one injected fault.
 ///
 /// When `fault` is `None` a representative fault is chosen automatically
 /// (first arithmetic instruction of the first named region, bit 30).
 /// Returns `None` only if the application has no injectable site.
+///
+/// Analysing several faults against the same application?  Open a
+/// [`Session`] once and call [`Session::analyze`] — the clean reference run
+/// and the region partitions are then computed once and shared.
 pub fn analyze_injection(app: &App, fault: Option<FaultSpec>) -> Option<InjectionAnalysis> {
-    // Fault-free traced run (the reference for every comparison).
-    let clean_run = Vm::new(VmConfig::tracing())
-        .run(&app.module)
-        .expect("benchmark module verifies");
-    let clean = clean_run.trace.expect("tracing was enabled");
-
-    let fault = match fault {
-        Some(f) => f,
-        None => default_fault(app, &clean)?,
-    };
-
-    // Faulty traced run, pre-sized from the fault-free step count (completed
-    // faulty runs of a deterministic program execute the same number of
-    // dynamic instructions unless control flow diverges).
-    let faulty_config = VmConfig {
-        record_trace: true,
-        trace_hint: Some(clean_run.steps),
-        fault: Some(fault),
-        max_steps: clean_run.steps * 10 + 10_000,
-        ..VmConfig::default()
-    };
-    let faulty_run = Vm::new(faulty_config)
-        .run(&app.module)
-        .expect("benchmark module verifies");
-    let outcome = if !faulty_run.outcome.is_completed() {
-        Outcome::Crashed
-    } else if app.verify(&faulty_run) {
-        Outcome::VerificationSuccess
-    } else {
-        Outcome::VerificationFailed
-    };
-    let faulty = faulty_run.trace.expect("tracing was enabled");
-
-    // ACL table and pattern detection.
-    let acl = AclTable::from_fault(&faulty, &fault);
-    let patterns = detect_all(DetectionInput {
-        faulty: &faulty,
-        clean: &clean,
-        acl: &acl,
-    });
-
-    // Region model from the fault-free run, plus per-region DDDG comparison.
-    let regions = partition_regions(&clean, &app.module, &RegionSelector::FirstLevelInner);
-    let faulty_regions = partition_regions(&faulty, &app.module, &RegionSelector::FirstLevelInner);
-    let mut region_cases = Vec::new();
-    for (clean_inst, faulty_inst) in regions.iter().zip(&faulty_regions) {
-        if clean_inst.key != faulty_inst.key {
-            // Control flow diverged at the region level; stop matching.
-            break;
-        }
-        // Only analyse instances that overlap the fault's dynamic lifetime.
-        if faulty_inst.end <= fault.at_step as usize {
-            continue;
-        }
-        let clean_dddg = Dddg::from_slice(instance_slice(&clean, clean_inst));
-        let faulty_dddg = Dddg::from_slice(instance_slice(&faulty, faulty_inst));
-        let cmp = compare_io(
-            &clean_dddg,
-            &faulty_dddg,
-            clean.slice(clean_inst.end.min(clean.len()), clean.len()),
-            faulty.slice(faulty_inst.end.min(faulty.len()), faulty.len()),
-        );
-        if cmp.case != ToleranceCase::NotAffected {
-            region_cases.push((clean_inst.key.name.clone(), cmp.case));
-        }
-    }
-
-    Some(InjectionAnalysis {
-        fault,
-        outcome,
-        acl,
-        patterns,
-        regions,
-        region_cases,
-        clean_steps: clean_run.steps,
-    })
+    Session::new(app.clone()).analyze(fault)
 }
 
 #[cfg(test)]

@@ -1,15 +1,12 @@
 //! Region-level views of an application (the rows of Table I).
 
-use std::collections::BTreeSet;
-
 use ftkr_apps::App;
-use ftkr_patterns::{assign_to_regions, detect_all, DetectionInput, RegionPatternSummary};
-use ftkr_acl::AclTable;
-use ftkr_inject::internal_sites;
+use ftkr_patterns::RegionPatternSummary;
 use ftkr_trace::{partition_regions, region_instruction_counts, RegionInstance, RegionSelector};
-use ftkr_vm::{Trace, Vm, VmConfig};
+use ftkr_vm::Trace;
 
 use crate::effort::Effort;
+use crate::session::Session;
 
 /// A region of an application together with its first instance in main-loop
 /// iteration 0 (the instance the paper's per-region experiments target).
@@ -27,7 +24,8 @@ pub struct RegionView {
 }
 
 /// The named regions of an application, with their representative instances,
-/// from a fault-free traced run.
+/// from a fault-free traced run.  This is a pure function of the trace; most
+/// callers want the cached [`Session::region_views`] instead.
 pub fn region_views(app: &App, clean: &Trace) -> Vec<RegionView> {
     let instances = partition_regions(clean, &app.module, &RegionSelector::FirstLevelInner);
     let counts = region_instruction_counts(clean, &instances, 0);
@@ -51,61 +49,10 @@ pub fn region_views(app: &App, clean: &Trace) -> Vec<RegionView> {
 
 /// Build the Table-I row set for one application: for every named region,
 /// inject `effort.analysis_injections` faults into its first instance, run
-/// the detectors, and union the pattern kinds found.
+/// the detectors, and union the pattern kinds found.  One-shot wrapper
+/// around [`Session::region_table`].
 pub fn region_table(app: &App, effort: &Effort) -> Vec<RegionPatternSummary> {
-    let clean_run = Vm::new(VmConfig::tracing())
-        .run(&app.module)
-        .expect("benchmark module verifies");
-    let clean = clean_run.trace.expect("tracing enabled");
-    let views = region_views(app, &clean);
-    let all_instances = partition_regions(&clean, &app.module, &RegionSelector::FirstLevelInner);
-
-    views
-        .iter()
-        .map(|view| {
-            let mut found = BTreeSet::new();
-            let sites = internal_sites(&clean, view.instance.start, view.instance.end);
-            if !sites.is_empty() {
-                // Deterministically spread the analysis injections over the
-                // region's sites and over different bit positions.
-                for k in 0..effort.analysis_injections {
-                    let site = sites[(k * sites.len() / effort.analysis_injections.max(1))
-                        .min(sites.len() - 1)];
-                    let bit = [30u8, 52, 12, 40, 3, 61][k % 6];
-                    let fault = site.with_bit(bit);
-                    let config = VmConfig {
-                        record_trace: true,
-                        trace_hint: Some(clean_run.steps),
-                        fault: Some(fault),
-                        max_steps: clean_run.steps * 10 + 10_000,
-                        ..VmConfig::default()
-                    };
-                    let faulty_run = Vm::new(config)
-                        .run(&app.module)
-                        .expect("benchmark module verifies");
-                    let Some(faulty) = faulty_run.trace else {
-                        continue;
-                    };
-                    let acl = AclTable::from_fault(&faulty, &fault);
-                    let patterns = detect_all(DetectionInput {
-                        faulty: &faulty,
-                        clean: &clean,
-                        acl: &acl,
-                    });
-                    let by_region = assign_to_regions(&patterns, &all_instances);
-                    if let Some(kinds) = by_region.get(&view.name) {
-                        found.extend(kinds.iter().copied());
-                    }
-                }
-            }
-            RegionPatternSummary {
-                region: view.name.clone(),
-                lines: view.lines,
-                instructions: view.instructions,
-                patterns: found,
-            }
-        })
-        .collect()
+    Session::new(app.clone()).region_table(effort)
 }
 
 #[cfg(test)]
@@ -114,11 +61,10 @@ mod tests {
 
     #[test]
     fn region_views_cover_every_named_region_of_is() {
-        let app = ftkr_apps::is();
-        let clean = app.run_traced().trace.unwrap();
-        let views = region_views(&app, &clean);
-        assert_eq!(views.len(), app.regions.len());
-        for v in &views {
+        let session = Session::new(ftkr_apps::is());
+        let views = session.region_views();
+        assert_eq!(views.len(), session.app().regions.len());
+        for v in views {
             assert!(v.instructions > 0, "{} has no instructions", v.name);
             assert_eq!(v.instance.main_iteration, Some(0));
         }

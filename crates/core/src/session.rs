@@ -1,0 +1,844 @@
+//! The analysis session: one application, one cached clean reference run.
+//!
+//! FlipTracker's workflow is "one clean reference run, thousands of faulty
+//! runs compared against it" — yet every driver used to re-trace the clean
+//! run and re-partition its regions independently.  A [`Session`] owns an
+//! [`App`] and lazily computes, caches and shares everything the drivers
+//! derive from the fault-free execution:
+//!
+//! * the traced clean run (and its dynamic step count);
+//! * the code-region partition and the per-region views of Table I;
+//! * the main-loop iteration partition of Figure 6;
+//! * per-region DDDGs and fault-site lists, keyed by campaign target.
+//!
+//! Every experiment driver goes through a `Session`; none of them runs the
+//! tracer directly.  A `Session` is also the executor for serializable
+//! [`CampaignPlan`]s: [`Session::run_plan`] resolves the plan's symbolic
+//! target against the cached partitions (or, for shard processes that know
+//! the target's dynamic window, against a region-scoped
+//! [`TraceScope::Window`] trace that never records the full run) and replays
+//! exactly the plan's index-range shard.
+
+use std::cell::{OnceCell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ftkr_acl::AclTable;
+use ftkr_apps::{app_by_name, App};
+use ftkr_dddg::{compare_io, Dddg, ToleranceCase};
+use ftkr_inject::{
+    input_sites, internal_sites, Campaign, CampaignPlan, CampaignReport, CampaignTarget,
+    FaultSite, IndexRange, Outcome, TargetClass,
+};
+use ftkr_patterns::{
+    assign_to_regions, detect_all, DetectionInput, PatternRates, RegionPatternSummary,
+};
+use ftkr_trace::{instance_slice, partition_iterations, partition_regions, RegionInstance,
+    RegionSelector};
+use ftkr_vm::{FaultSpec, RunResult, Trace, TraceScope, Vm, VmConfig};
+
+use crate::effort::Effort;
+use crate::experiments::{SuccessRatePoint, SuccessRateSeries};
+use crate::pipeline::InjectionAnalysis;
+use crate::regions::{region_views as region_views_from, RegionView};
+
+/// Cache of fault-site lists, keyed by campaign target and class.
+type SiteCache = RefCell<HashMap<(CampaignTarget, TargetClass), Rc<Vec<FaultSite>>>>;
+
+/// Why a [`CampaignPlan`] could not be executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The plan names an application the registry does not know.
+    UnknownApp(String),
+    /// The plan was handed to a session that owns a different application.
+    AppMismatch {
+        /// The session's application.
+        session_app: String,
+        /// The plan's application.
+        plan_app: String,
+    },
+    /// The plan's target does not resolve in this application (unknown
+    /// region name or out-of-range iteration index).
+    UnknownTarget(String),
+    /// The plan carries a dynamic window that cannot belong to this
+    /// application's fault-free run (stale coordinator, wrong app version,
+    /// or a hand-edited plan).
+    InvalidWindow {
+        /// The window the plan carried.
+        window: (u64, u64),
+        /// Fault-free dynamic step count of the session's application.
+        clean_steps: u64,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnknownApp(name) => write!(f, "unknown application {name:?}"),
+            PlanError::AppMismatch {
+                session_app,
+                plan_app,
+            } => write!(
+                f,
+                "plan targets application {plan_app:?} but the session owns {session_app:?}"
+            ),
+            PlanError::UnknownTarget(target) => {
+                write!(f, "campaign target {target} does not resolve")
+            }
+            PlanError::InvalidWindow {
+                window: (start, end),
+                clean_steps,
+            } => write!(
+                f,
+                "plan window [{start}, {end}) does not fit the fault-free run \
+                 ({clean_steps} dynamic steps) — stale or mismatched plan?"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The sampling seed the figure drivers derive per campaign point.
+/// [`Session::plan`] defaults a plan's seed to the same derivation, so
+/// per-region results reproduce across entry points and across processes.
+pub fn figure_seed(target_label: &str, class: TargetClass) -> u64 {
+    0xC0FFEE ^ target_label.len() as u64 ^ ((class as u64) << 32)
+}
+
+/// The seed of the whole-program success-rate campaigns (Tables III/IV and
+/// [`CampaignTarget::WholeProgram`] plans).
+pub const WHOLE_PROGRAM_SEED: u64 = 0xAB5C155A;
+
+/// One application plus every cached artifact of its fault-free run.
+///
+/// All caches are lazy: a session that only runs campaigns against a known
+/// dynamic window never records a full trace, and a session that only needs
+/// the step count never records a trace at all.
+pub struct Session {
+    app: App,
+    /// Fault-free traced run (the reference for every comparison).
+    clean: OnceCell<RunResult>,
+    /// Dynamic step count of the fault-free run (knowable without tracing).
+    steps: OnceCell<u64>,
+    /// First-level-inner code-region instances of the clean trace.
+    regions: OnceCell<Vec<RegionInstance>>,
+    /// Representative per-region views (Table I rows).
+    views: OnceCell<Vec<RegionView>>,
+    /// Main-loop iteration instances (Figure 6 targets).
+    iterations: OnceCell<Vec<RegionInstance>>,
+    /// Per-instance DDDGs, keyed by event range in the clean trace.
+    dddgs: RefCell<HashMap<(usize, usize), Rc<Dddg>>>,
+    /// Fault-site lists, keyed by campaign target and class.
+    sites: SiteCache,
+}
+
+impl Session {
+    /// Open a session for an application.
+    pub fn new(app: App) -> Self {
+        Session {
+            app,
+            clean: OnceCell::new(),
+            steps: OnceCell::new(),
+            regions: OnceCell::new(),
+            views: OnceCell::new(),
+            iterations: OnceCell::new(),
+            dddgs: RefCell::new(HashMap::new()),
+            sites: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Open a session by application name (the registry the campaign plans
+    /// resolve against).
+    pub fn by_name(name: &str) -> Option<Self> {
+        app_by_name(name).map(Session::new)
+    }
+
+    /// The application this session analyses.
+    pub fn app(&self) -> &App {
+        &self.app
+    }
+
+    // -- the clean reference run ------------------------------------------
+
+    /// The fault-free traced run (computed once, shared by every driver).
+    pub fn clean_run(&self) -> &RunResult {
+        let run = self.clean.get_or_init(|| {
+            let config = match self.steps.get() {
+                Some(&steps) => VmConfig::tracing_sized(steps),
+                None => VmConfig::tracing(),
+            };
+            let result = Vm::new(config)
+                .run(&self.app.module)
+                .expect("benchmark module must verify");
+            assert!(
+                result.outcome.is_completed(),
+                "fault-free {} run must complete, got {:?}",
+                self.app.name,
+                result.outcome
+            );
+            result
+        });
+        let _ = self.steps.set(run.steps);
+        run
+    }
+
+    /// The clean dynamic trace.
+    pub fn clean_trace(&self) -> &Trace {
+        self.clean_run().trace.as_ref().expect("tracing enabled")
+    }
+
+    /// Dynamic step count of the fault-free run.  Cheaper than
+    /// [`Session::clean_run`] when no trace has been recorded yet: an
+    /// untraced run suffices and its count is cached.
+    pub fn clean_steps(&self) -> u64 {
+        *self.steps.get_or_init(|| {
+            if let Some(run) = self.clean.get() {
+                return run.steps;
+            }
+            let result = Vm::new(VmConfig::default())
+                .run(&self.app.module)
+                .expect("benchmark module must verify");
+            assert!(
+                result.outcome.is_completed(),
+                "fault-free {} run must complete",
+                self.app.name
+            );
+            result.steps
+        })
+    }
+
+    /// The dynamic step limit for faulty runs (hang detection): a small
+    /// multiple of the fault-free step count.
+    pub fn max_steps(&self) -> u64 {
+        self.clean_steps() * 10 + 10_000
+    }
+
+    /// Run the application with `fault` injected, recording a trace
+    /// pre-sized from the clean step count (the Figure 7 / Table I
+    /// fine-grained analysis configuration).
+    pub fn traced_faulty_run(&self, fault: FaultSpec) -> RunResult {
+        let config = VmConfig {
+            record_trace: true,
+            trace_hint: Some(self.clean_steps()),
+            fault: Some(fault),
+            max_steps: self.max_steps(),
+            ..VmConfig::default()
+        };
+        Vm::new(config)
+            .run(&self.app.module)
+            .expect("benchmark module must verify")
+    }
+
+    // -- partitions --------------------------------------------------------
+
+    /// The first-level-inner code-region instances of the clean run.
+    pub fn regions(&self) -> &[RegionInstance] {
+        self.regions.get_or_init(|| {
+            partition_regions(
+                self.clean_trace(),
+                &self.app.module,
+                &RegionSelector::FirstLevelInner,
+            )
+        })
+    }
+
+    /// The representative per-region views (first instance of each named
+    /// region in main-loop iteration 0 — the rows of Table I).
+    pub fn region_views(&self) -> &[RegionView] {
+        self.views
+            .get_or_init(|| region_views_from(&self.app, self.clean_trace()))
+    }
+
+    /// The main-loop iteration instances (each iteration treated as one code
+    /// region, as in Figure 6).
+    pub fn iterations(&self) -> &[RegionInstance] {
+        self.iterations.get_or_init(|| {
+            partition_iterations(
+                self.clean_trace(),
+                &self.app.module,
+                Some(self.app.main_loop),
+            )
+        })
+    }
+
+    /// The DDDG of one region instance of the clean trace (cached per event
+    /// range).
+    pub fn dddg(&self, instance: &RegionInstance) -> Rc<Dddg> {
+        if let Some(g) = self.dddgs.borrow().get(&(instance.start, instance.end)) {
+            return Rc::clone(g);
+        }
+        let g = Rc::new(Dddg::from_slice(instance_slice(self.clean_trace(), instance)));
+        self.dddgs
+            .borrow_mut()
+            .insert((instance.start, instance.end), Rc::clone(&g));
+        g
+    }
+
+    // -- campaign targets --------------------------------------------------
+
+    /// The dynamic-step window `[start, end)` of a campaign target in the
+    /// fault-free run.  Resolving a region or iteration target materializes
+    /// the clean trace (partitions need it); shard executors avoid that by
+    /// carrying the window in their [`CampaignPlan`].
+    pub fn target_window(&self, target: &CampaignTarget) -> Result<(u64, u64), PlanError> {
+        match target {
+            CampaignTarget::WholeProgram => Ok((0, self.clean_steps())),
+            CampaignTarget::Region { name } => {
+                let view = self
+                    .region_views()
+                    .iter()
+                    .find(|v| &v.name == name)
+                    .ok_or_else(|| PlanError::UnknownTarget(format!("region {name:?}")))?;
+                Ok((view.instance.start as u64, view.instance.end as u64))
+            }
+            CampaignTarget::Iteration { index } => {
+                let inst = self.iterations().get(*index).ok_or_else(|| {
+                    PlanError::UnknownTarget(format!("main-loop iteration {index}"))
+                })?;
+                Ok((inst.start as u64, inst.end as u64))
+            }
+        }
+    }
+
+    /// The fault-site list of a campaign target (cached).  Input sites for
+    /// [`CampaignTarget::WholeProgram`] are empty: input locations are a
+    /// per-region notion.
+    pub fn sites(
+        &self,
+        target: &CampaignTarget,
+        class: TargetClass,
+    ) -> Result<Rc<Vec<FaultSite>>, PlanError> {
+        let key = (target.clone(), class);
+        if let Some(s) = self.sites.borrow().get(&key) {
+            return Ok(Rc::clone(s));
+        }
+        let (start, end) = self.target_window(target)?;
+        let list = match (target, class) {
+            (CampaignTarget::WholeProgram, TargetClass::Input) => Vec::new(),
+            (_, TargetClass::Internal) => {
+                internal_sites(self.clean_trace(), start as usize, end as usize)
+            }
+            (_, TargetClass::Input) => {
+                let instance = self.instance_at(start as usize, end as usize)?;
+                let dddg = self.dddg(&instance);
+                input_sites(start as usize, &dddg.inputs())
+            }
+        };
+        let list = Rc::new(list);
+        self.sites.borrow_mut().insert(key, Rc::clone(&list));
+        Ok(list)
+    }
+
+    /// Find the partitioned instance covering exactly `[start, end)`.
+    fn instance_at(&self, start: usize, end: usize) -> Result<RegionInstance, PlanError> {
+        self.regions()
+            .iter()
+            .chain(self.iterations())
+            .find(|i| i.start == start && i.end == end)
+            .cloned()
+            .ok_or_else(|| {
+                PlanError::UnknownTarget(format!("instance at events [{start}, {end})"))
+            })
+    }
+
+    /// Derive a target's site list from a region-scoped clean re-run
+    /// ([`TraceScope::Window`]) instead of the full reference trace — the
+    /// path shard executors take so per-region campaigns never record a full
+    /// trace.  The windowed trace's `base_step` keeps the derived sites'
+    /// dynamic steps absolute, so they are bit-identical to the full-trace
+    /// derivation.
+    fn scoped_sites(
+        &self,
+        target: &CampaignTarget,
+        class: TargetClass,
+        window: (u64, u64),
+    ) -> Rc<Vec<FaultSite>> {
+        let key = (target.clone(), class);
+        if let Some(s) = self.sites.borrow().get(&key) {
+            return Rc::clone(s);
+        }
+        let (start, end) = window;
+        let config = VmConfig {
+            record_trace: true,
+            trace_scope: TraceScope::Window { start, end },
+            trace_hint: Some(end.saturating_sub(start)),
+            ..VmConfig::default()
+        };
+        let run = Vm::new(config)
+            .run(&self.app.module)
+            .expect("benchmark module must verify");
+        let _ = self.steps.set(run.steps);
+        let wtrace = run.trace.expect("tracing enabled");
+        let list = match class {
+            TargetClass::Internal => internal_sites(&wtrace, 0, wtrace.len()),
+            TargetClass::Input => {
+                let dddg = Dddg::from_slice(wtrace.full());
+                input_sites(start as usize, &dddg.inputs())
+            }
+        };
+        let list = Rc::new(list);
+        self.sites.borrow_mut().insert(key, Rc::clone(&list));
+        list
+    }
+
+    // -- campaigns ---------------------------------------------------------
+
+    /// A campaign against this application, judged by its verification
+    /// phase, with the hang-detection step limit already set.
+    pub fn campaign(
+        &self,
+        seed: u64,
+    ) -> Campaign<'_, impl Fn(&RunResult) -> bool + Sync + '_> {
+        let app = &self.app;
+        Campaign::new(&app.module, move |r| app.verify(r))
+            .with_max_steps(self.max_steps())
+            .with_seed(seed)
+    }
+
+    /// A serializable plan for a campaign against this application, with the
+    /// target's dynamic window resolved so shard executors can use
+    /// region-scoped tracing.
+    ///
+    /// The default seed is the one the in-process drivers use for the same
+    /// target ([`figure_seed`] for region/iteration points, the
+    /// whole-program driver seed otherwise), so a sharded plan with
+    /// `n_tests = effort.tests_per_point` reproduces the corresponding
+    /// [`Session::figure5`] / [`Session::figure6`] /
+    /// [`Session::whole_program_success_rate`] number bit-for-bit.  Override
+    /// with [`CampaignPlan::with_seed`].
+    pub fn plan(
+        &self,
+        target: CampaignTarget,
+        class: TargetClass,
+        n_tests: u64,
+    ) -> Result<CampaignPlan, PlanError> {
+        let (start, end) = self.target_window(&target)?;
+        let seed = match target {
+            CampaignTarget::WholeProgram => WHOLE_PROGRAM_SEED,
+            _ => figure_seed(&target.label(), class),
+        };
+        Ok(CampaignPlan::new(self.app.name, target, class, n_tests)
+            .with_seed(seed)
+            .with_window(start, end))
+    }
+
+    /// Execute a campaign plan (or one shard of it).  The verification
+    /// closure of the old `Campaign::new(&module, closure)` API is gone:
+    /// the plan names the application, and the session supplies its
+    /// registry-defined verification phase.
+    pub fn run_plan(&self, plan: &CampaignPlan) -> Result<CampaignReport, PlanError> {
+        if !plan.app.eq_ignore_ascii_case(self.app.name) {
+            return Err(PlanError::AppMismatch {
+                session_app: self.app.name.to_string(),
+                plan_app: plan.app.clone(),
+            });
+        }
+        let sites = self.plan_sites(plan)?;
+        let shard = plan.shard.intersect(IndexRange::full(plan.n_tests));
+        Ok(self.campaign(plan.seed).run_range(&sites, shard))
+    }
+
+    /// Resolve a plan's site list: from the cached clean trace when one is
+    /// (or must be) materialized, from a region-scoped re-run when the plan
+    /// carries the target's window and no full trace exists yet.
+    ///
+    /// The window path trusts the planner's region↔window resolution — a
+    /// shard process cannot re-derive the partition without the full trace
+    /// the window exists to avoid — but it rejects windows that cannot
+    /// belong to this application's fault-free run (empty, or past the clean
+    /// step count), catching stale plans before they sample the wrong
+    /// population.
+    fn plan_sites(&self, plan: &CampaignPlan) -> Result<Rc<Vec<FaultSite>>, PlanError> {
+        if self.clean.get().is_none() {
+            if let Some(window) = plan.window {
+                if !matches!(plan.target, CampaignTarget::WholeProgram) {
+                    let (start, end) = window;
+                    let clean_steps = self.clean_steps();
+                    if start >= end || end > clean_steps {
+                        return Err(PlanError::InvalidWindow {
+                            window,
+                            clean_steps,
+                        });
+                    }
+                    return Ok(self.scoped_sites(&plan.target, plan.class, window));
+                }
+            }
+        }
+        self.sites(&plan.target, plan.class)
+    }
+
+    /// Measured success rate of one campaign point (the unit of Figures 5
+    /// and 6), or `None` when the target has no site of that class.
+    pub fn success_rate_point(
+        &self,
+        target: &CampaignTarget,
+        class: TargetClass,
+        effort: &Effort,
+    ) -> Result<Option<SuccessRatePoint>, PlanError> {
+        let label = target.label();
+        let sites = self.sites(target, class)?;
+        if sites.is_empty() {
+            return Ok(None);
+        }
+        let report = self
+            .campaign(figure_seed(&label, class))
+            .run(&sites, effort.tests_per_point);
+        Ok(Some(SuccessRatePoint {
+            program: self.app.name.to_string(),
+            target: label,
+            class,
+            success_rate: report.success_rate(),
+            crash_rate: report.counts.crash_rate(),
+            injections: report.counts.total(),
+        }))
+    }
+
+    // -- the per-application slices of the paper's experiments ------------
+
+    /// This application's bars of Figure 5: success rate per code region
+    /// (representative instance, iteration 0), internal and input locations.
+    pub fn figure5(&self, effort: &Effort) -> SuccessRateSeries {
+        let mut points = Vec::new();
+        let names: Vec<String> = self.region_views().iter().map(|v| v.name.clone()).collect();
+        for name in names {
+            let target = CampaignTarget::Region { name };
+            for class in [TargetClass::Internal, TargetClass::Input] {
+                if let Some(p) = self
+                    .success_rate_point(&target, class, effort)
+                    .expect("region views resolve")
+                {
+                    points.push(p);
+                }
+            }
+        }
+        SuccessRateSeries { points }
+    }
+
+    /// This application's bars of Figure 6: success rate per main-loop
+    /// iteration, internal and input locations.
+    pub fn figure6(&self, effort: &Effort, max_iterations: usize) -> SuccessRateSeries {
+        let mut points = Vec::new();
+        let n = self.iterations().len().min(max_iterations);
+        for index in 0..n {
+            let target = CampaignTarget::Iteration { index };
+            for class in [TargetClass::Internal, TargetClass::Input] {
+                if let Some(p) = self
+                    .success_rate_point(&target, class, effort)
+                    .expect("iteration index in range")
+                {
+                    points.push(p);
+                }
+            }
+        }
+        SuccessRateSeries { points }
+    }
+
+    /// Measured whole-program success rate: a campaign over the internal
+    /// sites of the entire execution.
+    pub fn whole_program_success_rate(&self, effort: &Effort) -> f64 {
+        let sites = self
+            .sites(&CampaignTarget::WholeProgram, TargetClass::Internal)
+            .expect("whole-program target always resolves");
+        self.campaign(WHOLE_PROGRAM_SEED)
+            .run(&sites, effort.tests_per_point)
+            .success_rate()
+    }
+
+    /// Per-pattern dynamic rates of the clean run (the features of Use
+    /// Case 2).
+    pub fn pattern_rates(&self) -> PatternRates {
+        ftkr_patterns::dynamic_rates(&self.app.module, self.clean_trace())
+    }
+
+    /// The Table-I row set: for every named region, inject
+    /// `effort.analysis_injections` faults into its representative instance,
+    /// run the detectors, and union the pattern kinds found.
+    pub fn region_table(&self, effort: &Effort) -> Vec<RegionPatternSummary> {
+        let clean = self.clean_trace();
+        self.region_views()
+            .iter()
+            .map(|view| {
+                let mut found = std::collections::BTreeSet::new();
+                let sites = self
+                    .sites(
+                        &CampaignTarget::Region {
+                            name: view.name.clone(),
+                        },
+                        TargetClass::Internal,
+                    )
+                    .expect("region views resolve");
+                if !sites.is_empty() {
+                    // Deterministically spread the analysis injections over
+                    // the region's sites and over different bit positions.
+                    for k in 0..effort.analysis_injections {
+                        let site = sites[(k * sites.len()
+                            / effort.analysis_injections.max(1))
+                        .min(sites.len() - 1)];
+                        let bit = [30u8, 52, 12, 40, 3, 61][k % 6];
+                        let fault = site.with_bit(bit);
+                        let faulty_run = self.traced_faulty_run(fault);
+                        let Some(faulty) = faulty_run.trace else {
+                            continue;
+                        };
+                        let acl = AclTable::from_fault(&faulty, &fault);
+                        let patterns = detect_all(DetectionInput {
+                            faulty: &faulty,
+                            clean,
+                            acl: &acl,
+                        });
+                        let by_region = assign_to_regions(&patterns, self.regions());
+                        if let Some(kinds) = by_region.get(&view.name) {
+                            found.extend(kinds.iter().copied());
+                        }
+                    }
+                }
+                RegionPatternSummary {
+                    region: view.name.clone(),
+                    lines: view.lines,
+                    instructions: view.instructions,
+                    patterns: found,
+                }
+            })
+            .collect()
+    }
+
+    // -- single-injection analysis (the Figure 1 pipeline) ----------------
+
+    /// Pick a default injection target: the first value-producing
+    /// instruction inside the first instance of the first named region,
+    /// flipping a mid-mantissa bit.
+    fn default_fault(&self) -> Option<FaultSpec> {
+        let clean = self.clean_trace();
+        let first = self
+            .regions()
+            .iter()
+            .find(|r| self.app.regions.contains(&r.key.name))?;
+        let step = (first.start..first.end).find(|&i| {
+            let e = &clean.events[i];
+            e.write.is_some()
+                && matches!(
+                    e.kind,
+                    ftkr_vm::EventKind::Bin(_) | ftkr_vm::EventKind::Load
+                )
+        })?;
+        Some(FaultSpec::in_result(step as u64, 30))
+    }
+
+    /// Run the full FlipTracker analysis for one injected fault.
+    ///
+    /// When `fault` is `None` a representative fault is chosen automatically
+    /// (first arithmetic instruction of the first named region, bit 30).
+    /// Returns `None` only if the application has no injectable site.
+    pub fn analyze(&self, fault: Option<FaultSpec>) -> Option<InjectionAnalysis> {
+        let fault = match fault {
+            Some(f) => f,
+            None => self.default_fault()?,
+        };
+        let clean = self.clean_trace();
+
+        let faulty_run = self.traced_faulty_run(fault);
+        let outcome = if !faulty_run.outcome.is_completed() {
+            Outcome::Crashed
+        } else if self.app.verify(&faulty_run) {
+            Outcome::VerificationSuccess
+        } else {
+            Outcome::VerificationFailed
+        };
+        let faulty = faulty_run.trace.expect("tracing was enabled");
+
+        // ACL table and pattern detection.
+        let acl = AclTable::from_fault(&faulty, &fault);
+        let patterns = detect_all(DetectionInput {
+            faulty: &faulty,
+            clean,
+            acl: &acl,
+        });
+
+        // Region model from the fault-free run, plus per-region DDDG
+        // comparison.
+        let regions = self.regions();
+        let faulty_regions =
+            partition_regions(&faulty, &self.app.module, &RegionSelector::FirstLevelInner);
+        let mut region_cases = Vec::new();
+        for (clean_inst, faulty_inst) in regions.iter().zip(&faulty_regions) {
+            if clean_inst.key != faulty_inst.key {
+                // Control flow diverged at the region level; stop matching.
+                break;
+            }
+            // Only analyse instances that overlap the fault's dynamic
+            // lifetime.
+            if faulty_inst.end <= fault.at_step as usize {
+                continue;
+            }
+            let clean_dddg = self.dddg(clean_inst);
+            let faulty_dddg = Dddg::from_slice(instance_slice(&faulty, faulty_inst));
+            let cmp = compare_io(
+                &clean_dddg,
+                &faulty_dddg,
+                clean.slice(clean_inst.end.min(clean.len()), clean.len()),
+                faulty.slice(faulty_inst.end.min(faulty.len()), faulty.len()),
+            );
+            if cmp.case != ToleranceCase::NotAffected {
+                region_cases.push((clean_inst.key.name.clone(), cmp.case));
+            }
+        }
+
+        Some(InjectionAnalysis {
+            fault,
+            outcome,
+            acl,
+            patterns,
+            regions: regions.to_vec(),
+            region_cases,
+            clean_steps: self.clean_steps(),
+        })
+    }
+}
+
+/// Execute a campaign plan in a fresh session, resolving the application in
+/// the registry — the entry point a shard process uses after parsing a plan
+/// from JSON.
+pub fn execute_plan(plan: &CampaignPlan) -> Result<CampaignReport, PlanError> {
+    Session::by_name(&plan.app)
+        .ok_or_else(|| PlanError::UnknownApp(plan.app.clone()))?
+        .run_plan(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_effort() -> Effort {
+        let mut e = Effort::quick();
+        e.tests_per_point = 8;
+        e
+    }
+
+    #[test]
+    fn session_caches_one_clean_run_and_shares_partitions() {
+        let session = Session::by_name("IS").expect("IS exists");
+        // The step count is knowable without a trace…
+        let steps = session.clean_steps();
+        assert!(steps > 1000);
+        assert!(session.clean.get().is_none(), "steps alone must not trace");
+        // …and the traced run, once materialized, is shared by reference.
+        let t1: *const Trace = session.clean_trace();
+        let t2: *const Trace = session.clean_trace();
+        assert_eq!(t1, t2);
+        assert_eq!(session.clean_run().steps, steps);
+        assert_eq!(session.region_views().len(), session.app().regions.len());
+        assert!(!session.iterations().is_empty());
+    }
+
+    #[test]
+    fn session_site_lists_are_cached_and_class_distinct() {
+        let session = Session::by_name("IS").unwrap();
+        let target = CampaignTarget::Region {
+            name: session.app().regions[0].clone(),
+        };
+        let internal = session.sites(&target, TargetClass::Internal).unwrap();
+        let again = session.sites(&target, TargetClass::Internal).unwrap();
+        assert!(Rc::ptr_eq(&internal, &again));
+        let input = session.sites(&target, TargetClass::Input).unwrap();
+        assert!(!Rc::ptr_eq(&internal, &input));
+        assert!(internal.iter().all(|s| s.class == TargetClass::Internal));
+        assert!(input.iter().all(|s| s.class == TargetClass::Input));
+    }
+
+    #[test]
+    fn unknown_targets_and_apps_are_rejected() {
+        let session = Session::by_name("SP").unwrap();
+        let bogus = CampaignTarget::Region {
+            name: "nope".to_string(),
+        };
+        assert!(matches!(
+            session.sites(&bogus, TargetClass::Internal),
+            Err(PlanError::UnknownTarget(_))
+        ));
+        let plan = CampaignPlan::new("MG", CampaignTarget::WholeProgram, TargetClass::Internal, 4);
+        assert!(matches!(
+            session.run_plan(&plan),
+            Err(PlanError::AppMismatch { .. })
+        ));
+        let plan = CampaignPlan::new("NOPE", CampaignTarget::WholeProgram, TargetClass::Internal, 4);
+        assert!(matches!(
+            execute_plan(&plan),
+            Err(PlanError::UnknownApp(_))
+        ));
+        // A window past the fault-free step count cannot belong to this app:
+        // a stale plan is rejected instead of sampling the wrong population.
+        let stale = CampaignPlan::new(
+            "SP",
+            CampaignTarget::Region {
+                name: session.app().regions[0].clone(),
+            },
+            TargetClass::Internal,
+            4,
+        )
+        .with_window(0, u64::MAX);
+        assert!(matches!(
+            execute_plan(&stale),
+            Err(PlanError::InvalidWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn windowed_plan_execution_matches_full_trace_execution_without_full_tracing() {
+        let coordinator = Session::by_name("IS").unwrap();
+        let region = coordinator.app().regions[0].clone();
+        let plan = coordinator
+            .plan(
+                CampaignTarget::Region { name: region },
+                TargetClass::Internal,
+                12,
+            )
+            .unwrap()
+            .with_seed(77);
+        assert!(plan.window.is_some());
+        let reference = coordinator.run_plan(&plan).unwrap();
+
+        // A fresh "shard process": parses the plan from JSON, resolves sites
+        // through a region-scoped trace, never records a full trace.
+        let plan_json = plan.to_json();
+        let parsed = CampaignPlan::from_json(&plan_json).unwrap();
+        let shard_session = Session::by_name(&parsed.app).unwrap();
+        let report = shard_session.run_plan(&parsed).unwrap();
+        assert!(
+            shard_session.clean.get().is_none(),
+            "windowed execution must not record a full clean trace"
+        );
+        assert_eq!(report, reference);
+    }
+
+    #[test]
+    fn figure5_series_covers_every_region_with_both_classes_possible() {
+        let session = Session::by_name("IS").unwrap();
+        let series = session.figure5(&quick_effort());
+        for view in session.region_views() {
+            assert!(
+                series
+                    .points
+                    .iter()
+                    .any(|p| p.target == view.name && p.class == TargetClass::Internal),
+                "missing internal point for {}",
+                view.name
+            );
+        }
+        for p in &series.points {
+            assert!((0.0..=1.0).contains(&p.success_rate));
+        }
+    }
+
+    #[test]
+    fn analyze_through_session_matches_pipeline_entry_point() {
+        let app = ftkr_apps::mg();
+        let session = Session::new(app.clone());
+        let a = session.analyze(None).expect("MG has injectable sites");
+        let b = crate::pipeline::analyze_injection(&app, None).unwrap();
+        assert_eq!(a.fault, b.fault);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.clean_steps, b.clean_steps);
+        assert_eq!(a.regions.len(), b.regions.len());
+    }
+}

@@ -10,7 +10,7 @@ use ftkr_patterns::PatternRates;
 use ftkr_vm::{Vm, VmConfig};
 
 use crate::effort::Effort;
-use crate::experiments::whole_program_success_rate;
+use crate::session::Session;
 
 // --------------------------------------------------------------------------
 // Use case 1 — resilience-aware application design (Table III)
@@ -106,11 +106,14 @@ pub fn table3(effort: &Effort) -> Table3 {
     let rows = variants
         .iter()
         .map(|(label, variant)| {
-            let app = cg_with(*variant);
+            // CG variants are not registry applications, so their campaigns
+            // stay in-process; the session still shares the clean run
+            // between the site enumeration and the step-limit derivation.
+            let session = Session::new(cg_with(*variant));
             Table3Row {
                 variant: (*label).to_string(),
-                success_rate: whole_program_success_rate(&app, effort),
-                mean_seconds: mean_runtime(&app, effort.timing_runs),
+                success_rate: session.whole_program_success_rate(effort),
+                mean_seconds: mean_runtime(session.app(), effort.timing_runs),
             }
         })
         .collect();
@@ -193,10 +196,11 @@ pub fn table4(effort: &Effort) -> Table4 {
     let mut features: Vec<Vec<f64>> = Vec::with_capacity(apps.len());
     let mut measured: Vec<f64> = Vec::with_capacity(apps.len());
     for app in &apps {
-        let clean = app.run_traced().trace.expect("traced");
-        let rates = ftkr_patterns::dynamic_rates(&app.module, &clean);
-        features.push(rates.as_features().to_vec());
-        measured.push(whole_program_success_rate(app, effort));
+        // One session per benchmark: the pattern-rate features and the
+        // measured campaign share a single clean reference run.
+        let session = Session::new(app.clone());
+        features.push(session.pattern_rates().as_features().to_vec());
+        measured.push(session.whole_program_success_rate(effort));
     }
 
     let model = BayesianLinearRegression::new(1e-4);

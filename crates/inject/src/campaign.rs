@@ -9,10 +9,14 @@ use ftkr_ir::Module;
 use ftkr_vm::{FaultSpec, RunResult, Vm, VmConfig};
 
 use crate::outcome::{CampaignCounts, Outcome};
+use crate::plan::IndexRange;
 use crate::sites::FaultSite;
 use crate::stats::{sample_size, Confidence};
 
-/// Result of a campaign.
+/// The seed campaigns sample with unless the caller overrides it.
+pub const DEFAULT_SEED: u64 = 0xF11B_7EAC;
+
+/// Result of a campaign (or of one index-range shard of it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CampaignReport {
     /// Outcome tallies.
@@ -22,12 +26,55 @@ pub struct CampaignReport {
     /// Size of the site population the tests were sampled from
     /// (`sites × 64 bits`).
     pub population: u64,
+    /// The sampling seed the tests were derived from — shard reports of one
+    /// campaign share it, which is how [`CampaignReport::merge`] detects
+    /// reports that cannot belong together.
+    pub seed: u64,
 }
 
 impl CampaignReport {
     /// Success rate of the campaign (Eq. 1 of the paper).
     pub fn success_rate(&self) -> f64 {
         self.counts.success_rate()
+    }
+
+    /// True when `other` can be a shard of the same campaign as `self`
+    /// (same seed, same site population).
+    pub fn same_campaign(&self, other: &CampaignReport) -> bool {
+        self.population == other.population && self.seed == other.seed
+    }
+
+    /// Combine the report of another shard of the same campaign.  Because
+    /// each test's fault is a pure function of `(seed, index)`, merging the
+    /// shard reports of any partition of `[0, n_tests)` is bit-identical to
+    /// running the whole campaign in one process.
+    ///
+    /// # Panics
+    /// Panics if the two reports disagree on the sampling seed or the site
+    /// population (they then cannot be shards of one campaign); use
+    /// [`CampaignReport::same_campaign`] to check first.
+    pub fn merge(mut self, other: &CampaignReport) -> CampaignReport {
+        assert_eq!(
+            self.population, other.population,
+            "cannot merge reports drawn from different site populations"
+        );
+        assert_eq!(
+            self.seed, other.seed,
+            "cannot merge reports sampled with different seeds"
+        );
+        self.counts = self.counts.merge(other.counts);
+        self.n_tests += other.n_tests;
+        self
+    }
+
+    /// Serialize for hand-off to a coordinating process.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports serialize")
+    }
+
+    /// Parse a report previously written by [`CampaignReport::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
     }
 }
 
@@ -57,7 +104,7 @@ where
             module,
             verify,
             max_steps: VmConfig::default().max_steps,
-            seed: 0xF11B_7EAC,
+            seed: DEFAULT_SEED,
         }
     }
 
@@ -119,15 +166,24 @@ where
     /// `(seed, index)` on the fly ([`Campaign::fault_for_index`]); nothing
     /// proportional to `n_tests` is allocated.
     pub fn run(&self, sites: &[FaultSite], n_tests: u64) -> CampaignReport {
+        self.run_range(sites, IndexRange::full(n_tests))
+    }
+
+    /// Run one index-range shard of a campaign: the tests
+    /// `[range.start, range.end)` of the (seed-determined) test sequence.
+    /// Merging the reports of any partition of `[0, n_tests)` with
+    /// [`CampaignReport::merge`] is bit-identical to [`Campaign::run`].
+    pub fn run_range(&self, sites: &[FaultSite], range: IndexRange) -> CampaignReport {
         let population = sites.len() as u64 * 64;
-        if sites.is_empty() || n_tests == 0 {
+        if sites.is_empty() || range.is_empty() {
             return CampaignReport {
                 counts: CampaignCounts::default(),
                 n_tests: 0,
                 population,
+                seed: self.seed,
             };
         }
-        let counts = (0..n_tests)
+        let counts = (range.start..range.end)
             .into_par_iter()
             .map(|index| {
                 let mut c = CampaignCounts::default();
@@ -138,8 +194,9 @@ where
 
         CampaignReport {
             counts,
-            n_tests,
+            n_tests: range.len(),
             population,
+            seed: self.seed,
         }
     }
 
@@ -304,11 +361,76 @@ mod tests {
         let m = module();
         let trace = clean_trace(&m);
         let sites = internal_sites(&trace, 0, 2);
+        // Both of the first two dynamic instructions produce a value, so the
+        // population is exactly 2 sites × 64 bits.
+        assert_eq!(sites.len(), 2);
+        let population = sites.len() as u64 * 64;
+        // The finite-population correction at N = 128, 95 %/3 %:
+        // n = 128 / (1 + 0.03² · 127 / (1.96² · 0.25)) = 114.4… → 115.
+        let expected = sample_size(population, Confidence::C95, 0.03);
+        assert_eq!(expected, 115);
         let campaign =
             Campaign::new(&m, verify).with_max_steps(trace.len() as u64 * 10 + 1000);
         let report = campaign.run_sized(&sites, Confidence::C95, 0.03);
-        // Population is tiny (<= 128), so the sample covers all of it.
-        assert_eq!(report.n_tests, report.population.min(report.n_tests.max(1)));
-        assert!(report.counts.total() > 0);
+        assert_eq!(report.population, population);
+        assert_eq!(report.n_tests, expected);
+        assert_eq!(report.counts.total(), expected);
+    }
+
+    #[test]
+    fn sharded_run_ranges_merge_bit_identically_to_the_monolithic_run() {
+        let m = module();
+        let trace = clean_trace(&m);
+        let sites = internal_sites(&trace, 0, trace.len());
+        let campaign = Campaign::new(&m, verify)
+            .with_seed(1234)
+            .with_max_steps(trace.len() as u64 * 10 + 1000);
+        let monolithic = campaign.run(&sites, 60);
+        // Three deliberately uneven shards covering [0, 60).
+        let shards = [
+            IndexRange::new(0, 1),
+            IndexRange::new(1, 44),
+            IndexRange::new(44, 60),
+        ];
+        let merged = shards
+            .iter()
+            .map(|&r| campaign.run_range(&sites, r))
+            .reduce(|a, b| a.merge(&b))
+            .unwrap();
+        assert_eq!(merged, monolithic);
+        // A report survives the JSON round trip unchanged.
+        let back = CampaignReport::from_json(&merged.to_json()).unwrap();
+        assert_eq!(back, merged);
+    }
+
+    #[test]
+    #[should_panic(expected = "different site populations")]
+    fn merging_reports_of_different_populations_panics() {
+        let a = CampaignReport {
+            counts: CampaignCounts::default(),
+            n_tests: 0,
+            population: 64,
+            seed: 1,
+        };
+        let b = CampaignReport {
+            population: 128,
+            ..a
+        };
+        assert!(!a.same_campaign(&b));
+        let _ = a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different seeds")]
+    fn merging_reports_of_different_seeds_panics() {
+        let a = CampaignReport {
+            counts: CampaignCounts::default(),
+            n_tests: 0,
+            population: 64,
+            seed: 1,
+        };
+        let b = CampaignReport { seed: 2, ..a };
+        assert!(!a.same_campaign(&b));
+        let _ = a.merge(&b);
     }
 }

@@ -18,10 +18,12 @@
 
 pub mod campaign;
 pub mod outcome;
+pub mod plan;
 pub mod sites;
 pub mod stats;
 
-pub use campaign::{Campaign, CampaignReport};
+pub use campaign::{Campaign, CampaignReport, DEFAULT_SEED};
 pub use outcome::{CampaignCounts, Outcome};
+pub use plan::{CampaignPlan, CampaignTarget, IndexRange};
 pub use sites::{input_sites, internal_sites, FaultSite, TargetClass};
 pub use stats::{sample_size, Confidence};

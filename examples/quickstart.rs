@@ -1,5 +1,5 @@
-//! Quickstart: trace a benchmark, inject one fault, and see what FlipTracker
-//! learns about it.
+//! Quickstart: open a session on a benchmark, inject one fault, and see what
+//! FlipTracker learns about it.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -8,14 +8,20 @@
 use fliptracker::prelude::*;
 
 fn main() {
-    // 1. Pick an application (the miniature NPB MG kernel).
-    let app = ftkr_apps::mg();
-    println!("application: {} ({} code regions)", app.name, app.regions.len());
+    // 1. Open a session on an application (the miniature NPB MG kernel).
+    //    The session owns the app and lazily caches the clean reference run,
+    //    the region partitions, and every derived site list.
+    let session = Session::by_name("MG").expect("MG is a bundled app");
+    println!(
+        "application: {} ({} code regions)",
+        session.app().name,
+        session.app().regions.len()
+    );
 
     // 2. Run the full single-injection analysis: fault-free trace, faulty
     //    trace, ACL table, DDDG comparison and pattern detection.  Passing
     //    `None` lets FlipTracker pick a representative fault.
-    let analysis = analyze_injection(&app, None).expect("MG has injectable sites");
+    let analysis = session.analyze(None).expect("MG has injectable sites");
 
     println!("injected fault  : {:?}", analysis.fault);
     println!("run outcome     : {:?}", analysis.outcome);
@@ -45,4 +51,22 @@ fn main() {
     } else {
         println!("tolerant regions: {}", tolerant.join(", "));
     }
+
+    // 5. A campaign over the first region, described as a serializable plan.
+    //    The same JSON re-executes in any process (`campaign_shard run`).
+    let region = session.app().regions[0].clone();
+    let plan = session
+        .plan(
+            CampaignTarget::Region { name: region },
+            TargetClass::Internal,
+            48,
+        )
+        .expect("region resolves");
+    let report = session.run_plan(&plan).expect("plan executes");
+    println!(
+        "campaign ({}): success rate {:.3} over {} injections",
+        plan.target.label(),
+        report.success_rate(),
+        report.counts.total()
+    );
 }

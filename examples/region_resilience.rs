@@ -7,63 +7,49 @@
 //! ```
 
 use fliptracker::prelude::*;
-use ftkr_dddg::Dddg;
-use ftkr_inject::{input_sites, internal_sites, Campaign, TargetClass};
-use ftkr_trace::instance_slice;
 
 fn main() {
     let effort = Effort::from_name(&std::env::args().nth(1).unwrap_or_default());
-    let app = ftkr_apps::is();
+    let session = Session::by_name("IS").expect("IS is a bundled app");
     println!(
         "{}: success rate per code region ({} injections per point)\n",
-        app.name, effort.tests_per_point
+        session.app().name,
+        effort.tests_per_point
     );
 
-    // Fault-free traced run and the code-region model.
-    let clean_run = app.run_traced();
-    let clean = clean_run.trace.as_ref().expect("traced");
-    let views = fliptracker::regions::region_views(&app, clean);
+    // One cached clean reference run feeds every region's campaign; the
+    // series is exactly this program's slice of Figure 5.
+    let series = session.figure5(&effort);
 
     println!(
         "{:<8} {:<12} {:>10} {:>18} {:>18}",
         "region", "lines", "#instr", "internal SR", "input SR"
     );
-    for view in &views {
-        let slice = instance_slice(clean, &view.instance);
-        let dddg = Dddg::from_slice(slice);
-        let internal = internal_sites(clean, view.instance.start, view.instance.end);
-        let input = input_sites(view.instance.start, &dddg.inputs());
-
-        let rate = |sites: &[ftkr_inject::FaultSite]| -> f64 {
-            if sites.is_empty() {
-                return f64::NAN;
-            }
-            Campaign::new(&app.module, |r| app.verify(r))
-                .with_max_steps(clean_run.steps * 10 + 10_000)
-                .run(sites, effort.tests_per_point)
-                .success_rate()
+    for view in session.region_views() {
+        let rate = |class: TargetClass| {
+            series
+                .rate(session.app().name, &view.name, class)
+                .unwrap_or(f64::NAN)
         };
-
         println!(
             "{:<8} {:<12} {:>10} {:>18.3} {:>18.3}",
             view.name,
             format!("{}-{}", view.lines.0, view.lines.1),
             view.instructions,
-            rate(&internal),
-            rate(&input),
+            rate(TargetClass::Internal),
+            rate(TargetClass::Input),
         );
     }
 
     // Which patterns explain the resilient regions?
-    let kinds = fliptracker::experiments::patterns_in_app(&app, &Effort::quick());
+    let kinds = fliptracker::experiments::patterns_in_app(session.app(), &Effort::quick());
     println!(
         "\npatterns observed anywhere in {}: {}",
-        app.name,
+        session.app().name,
         kinds
             .iter()
             .map(|k| k.short_name())
             .collect::<Vec<_>>()
             .join(", ")
     );
-    let _ = TargetClass::Internal; // silences unused-import lints in docs builds
 }

@@ -76,6 +76,48 @@ fn fig4_measures_tracing_overhead_for_all_five_mpi_programs() {
 }
 
 #[test]
+fn campaign_plan_json_round_trip_reexecutes_identically_in_fresh_sessions() {
+    let session = Session::by_name("IS").expect("IS exists");
+    let plan = session
+        .plan(
+            CampaignTarget::Region {
+                name: "is_b".to_string(),
+            },
+            TargetClass::Internal,
+            24,
+        )
+        .expect("is_b resolves")
+        .with_seed(3);
+    let reference = session.run_plan(&plan).expect("in-process run");
+
+    // The distribution story: each shard travels as JSON and is executed by
+    // a fresh session (execute_plan resolves the app registry, so
+    // verification needs no closure), then the reports merge back.
+    let merged = plan
+        .shards(2)
+        .iter()
+        .map(|shard| {
+            let wire = shard.to_json();
+            execute_plan(&CampaignPlan::from_json(&wire).expect("plan parses"))
+                .expect("shard executes")
+        })
+        .reduce(|a, b| a.merge(&b))
+        .expect("two shards");
+    assert_eq!(merged, reference);
+    assert_eq!(merged.counts.total(), 24);
+}
+
+#[test]
+fn whole_program_plans_execute_from_json_without_a_window() {
+    let plan = CampaignPlan::new("SP", CampaignTarget::WholeProgram, TargetClass::Internal, 16)
+        .with_seed(11);
+    let report = execute_plan(&CampaignPlan::from_json(&plan.to_json()).unwrap())
+        .expect("SP whole-program plan executes");
+    assert_eq!(report.counts.total(), 16);
+    assert!(report.population > 0);
+}
+
+#[test]
 fn table4_prediction_pipeline_produces_ten_rows_and_a_fit() {
     let table = use_cases::table4(&tiny_effort());
     assert_eq!(table.rows.len(), 10);

@@ -272,3 +272,57 @@ proptest! {
         prop_assert!(bigger >= n);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Splitting any `(seed, n_tests)` campaign into `k` index-range shards —
+    /// with arbitrary, uneven (possibly empty) shard boundaries — and
+    /// `merge()`-ing the shard reports is bit-identical to the monolithic
+    /// run.  This is the invariant the cross-process `CampaignPlan`
+    /// machinery rests on.
+    #[test]
+    fn sharded_campaigns_merge_bit_identically_to_the_monolithic_run(
+        seed in any::<u64>(),
+        n_tests in 1u64..48,
+        k in 1usize..6,
+        cut_seed in any::<u64>(),
+    ) {
+        use ftkr_inject::{internal_sites, Campaign, IndexRange};
+
+        let module = parametric_module(18, 1.25, 0.5);
+        let clean = Vm::new(VmConfig::tracing()).run(&module).unwrap();
+        let reference = clean.global_f64("acc").unwrap()[0];
+        let trace = clean.trace.as_ref().unwrap();
+        let sites = internal_sites(trace, 0, trace.len());
+        prop_assert!(!sites.is_empty());
+        let verify = move |r: &ftkr_vm::RunResult| {
+            r.global_f64("acc")
+                .map(|v| (v[0] - reference).abs() <= reference.abs() * 0.05 + 1e-12)
+                .unwrap_or(false)
+        };
+        let campaign = Campaign::new(&module, verify)
+            .with_seed(seed)
+            .with_max_steps(clean.steps * 10 + 1000);
+        let monolithic = campaign.run(&sites, n_tests);
+        prop_assert_eq!(monolithic.counts.total(), n_tests);
+
+        // `k - 1` random cut points over `[0, n_tests]`; duplicates produce
+        // empty shards, which must merge as no-ops.
+        let mut cuts = vec![0, n_tests];
+        let mut z = cut_seed;
+        for _ in 1..k {
+            z = z
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            cuts.push(z % (n_tests + 1));
+        }
+        cuts.sort_unstable();
+        let merged = cuts
+            .windows(2)
+            .map(|w| campaign.run_range(&sites, IndexRange::new(w[0], w[1])))
+            .reduce(|a, b| a.merge(&b))
+            .unwrap();
+        prop_assert_eq!(merged, monolithic);
+    }
+}

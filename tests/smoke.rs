@@ -1,21 +1,20 @@
 //! Fast end-to-end smoke test: the quick-effort FlipTracker pipeline on the
 //! smallest bundled application (SP, ~6k dynamic instructions), so tier-1 CI
 //! exercises every stage of Figure 1 — trace, region partition, injection,
-//! ACL, DDDG comparison, pattern detection, campaign statistics — in seconds.
+//! ACL, DDDG comparison, pattern detection, campaign statistics — in seconds,
+//! all through the `Session` entry point.
 
 use fliptracker::prelude::*;
-use ftkr_inject::{internal_sites, Campaign};
-use ftkr_vm::{Vm, VmConfig};
 
 #[test]
 fn quick_effort_pipeline_end_to_end_on_sp() {
     let effort = Effort::quick();
-    let app = ftkr_apps::sp();
+    let session = Session::new(ftkr_apps::sp());
 
     // Stage 1-2: fault-free traced run and its region model, via the
     // single-injection analysis entry point (which also covers stages 3-5:
     // injection, ACL construction, DDDG comparison, pattern detection).
-    let analysis = analyze_injection(&app, None).expect("SP has injectable sites");
+    let analysis = session.analyze(None).expect("SP has injectable sites");
     assert!(analysis.clean_steps > 1_000, "SP trace unexpectedly short");
     assert!(
         !analysis.regions.is_empty(),
@@ -31,24 +30,26 @@ fn quick_effort_pipeline_end_to_end_on_sp() {
         "the injected error never lived in any location"
     );
 
-    // The region views used by the reports resolve for the same app.
-    let clean = Vm::new(VmConfig::tracing())
-        .run(&app.module)
-        .expect("SP verifies")
-        .trace
-        .expect("tracing enabled");
-    let views = fliptracker::regions::region_views(&app, &clean);
+    // The session's cached region views are the ones the reports use.
+    let views = session.region_views();
     assert!(!views.is_empty());
     assert!(views.iter().all(|r: &RegionView| r.instructions > 0));
 
-    // Stage 6: a quick-effort campaign over internal sites with the
-    // statistical machinery, sized by the effort knob.
-    let sites = internal_sites(&clean, 0, clean.len());
-    assert!(!sites.is_empty());
-    let report = Campaign::new(&app.module, |r| app.verify(r))
-        .with_max_steps(clean.len() as u64 * 10 + 1_000)
-        .run(&sites, effort.tests_per_point);
+    // Stage 6: a quick-effort campaign over the whole program's internal
+    // sites, driven by a serializable plan (the same machinery shard
+    // processes execute from JSON).
+    let plan = session
+        .plan(
+            CampaignTarget::WholeProgram,
+            TargetClass::Internal,
+            effort.tests_per_point,
+        )
+        .expect("whole-program target resolves");
+    let report = session.run_plan(&plan).expect("plan executes in-process");
     assert_eq!(report.counts.total(), effort.tests_per_point);
+    let sites = session
+        .sites(&CampaignTarget::WholeProgram, TargetClass::Internal)
+        .expect("sites resolve");
     assert_eq!(report.population, sites.len() as u64 * 64);
     let rate = report.success_rate();
     assert!(

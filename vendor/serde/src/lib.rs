@@ -6,9 +6,10 @@
 //! macros, and impls for the std types that appear in serialized structs.
 //!
 //! Instead of serde's visitor-based data model, [`Serialize`] lowers a value
-//! into a [`Content`] tree that `serde_json` renders. The derive macros are
-//! implemented in `serde_derive` by hand-parsing the token stream (no `syn`
-//! or `quote` available offline).
+//! into a [`Content`] tree that `serde_json` renders, and [`Deserialize`]
+//! rebuilds a value from the same tree (which `serde_json::from_str` parses
+//! out of JSON text). The derive macros are implemented in `serde_derive` by
+//! hand-parsing the token stream (no `syn` or `quote` available offline).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
@@ -56,12 +57,88 @@ pub trait Serialize {
     fn to_content(&self) -> Content;
 }
 
-/// Marker trait mirroring serde's `Deserialize`.
-///
-/// Nothing in the workspace deserializes yet, so the derive emits an empty
-/// impl; the trait exists so `#[derive(Deserialize)]` and trait bounds keep
-/// compiling unchanged once a real serde is swapped back in.
-pub trait Deserialize<'de>: Sized {}
+/// Deserialization error: what was expected and what the content held.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    /// Human-readable description of the mismatch.
+    pub message: String,
+}
+
+impl DeError {
+    /// An "expected X while deserializing Y" error.
+    pub fn expected(what: &str, while_deserializing: &str) -> Self {
+        DeError {
+            message: format!("expected {what} while deserializing {while_deserializing}"),
+        }
+    }
+
+    /// A free-form error.
+    pub fn msg(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can be rebuilt from a [`Content`] tree — the shim's
+/// counterpart of serde's `Deserialize` (the `'de` lifetime is kept so trait
+/// bounds compile unchanged against the real serde; the shim's data model is
+/// owned, so nothing borrows from it).
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild a value from the serde data model.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Free-function form of [`Deserialize::from_content`], convenient for
+/// generated code and generic callers (the lifetime is inferred).
+pub fn from_content<'de, T: Deserialize<'de>>(content: &Content) -> Result<T, DeError> {
+    T::from_content(content)
+}
+
+/// Look a struct field up in a [`Content::Map`]; absent fields read as
+/// [`Content::Null`], so `Option` fields tolerate omission while required
+/// fields produce a type error naming the field.
+pub fn field<'c>(entries: &'c [(String, Content)], name: &str) -> &'c Content {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&Content::Null)
+}
+
+impl Content {
+    /// The entries of a [`Content::Map`], if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The items of a [`Content::Seq`], if this is one.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string of a [`Content::Str`], if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
 
 macro_rules! impl_int {
     ($variant:ident: $($t:ty),+) => {
@@ -196,6 +273,22 @@ macro_rules! impl_tuple {
                 Content::Seq(vec![$(self.$idx.to_content()),+])
             }
         }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                const LEN: usize = [$($idx),+].len();
+                let items = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+                if items.len() != LEN {
+                    return Err(DeError::msg(format!(
+                        "expected a {LEN}-tuple, found {} items",
+                        items.len()
+                    )));
+                }
+                Ok(($( $name::from_content(&items[$idx])?, )+))
+            }
+        }
     };
 }
 
@@ -203,6 +296,241 @@ impl_tuple!(A: 0);
 impl_tuple!(A: 0, B: 1);
 impl_tuple!(A: 0, B: 1, C: 2);
 impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for the std types mirrored above
+// ---------------------------------------------------------------------------
+
+/// Read any numeric content as `i64` (the JSON parser may classify a value
+/// as signed, unsigned or float depending on its spelling).
+fn content_i64(content: &Content, ty: &str) -> Result<i64, DeError> {
+    match content {
+        Content::I64(i) => Ok(*i),
+        Content::U64(u) => i64::try_from(*u)
+            .map_err(|_| DeError::msg(format!("{u} out of range for {ty}"))),
+        Content::F64(x) if x.fract() == 0.0 && x.abs() <= i64::MAX as f64 => Ok(*x as i64),
+        other => Err(DeError::expected("integer", ty).tagged(other)),
+    }
+}
+
+/// Read any numeric content as `u64`.
+fn content_u64(content: &Content, ty: &str) -> Result<u64, DeError> {
+    match content {
+        Content::U64(u) => Ok(*u),
+        Content::I64(i) => u64::try_from(*i)
+            .map_err(|_| DeError::msg(format!("{i} out of range for {ty}"))),
+        Content::F64(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= u64::MAX as f64 => {
+            Ok(*x as u64)
+        }
+        other => Err(DeError::expected("unsigned integer", ty).tagged(other)),
+    }
+}
+
+impl DeError {
+    /// Append the offending content's variant name to the message.
+    pub fn tagged(mut self, content: &Content) -> Self {
+        let variant = match content {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        };
+        self.message.push_str(&format!(" (found {variant})"));
+        self
+    }
+}
+
+macro_rules! impl_de_signed {
+    ($($t:ty),+) => {
+        $(impl<'de> Deserialize<'de> for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let i = content_i64(content, stringify!($t))?;
+                <$t>::try_from(i)
+                    .map_err(|_| DeError::msg(format!("{i} out of range for {}", stringify!($t))))
+            }
+        })+
+    };
+}
+
+macro_rules! impl_de_unsigned {
+    ($($t:ty),+) => {
+        $(impl<'de> Deserialize<'de> for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let u = content_u64(content, stringify!($t))?;
+                <$t>::try_from(u)
+                    .map_err(|_| DeError::msg(format!("{u} out of range for {}", stringify!($t))))
+            }
+        })+
+    };
+}
+
+impl_de_signed!(i8, i16, i32, i64, isize);
+impl_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(x) => Ok(*x),
+            Content::I64(i) => Ok(*i as f64),
+            Content::U64(u) => Ok(*u as f64),
+            // serde_json renders non-finite floats as null; accept the round
+            // trip back as NaN so serialized reports stay loadable.
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", "f64").tagged(other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", "bool").tagged(other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let s = content
+            .as_str()
+            .ok_or_else(|| DeError::expected("single-char string", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::msg(format!("expected a single char, found {s:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", "String").tagged(content))
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(DeError::expected("null", "unit").tagged(other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec").tagged(content))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_content(content)?;
+        let len = items.len();
+        items.try_into().map_err(|_| {
+            DeError::msg(format!("expected an array of {N} items, found {len}"))
+        })
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Eq + std::hash::Hash> Deserialize<'de> for HashSet<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Vec::<T>::from_content(content).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Vec::<T>::from_content(content).map(|v| v.into_iter().collect())
+    }
+}
+
+/// Rebuild a map key from its JSON object-key string: string-like keys
+/// deserialize directly, numeric and boolean keys are re-parsed the way
+/// [`Content::as_key`] rendered them.
+fn key_from_str<'de, K: Deserialize<'de>>(key: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_content(&Content::Str(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(u) = key.parse::<u64>() {
+        if let Ok(k) = K::from_content(&Content::U64(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = key.parse::<i64>() {
+        if let Ok(k) = K::from_content(&Content::I64(i)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = key.parse::<bool>() {
+        if let Ok(k) = K::from_content(&Content::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::msg(format!("cannot rebuild map key from {key:?}")))
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "BTreeMap").tagged(content))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_str(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "HashMap").tagged(content))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_str(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
 
 #[cfg(test)]
 mod tests {

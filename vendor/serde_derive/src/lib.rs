@@ -66,13 +66,125 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("generated Serialize impl parses")
 }
 
-/// Derive the marker trait `serde::Deserialize`.
+/// Derive `serde::Deserialize` by rebuilding the value from `serde::Content`
+/// — the exact inverse of the `Serialize` derive above (externally-tagged
+/// enums, transparent newtypes, maps for named fields).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let (name, _shape) = parse_input(input);
-    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
-        .parse()
-        .expect("generated Deserialize impl parses")
+    let (name, shape) = parse_input(input);
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::from_content(serde::field(entries, \"{f}\"))?"))
+                .collect();
+            format!(
+                "let entries = content.as_map().ok_or_else(|| \
+                 serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => format!("Ok({name}(serde::from_content(content)?))"),
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..n)
+                .map(|i| format!("serde::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = content.as_seq().ok_or_else(|| \
+                 serde::DeError::expected(\"sequence\", \"{name}\"))?;\n\
+                 if items.len() != {n} {{ return Err(serde::DeError::msg(format!(\
+                 \"expected {n} fields for {name}, found {{}}\", items.len()))); }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!(
+            "match content {{ serde::Content::Null => Ok({name}), other => \
+             Err(serde::DeError::expected(\"null\", \"{name}\").tagged(other)) }}"
+        ),
+        Shape::Enum(variants) => de_enum_body(&name, &variants),
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// Deserialization body for an externally-tagged enum.
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    // Unit variants arrive as a bare string.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| format!("\"{v}\" => return Ok({name}::{v}),", v = v.name))
+        .collect();
+    // Data variants arrive as a single-entry map keyed by the variant name.
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            let body = match &v.fields {
+                VariantFields::Unit => return None,
+                VariantFields::Tuple(1) => {
+                    format!("Ok({name}::{vname}(serde::from_content(inner)?))")
+                }
+                VariantFields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::from_content(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let items = inner.as_seq().ok_or_else(|| \
+                         serde::DeError::expected(\"sequence\", \"{name}::{vname}\"))?;\n\
+                         if items.len() != {n} {{ return Err(serde::DeError::msg(format!(\
+                         \"expected {n} fields for {name}::{vname}, found {{}}\", \
+                         items.len()))); }}\n\
+                         Ok({name}::{vname}({})) }}",
+                        inits.join(", ")
+                    )
+                }
+                VariantFields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!("{f}: serde::from_content(serde::field(fields, \"{f}\"))?")
+                        })
+                        .collect();
+                    format!(
+                        "{{ let fields = inner.as_map().ok_or_else(|| \
+                         serde::DeError::expected(\"map\", \"{name}::{vname}\"))?;\n\
+                         Ok({name}::{vname} {{ {} }}) }}",
+                        inits.join(", ")
+                    )
+                }
+            };
+            Some(format!("\"{vname}\" => {body},"))
+        })
+        .collect();
+    format!(
+        "if let Some(s) = content.as_str() {{\n\
+             match s {{ {unit_arms} other => return Err(serde::DeError::msg(format!(\
+             \"unknown variant {{other:?}} of {name}\"))), }}\n\
+         }}\n\
+         let entries = content.as_map().ok_or_else(|| \
+         serde::DeError::expected(\"variant string or map\", \"{name}\"))?;\n\
+         if entries.len() != 1 {{ return Err(serde::DeError::expected(\
+         \"single-entry variant map\", \"{name}\")); }}\n\
+         let (tag, inner) = &entries[0];\n\
+         let _ = inner;\n\
+         match tag.as_str() {{\n\
+             {data_arms}\n\
+             other => Err(serde::DeError::msg(format!(\
+             \"unknown variant {{other:?}} of {name}\"))),\n\
+         }}",
+        unit_arms = unit_arms.join(" "),
+        data_arms = data_arms.join("\n")
+    )
 }
 
 /// Externally-tagged representation, matching serde's default for enums.
