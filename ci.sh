@@ -34,6 +34,9 @@ if [[ "${1:-}" == "quick" ]]; then
     exit 0
 fi
 
+echo "==> fused-vs-legacy differential: single-walk analysis == legacy passes"
+cargo test --release -q --test property_based matches_legacy
+
 echo "==> shard round-trip: two-shard CampaignPlan JSON == monolithic tally"
 sharddir="target/shard-roundtrip"
 rm -rf "$sharddir"
@@ -50,6 +53,13 @@ cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
     > "$sharddir/report_merged.json"
 diff "$sharddir/report_monolithic.json" "$sharddir/report_merged.json"
 echo "    merged shard tally is bit-identical to the monolithic run"
+
+echo "==> resume: delete one shard report, resume re-executes only that shard"
+rm "$sharddir/report_1.json"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    resume "$sharddir" > "$sharddir/report_resumed.json"
+diff "$sharddir/report_monolithic.json" "$sharddir/report_resumed.json"
+echo "    resumed manifest tally is bit-identical to the monolithic run"
 
 echo "==> benches + examples compile"
 cargo build --release --benches --examples

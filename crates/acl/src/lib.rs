@@ -25,8 +25,17 @@
 //! dense [`ftkr_vm::LocationId`] space (flat last-access tables and a bitmap
 //! taint set).  The original hash-based algorithm is retained in
 //! [`mod@reference`] for differential testing.
+//!
+//! Construction is event-incremental: [`table::TaintSweep`] advances one
+//! dynamic event at a time, so the sweep can ride along any
+//! [`ftkr_vm::EventCursor`] walk.  [`visitor::AclVisitor`] is the
+//! stand-alone packaging ([`AclTable::build`] uses it); the fused
+//! per-injection pipeline in `ftkr_patterns` drives the same sweep next to
+//! the six pattern detectors in a single pass.
 
 pub mod reference;
 pub mod table;
+pub mod visitor;
 
-pub use table::{AclDeath, AclTable, DeathCause};
+pub use table::{AclDeath, AclTable, DeathCause, StepTaint, TaintSweep};
+pub use visitor::AclVisitor;

@@ -6,8 +6,15 @@
 //! of death events, and a bitmap taint set — no hash maps.  The retained
 //! hash-based implementation lives in [`crate::reference`] and is compared
 //! against this one by the workspace property tests.
+//!
+//! The sweep itself is incremental ([`TaintSweep`]): one [`TaintSweep::step`]
+//! call per dynamic event, in order.  [`AclTable::build`] drives it over a
+//! trace through the shared [`ftkr_vm::EventCursor`] visitor machinery, and
+//! the fused per-injection pipeline in `ftkr_patterns` drives the *same*
+//! sweep while evaluating all six pattern detectors in the same walk — one
+//! pass over the events instead of seven.
 
-use ftkr_vm::{FaultSpec, FaultTarget, Location, LocationId, Trace};
+use ftkr_vm::{FaultSpec, FaultTarget, Location, LocationId, Trace, TraceEvent, Value};
 
 /// Why a corrupted location stopped being alive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,13 +134,39 @@ struct Seed {
     id: Option<LocationId>,
 }
 
-impl AclTable {
-    /// Build the table given the seed corruptions: `(event index, location)`
-    /// pairs stating that `location` becomes corrupted at the instruction
-    /// with that dynamic index (for an instruction-result fault this is the
-    /// defining instruction; for a memory fault it is the instruction about
-    /// to execute when the cell is struck).
-    pub fn build(trace: &Trace, seeds: &[(usize, Location)]) -> AclTable {
+/// The taint outcome of one sweep step.
+#[derive(Debug, Clone)]
+pub struct StepTaint {
+    /// True when the event read at least one alive corrupted location.
+    pub reads_tainted: bool,
+    /// Number of alive corrupted locations *after* the event.
+    pub alive: u32,
+    /// Range of `AclTable::deaths` entries this event appended (pattern
+    /// detectors key off the death log without re-walking it).
+    pub deaths: std::ops::Range<usize>,
+}
+
+/// The incremental exact ACL sweep: per-event taint tracking with the full
+/// trace's last-access knowledge precomputed, so a location leaves the alive
+/// set exactly when the paper says it should (clean overwrite, or final
+/// access).  One [`TaintSweep::step`] call per event, in order, appending
+/// births/deaths/counts to an [`AclTable`]; [`TaintSweep::finish`] seals the
+/// table.  [`AclTable::build`] and the fused pattern pipeline are both thin
+/// drivers around this type.
+pub struct TaintSweep {
+    last_access: Vec<u32>,
+    die_off: Vec<u32>,
+    dying: Vec<u32>,
+    sorted_seeds: Vec<Seed>,
+    next_seed: usize,
+    tainted: TaintSet,
+}
+
+impl TaintSweep {
+    /// Prepare a sweep over `trace` with the given seed corruptions:
+    /// `(event index, location)` pairs stating that `location` becomes
+    /// corrupted at the instruction with that dynamic index.
+    pub fn new(trace: &Trace, seeds: &[(usize, Location)]) -> TaintSweep {
         let n = trace.len();
         let nloc = trace.num_locations();
 
@@ -184,111 +217,172 @@ impl AclTable {
             })
             .collect();
         sorted_seeds.sort_by_key(|s| s.event);
-        let mut next_seed = 0usize;
 
-        let mut tainted = TaintSet::new(nloc);
-        let mut table = AclTable {
-            counts: Vec::with_capacity(n),
-            tainted_reads: Vec::with_capacity(n),
-            ..Default::default()
-        };
+        TaintSweep {
+            last_access,
+            die_off,
+            dying,
+            sorted_seeds,
+            next_seed: 0,
+            tainted: TaintSet::new(nloc),
+        }
+    }
 
-        // A corruption that is never accessed from here on is born dead
-        // ("tainted locations that are never used are excluded").
-        let birth = |table: &mut AclTable,
-                         tainted: &mut TaintSet,
-                         idx: usize,
-                         id: Option<LocationId>,
-                         location: Location,
-                         line: u32| {
-            let lives = matches!(id, Some(id) if {
-                let la = last_access[id.index()];
-                la != NEVER && la as usize >= idx
+    /// Prepare a sweep whose seeds derive from a [`FaultSpec`] exactly as
+    /// [`AclTable::from_fault`] does.
+    pub fn from_fault(trace: &Trace, fault: &FaultSpec) -> TaintSweep {
+        TaintSweep::new(trace, &AclTable::fault_seeds(trace, fault))
+    }
+
+    /// True when the given location id is currently alive-corrupted.
+    pub fn is_tainted(&self, id: LocationId) -> bool {
+        self.tainted.contains(id)
+    }
+
+    /// A corruption that is never accessed from here on is born dead
+    /// ("tainted locations that are never used are excluded").
+    fn birth(
+        &mut self,
+        table: &mut AclTable,
+        idx: usize,
+        id: Option<LocationId>,
+        location: Location,
+        line: u32,
+    ) {
+        let lives = matches!(id, Some(id) if {
+            let la = self.last_access[id.index()];
+            la != NEVER && la as usize >= idx
+        });
+        if !lives {
+            table.births.push((idx, location));
+            table.deaths.push(AclDeath {
+                event: idx,
+                location,
+                cause: DeathCause::NeverUsedAgain,
+                line,
             });
-            if !lives {
-                table.births.push((idx, location));
+            return;
+        }
+        let id = id.expect("live seed has an id");
+        if self.tainted.insert(id) {
+            table.births.push((idx, location));
+        }
+    }
+
+    /// Advance the sweep over the event at index `idx`, appending the taint
+    /// bookkeeping of that event to `table`.  `reads` are the event's operand
+    /// reads and `locations` the (at least partially) interned location
+    /// table — exactly what an [`ftkr_vm::EventCtx`] carries.  Events must be
+    /// fed in order, exactly once each.
+    pub fn step(
+        &mut self,
+        idx: usize,
+        event: &TraceEvent,
+        reads: &[(LocationId, Value)],
+        locations: &[Location],
+        table: &mut AclTable,
+    ) -> StepTaint {
+        let deaths_start = table.deaths.len();
+
+        // Seed corruptions strike at this instruction.
+        let seed_start = self.next_seed;
+        while self.next_seed < self.sorted_seeds.len()
+            && self.sorted_seeds[self.next_seed].event == idx
+        {
+            let s = self.sorted_seeds[self.next_seed];
+            self.next_seed += 1;
+            self.birth(table, idx, s.id, s.location, event.line);
+        }
+        let seeded_range = seed_start..self.next_seed;
+
+        // Fast path: with nothing alive-corrupted (before the fault strikes,
+        // and after full cleanup) no read can be tainted.
+        let reads_tainted = self.tainted.alive != 0
+            && reads.iter().any(|&(id, _)| self.tainted.contains(id));
+        table.tainted_reads.push(reads_tainted);
+
+        if let Some((wid, _)) = event.write {
+            if reads_tainted {
+                self.birth(table, idx, Some(wid), locations[wid.index()], event.line);
+            } else if !self.sorted_seeds[seeded_range].iter().any(|s| s.id == Some(wid))
+                && self.tainted.remove(wid)
+            {
+                // Overwritten by a value not derived from corrupted data.
                 table.deaths.push(AclDeath {
                     event: idx,
-                    location,
-                    cause: DeathCause::NeverUsedAgain,
-                    line,
+                    location: locations[wid.index()],
+                    cause: DeathCause::Overwritten,
+                    line: event.line,
                 });
-                return;
             }
-            let id = id.expect("live seed has an id");
-            if tainted.insert(id) {
-                table.births.push((idx, location));
-            }
-        };
-
-        for (idx, event) in trace.iter() {
-            // Seed corruptions strike at this instruction.
-            let seed_start = next_seed;
-            while next_seed < sorted_seeds.len() && sorted_seeds[next_seed].event == idx {
-                let s = sorted_seeds[next_seed];
-                birth(&mut table, &mut tainted, idx, s.id, s.location, event.line);
-                next_seed += 1;
-            }
-            let seeded_here = &sorted_seeds[seed_start..next_seed];
-
-            let reads_tainted = trace
-                .reads_of(event)
-                .iter()
-                .any(|&(id, _)| tainted.contains(id));
-            table.tainted_reads.push(reads_tainted);
-
-            if let Some((wid, _)) = event.write {
-                if reads_tainted {
-                    birth(
-                        &mut table,
-                        &mut tainted,
-                        idx,
-                        Some(wid),
-                        trace.location(wid),
-                        event.line,
-                    );
-                } else if !seeded_here.iter().any(|s| s.id == Some(wid)) && tainted.remove(wid) {
-                    // Overwritten by a value not derived from corrupted data.
-                    table.deaths.push(AclDeath {
-                        event: idx,
-                        location: trace.location(wid),
-                        cause: DeathCause::Overwritten,
-                        line: event.line,
-                    });
-                }
-            }
-
-            // Corrupted locations whose final access is this instruction will
-            // never be referenced again: they die here.
-            let dying_here =
-                &dying[die_off[idx] as usize..die_off[idx + 1] as usize];
-            for &raw in dying_here {
-                let id = LocationId(raw);
-                if tainted.remove(id) {
-                    table.deaths.push(AclDeath {
-                        event: idx,
-                        location: trace.location(id),
-                        cause: DeathCause::NeverUsedAgain,
-                        line: event.line,
-                    });
-                }
-            }
-
-            table.counts.push(tainted.alive);
         }
 
-        let mut final_corrupted: Vec<Location> =
-            tainted.iter_set().map(|id| trace.location(id)).collect();
+        // Corrupted locations whose final access is this instruction will
+        // never be referenced again: they die here.
+        let dying_here = &self.dying[self.die_off[idx] as usize..self.die_off[idx + 1] as usize];
+        for &raw in dying_here {
+            let id = LocationId(raw);
+            if self.tainted.remove(id) {
+                table.deaths.push(AclDeath {
+                    event: idx,
+                    location: locations[id.index()],
+                    cause: DeathCause::NeverUsedAgain,
+                    line: event.line,
+                });
+            }
+        }
+
+        table.counts.push(self.tainted.alive);
+        StepTaint {
+            reads_tainted,
+            alive: self.tainted.alive,
+            deaths: deaths_start..table.deaths.len(),
+        }
+    }
+
+    /// Seal the table after the last event: record the locations still
+    /// corrupted (and alive) when the trace ends.
+    pub fn finish(&self, locations: &[Location], table: &mut AclTable) {
+        let mut final_corrupted: Vec<Location> = self
+            .tainted
+            .iter_set()
+            .map(|id| locations[id.index()])
+            .collect();
         final_corrupted.sort();
         table.final_corrupted = final_corrupted;
+    }
+}
+
+impl AclTable {
+    /// Build the table given the seed corruptions: `(event index, location)`
+    /// pairs stating that `location` becomes corrupted at the instruction
+    /// with that dynamic index (for an instruction-result fault this is the
+    /// defining instruction; for a memory fault it is the instruction about
+    /// to execute when the cell is struck).
+    ///
+    /// This is a monomorphic [`TaintSweep`] loop (the stand-alone fast
+    /// path); [`crate::visitor::AclVisitor`] packages the same sweep as a
+    /// [`ftkr_vm::TraceVisitor`] for fused multi-analysis walks — fuse the
+    /// sweep with other analyses instead of calling this next to another
+    /// full-trace pass.
+    pub fn build(trace: &Trace, seeds: &[(usize, Location)]) -> AclTable {
+        let mut sweep = TaintSweep::new(trace, seeds);
+        let mut table = AclTable {
+            counts: Vec::with_capacity(trace.len()),
+            tainted_reads: Vec::with_capacity(trace.len()),
+            ..Default::default()
+        };
+        let locations = trace.locations();
+        for (idx, event) in trace.iter() {
+            sweep.step(idx, event, trace.reads_of(event), locations, &mut table);
+        }
+        sweep.finish(locations, &mut table);
         table
     }
 
-    /// Derive the seed corruption from a [`FaultSpec`] and build the table.
-    /// For an instruction-result fault the corrupted location is whatever the
-    /// instruction at `at_step` wrote; for a memory fault it is the cell.
-    pub fn from_fault(trace: &Trace, fault: &FaultSpec) -> AclTable {
-        let seeds: Vec<(usize, Location)> = match fault.target {
+    /// The seed corruptions a [`FaultSpec`] implies for a given faulty trace.
+    pub fn fault_seeds(trace: &Trace, fault: &FaultSpec) -> Vec<(usize, Location)> {
+        match fault.target {
             FaultTarget::InstructionResult => {
                 let step = fault.at_step as usize;
                 trace
@@ -301,8 +395,14 @@ impl AclTable {
             FaultTarget::MemoryCell { addr } => {
                 vec![(fault.at_step as usize, Location::mem(addr))]
             }
-        };
-        AclTable::build(trace, &seeds)
+        }
+    }
+
+    /// Derive the seed corruption from a [`FaultSpec`] and build the table.
+    /// For an instruction-result fault the corrupted location is whatever the
+    /// instruction at `at_step` wrote; for a memory fault it is the cell.
+    pub fn from_fault(trace: &Trace, fault: &FaultSpec) -> AclTable {
+        AclTable::build(trace, &AclTable::fault_seeds(trace, fault))
     }
 
     /// Largest number of simultaneously alive corrupted locations.

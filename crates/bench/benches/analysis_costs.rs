@@ -6,9 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use ftkr_acl::AclTable;
 use ftkr_dddg::Dddg;
-use ftkr_patterns::{detect_all, DetectionInput};
+use ftkr_patterns::{analyze_fused, detect_all, detect_fused_patterns, DetectionInput};
 use ftkr_trace::{instance_slice, partition_regions, RegionSelector};
-use ftkr_vm::{FaultSpec, Vm, VmConfig};
+use ftkr_vm::{EventKind, FaultSpec, Trace, Vm, VmConfig};
 
 fn analysis_costs(c: &mut Criterion) {
     let app = ftkr_apps::mg();
@@ -106,6 +106,59 @@ fn analysis_costs(c: &mut Criterion) {
         })
     });
 
+    group.finish();
+
+    // ---- the fused per-injection analysis pipeline --------------------
+    //
+    // Two representative injections: the historical benchmark fault (which
+    // crashes the run early — the common campaign outcome, and the exact
+    // definition the seed baseline measured `acl_construction_mg` /
+    // `pattern_detection_mg` against), and a fully-propagating fault whose
+    // taint stays alive to the end of the run (the worst case for the
+    // detectors).  For each, the legacy passes (ACL build + six-detector
+    // scan) are compared with the fused single-walk replacements.
+    let mut group = c.benchmark_group("analysis_fused");
+    let taint_step = (clean.len() / 3..clean.len())
+        .find(|&i| {
+            clean.events[i].write.is_some()
+                && matches!(clean.events[i].kind, EventKind::Bin(k) if k.is_float())
+        })
+        .expect("MG has float arithmetic");
+    let taint_fault = FaultSpec::in_result(taint_step as u64, 40);
+    let taint_faulty = Vm::new(VmConfig::tracing_with_fault(taint_fault))
+        .run(&app.module)
+        .unwrap()
+        .trace
+        .unwrap();
+
+    let cases: [(&str, FaultSpec, &Trace); 2] = [
+        ("crash_mg", fault, &faulty),
+        ("taint_mg", taint_fault, &taint_faulty),
+    ];
+    for (label, case_fault, case_faulty) in cases {
+        group.bench_function(format!("legacy_passes_{label}"), |b| {
+            b.iter(|| {
+                let acl = AclTable::from_fault(std::hint::black_box(case_faulty), &case_fault);
+                detect_all(DetectionInput {
+                    faulty: case_faulty,
+                    clean: &clean,
+                    acl: &acl,
+                })
+                .len()
+            })
+        });
+        group.bench_function(format!("single_walk_{label}"), |b| {
+            b.iter(|| {
+                detect_fused_patterns(std::hint::black_box(case_faulty), &clean, case_fault).len()
+            })
+        });
+        group.bench_function(format!("acl_and_patterns_walk_{label}"), |b| {
+            b.iter(|| {
+                let fused = analyze_fused(std::hint::black_box(case_faulty), &clean, &case_fault);
+                fused.acl.max_count() as usize + fused.patterns.len()
+            })
+        });
+    }
     group.finish();
 }
 

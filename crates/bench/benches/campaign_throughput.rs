@@ -1,10 +1,15 @@
 //! Criterion benchmark of fault-injection campaign throughput (faulty runs
-//! per second), serial vs. rayon-parallel, on the IS kernel.
+//! per second), serial vs. rayon-parallel, on the IS kernel — plus the
+//! per-injection cost of the analyzed campaign paths on MG: materialized
+//! (traced faulty run + ACL + detectors) vs. streaming (patterns detected as
+//! the run executes, no faulty trace ever recorded).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use ftkr_acl::AclTable;
 use ftkr_inject::{internal_sites, Campaign};
-use ftkr_vm::{Vm, VmConfig};
+use ftkr_patterns::{detect_all, detect_streaming, DetectionInput};
+use ftkr_vm::{EventKind, FaultSpec, Vm, VmConfig};
 
 fn campaign_throughput(c: &mut Criterion) {
     let app = ftkr_apps::is();
@@ -30,6 +35,63 @@ fn campaign_throughput(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+
+    // ---- analyzed campaigns: per-injection outcome + pattern analysis ----
+    let app = ftkr_apps::mg();
+    let clean_run = Vm::new(VmConfig::tracing()).run(&app.module).unwrap();
+    let clean = clean_run.trace.unwrap();
+    // A fully-propagating fault: the expensive case for both paths.
+    let step = (clean.len() / 3..clean.len())
+        .find(|&i| {
+            clean.events[i].write.is_some()
+                && matches!(clean.events[i].kind, EventKind::Bin(k) if k.is_float())
+        })
+        .expect("MG has float arithmetic");
+    let fault = FaultSpec::in_result(step as u64, 40);
+    let max_steps = clean_run.steps * 10 + 10_000;
+
+    let mut group = c.benchmark_group("campaign_streaming");
+    group.sample_size(10);
+    group.bench_function("injection_materialized_mg", |b| {
+        b.iter(|| {
+            // The pre-fused per-injection analysis: materialize the faulty
+            // trace, build the ACL table, run the six detectors.
+            let config = VmConfig {
+                record_trace: true,
+                trace_hint: Some(clean_run.steps),
+                fault: Some(fault),
+                max_steps,
+                ..VmConfig::default()
+            };
+            let run = Vm::new(config)
+                .run(std::hint::black_box(&app.module))
+                .unwrap();
+            let faulty = run.trace.unwrap();
+            let acl = AclTable::from_fault(&faulty, &fault);
+            detect_all(DetectionInput {
+                faulty: &faulty,
+                clean: &clean,
+                acl: &acl,
+            })
+            .len()
+        })
+    });
+    group.bench_function("injection_streaming_mg", |b| {
+        b.iter(|| {
+            let config = VmConfig {
+                max_steps,
+                ..VmConfig::default()
+            };
+            let (_run, patterns) = detect_streaming(
+                std::hint::black_box(&app.module),
+                &clean,
+                fault,
+                config,
+            );
+            patterns.len()
+        })
+    });
     group.finish();
 }
 

@@ -24,6 +24,20 @@ fn tracing_overhead(c: &mut Criterion) {
                 b.iter(|| Vm::new(VmConfig::tracing()).run(&app.module).unwrap().steps)
             },
         );
+        // Marker elision (`TraceOpts::skip_markers`): loop markers move to
+        // the compact out-of-band table instead of the event stream.
+        group.bench_with_input(
+            BenchmarkId::new("traced_skip_markers", app.name),
+            &app,
+            |b, app| {
+                b.iter(|| {
+                    Vm::new(VmConfig::tracing().without_markers())
+                        .run(&app.module)
+                        .unwrap()
+                        .steps
+                })
+            },
+        );
     }
 
     let app = ftkr_apps::mg();

@@ -47,6 +47,27 @@ struct Report {
     /// reference trace over the `TraceScope::Window` trace (MG, `mg_a`) —
     /// how much trace memory the window path avoids.
     fig5_window_traced_events_ratio: Option<f64>,
+    /// Tracing overhead ratio (traced / plain, MG) with loop markers elided
+    /// (`TraceOpts::skip_markers`) — the residual-overhead knob.
+    tracing_overhead_ratio_mg_skip_markers: Option<f64>,
+    /// Fused per-injection analysis vs the legacy ACL + six-detector passes,
+    /// both measured fresh, on the historical crash-outcome benchmark fault
+    /// (the common campaign case — the seed baseline's fault definition).
+    analysis_fused_per_injection_speedup_crash_mg: Option<f64>,
+    /// Same comparison on a fully-propagating fault whose taint survives to
+    /// the end of the run (the detectors' worst case).
+    analysis_fused_per_injection_speedup_taint_mg: Option<f64>,
+    /// Fused single-walk pattern analysis vs the *seed's* per-injection
+    /// analysis stages (`acl_construction_mg` + `pattern_detection_mg`,
+    /// same fault definition) — the trajectory-since-seed view.
+    analysis_fused_vs_seed_speedup_mg: Option<f64>,
+    /// Per-injection analyzed-campaign wall time: materialized faulty trace
+    /// + legacy passes vs the streaming no-materialization path (MG).
+    campaign_streaming_injection_speedup_mg: Option<f64>,
+    /// Event-footprint win of the streaming campaign path: events the
+    /// materialized faulty trace holds per injection vs the interned
+    /// locations (the only per-run state) the streamed run retains.
+    campaign_streaming_resident_events_ratio_mg: Option<f64>,
 }
 
 /// Parse one `{"name":...,"median_ns":...}` timing line or one
@@ -143,6 +164,36 @@ fn main() {
             fresh_counts.get("fig5_trace/full_events/MG"),
             fresh_counts.get("fig5_trace/window_events/MG"),
         ),
+        tracing_overhead_ratio_mg_skip_markers: ratio(
+            fresh.get("tracing_overhead/traced_skip_markers/MG"),
+            fresh.get("tracing_overhead/plain/MG"),
+        ),
+        analysis_fused_per_injection_speedup_crash_mg: ratio(
+            fresh.get("analysis_fused/legacy_passes_crash_mg"),
+            fresh.get("analysis_fused/single_walk_crash_mg"),
+        ),
+        analysis_fused_per_injection_speedup_taint_mg: ratio(
+            fresh.get("analysis_fused/legacy_passes_taint_mg"),
+            fresh.get("analysis_fused/single_walk_taint_mg"),
+        ),
+        analysis_fused_vs_seed_speedup_mg: match (
+            baseline.get("analysis/acl_construction_mg"),
+            baseline.get("analysis/pattern_detection_mg"),
+            fresh.get("analysis_fused/single_walk_crash_mg"),
+        ) {
+            (Some(&acl), Some(&det), Some(&fused)) if fused > 0 => {
+                Some((acl + det) as f64 / fused as f64)
+            }
+            _ => None,
+        },
+        campaign_streaming_injection_speedup_mg: ratio(
+            fresh.get("campaign_streaming/injection_materialized_mg"),
+            fresh.get("campaign_streaming/injection_streaming_mg"),
+        ),
+        campaign_streaming_resident_events_ratio_mg: ratio(
+            fresh_counts.get("campaign_streaming/materialized_trace_events/MG"),
+            fresh_counts.get("campaign_streaming/streaming_resident_locations/MG"),
+        ),
         benchmarks,
     };
 
@@ -163,5 +214,29 @@ fn main() {
     }
     if let Some(s) = report.fig5_window_traced_events_ratio {
         println!("bench_report: fig5 traced events, full vs window: {s:.1}x fewer recorded");
+    }
+    if let Some(s) = report.tracing_overhead_ratio_mg_skip_markers {
+        println!("bench_report: tracing overhead ratio with skip_markers (MG): {s:.2}x");
+    }
+    if let (Some(c), Some(t)) = (
+        report.analysis_fused_per_injection_speedup_crash_mg,
+        report.analysis_fused_per_injection_speedup_taint_mg,
+    ) {
+        println!(
+            "bench_report: fused per-injection analysis vs legacy passes (MG): \
+             {c:.2}x (crash fault), {t:.2}x (propagating fault)"
+        );
+    }
+    if let Some(s) = report.analysis_fused_vs_seed_speedup_mg {
+        println!("bench_report: fused per-injection analysis vs seed stages (MG): {s:.1}x");
+    }
+    if let Some(s) = report.campaign_streaming_injection_speedup_mg {
+        println!("bench_report: analyzed campaign injection, streaming vs materialized: {s:.2}x");
+    }
+    if let Some(s) = report.campaign_streaming_resident_events_ratio_mg {
+        println!(
+            "bench_report: streaming campaign resident state: {s:.0}x fewer entries than a \
+             materialized faulty trace"
+        );
     }
 }

@@ -7,10 +7,11 @@
 //! whole campaign in one process.
 //!
 //! ```sh
-//! campaign_shard plan  <app> <target> <class> <n_tests> <seed> <k> <dir>
-//! campaign_shard run   <plan.json> [report.json]
-//! campaign_shard merge <report.json> <report.json>...
-//! campaign_shard stats <app> <region> [out.jsonl]
+//! campaign_shard plan   <app> <target> <class> <n_tests> <seed> <k> <dir>
+//! campaign_shard run    <plan.json> [report.json]
+//! campaign_shard merge  <report.json> <report.json>...
+//! campaign_shard resume <manifest-dir>
+//! campaign_shard stats  <app> <region> [out.jsonl]
 //! ```
 //!
 //! * `plan` resolves the target's dynamic window in a session and writes
@@ -21,10 +22,15 @@
 //!   window derives its sites from a region-scoped trace — no full trace is
 //!   recorded) and writes the `CampaignReport` JSON.
 //! * `merge` folds shard reports into one and prints the merged JSON.
+//! * `resume` scans a manifest directory, re-executes exactly the shards
+//!   whose `report_<i>.json` is missing or corrupt (a died worker, a
+//!   truncated file), and prints the merged report — bit-identical to the
+//!   monolithic campaign regardless of how many resume passes it took.
 //! * `stats` records the traced footprint (event/operand counts) of
 //!   Figure-5-style site derivation under `TraceScope::Window` vs. a full
-//!   reference trace, as `{"name":...,"median_ns":...}` JSON lines that
-//!   `bench_report` folds into `BENCH_fliptracker.json`.
+//!   reference trace, plus the streaming campaign path's resident-event
+//!   footprint, as JSON lines that `bench_report` folds into
+//!   `BENCH_fliptracker.json`.
 
 use std::process::exit;
 
@@ -34,10 +40,11 @@ use ftkr_vm::{Vm, VmConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  campaign_shard plan  <app> <whole|region:NAME|iter:N> <internal|input> \
-         <n_tests> <seed> <k> <dir>\n  campaign_shard run   <plan.json> [report.json]\n  \
-         campaign_shard merge <report.json> <report.json>...\n  \
-         campaign_shard stats <app> <region> [out.jsonl]"
+        "usage:\n  campaign_shard plan   <app> <whole|region:NAME|iter:N> <internal|input> \
+         <n_tests> <seed> <k> <dir>\n  campaign_shard run    <plan.json> [report.json]\n  \
+         campaign_shard merge  <report.json> <report.json>...\n  \
+         campaign_shard resume <manifest-dir>\n  \
+         campaign_shard stats  <app> <region> [out.jsonl]"
     );
     exit(2);
 }
@@ -177,6 +184,26 @@ fn cmd_merge(args: &[String]) {
     println!("{}", merged.to_json());
 }
 
+fn cmd_resume(args: &[String]) {
+    let [dir] = args else {
+        usage();
+    };
+    match ftkr_bench::shard::resume_manifest(std::path::Path::new(dir)) {
+        Ok(summary) => {
+            eprintln!(
+                "campaign_shard: {} shard(s) intact, re-executed {:?}",
+                summary.intact.len(),
+                summary.executed
+            );
+            println!("{}", summary.merged.to_json());
+        }
+        Err(e) => {
+            eprintln!("campaign_shard: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn cmd_stats(args: &[String]) {
     let (app, region, out) = match args {
         [app, region] => (app, region, None),
@@ -204,6 +231,22 @@ fn cmd_stats(args: &[String]) {
         .trace
         .expect("tracing enabled");
 
+    // The no-materialization campaign path's footprint: a streamed faulty
+    // run retains only the interned location table (plus O(1) scratch),
+    // while the materialized per-injection analysis holds the full faulty
+    // event stream and operand pool.
+    let fault = full
+        .iter()
+        .skip(full.len() / 3)
+        .find(|(_, e)| e.write.is_some())
+        .map(|(i, _)| ftkr_vm::FaultSpec::in_result(i as u64, 40))
+        .expect("trace has value-producing events");
+    let faulty = Vm::new(ftkr_vm::VmConfig::tracing_with_fault(fault))
+        .run(&session.app().module)
+        .expect("module verifies")
+        .trace
+        .expect("tracing enabled");
+
     let records = [
         (format!("fig5_trace/full_events/{app}"), full.len() as u64),
         (format!("fig5_trace/full_operands/{app}"), full.num_operands() as u64),
@@ -211,6 +254,18 @@ fn cmd_stats(args: &[String]) {
         (
             format!("fig5_trace/window_operands/{app}"),
             windowed.num_operands() as u64,
+        ),
+        (
+            format!("campaign_streaming/materialized_trace_events/{app}"),
+            faulty.len() as u64,
+        ),
+        (
+            format!("campaign_streaming/materialized_trace_operands/{app}"),
+            faulty.num_operands() as u64,
+        ),
+        (
+            format!("campaign_streaming/streaming_resident_locations/{app}"),
+            faulty.num_locations() as u64,
         ),
     ];
     // `count`, not `median_ns`: these are footprint counters, and
@@ -243,6 +298,7 @@ fn main() {
             "plan" => cmd_plan(rest),
             "run" => cmd_run(rest),
             "merge" => cmd_merge(rest),
+            "resume" => cmd_resume(rest),
             "stats" => cmd_stats(rest),
             _ => usage(),
         },

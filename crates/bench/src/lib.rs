@@ -18,6 +18,8 @@
 //! Every binary accepts an effort level (`quick`, `standard`, `paper`) as its
 //! first argument and `--json` to additionally emit machine-readable output.
 
+pub mod shard;
+
 use fliptracker::Effort;
 
 /// Parse the common harness command line: effort level plus `--json`.

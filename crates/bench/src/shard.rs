@@ -1,0 +1,100 @@
+//! Shard-manifest maintenance for distributed campaigns: resuming a
+//! partially executed manifest directory.
+//!
+//! A coordinator writes `plan.json` plus `plan_shard_<i>.json` (see the
+//! `campaign_shard plan` subcommand); workers execute shards into
+//! `report_<i>.json`.  Machines die and files get truncated —
+//! [`resume_manifest`] scans the directory, re-executes **only** the shards
+//! whose report is missing or corrupt, and returns the merged tally, which
+//! is bit-identical to the monolithic campaign no matter how many times the
+//! manifest was resumed in between.
+
+use std::path::{Path, PathBuf};
+
+use fliptracker::execute_plan;
+use ftkr_inject::{CampaignPlan, CampaignReport};
+
+/// What a resume pass did to one manifest directory.
+#[derive(Debug, Clone)]
+pub struct ResumeSummary {
+    /// Shard indices whose report was missing or corrupt and was
+    /// (re-)executed by this pass.
+    pub executed: Vec<usize>,
+    /// Shard indices whose report was already present and valid.
+    pub intact: Vec<usize>,
+    /// The merged report over all shards of the manifest.
+    pub merged: CampaignReport,
+}
+
+fn shard_plan_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("plan_shard_{index}.json"))
+}
+
+fn shard_report_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("report_{index}.json"))
+}
+
+/// The shard indices present in a manifest directory: `0..k` for the first
+/// missing `plan_shard_<k>.json`.
+pub fn manifest_shards(dir: &Path) -> Vec<usize> {
+    let mut shards = Vec::new();
+    while shard_plan_path(dir, shards.len()).exists() {
+        let i = shards.len();
+        shards.push(i);
+    }
+    shards
+}
+
+/// Scan a manifest directory and re-execute exactly the shards whose report
+/// is missing or does not parse as a [`CampaignReport`]; write the fresh
+/// reports next to the plans and return the merged tally.
+///
+/// Errors are strings suitable for CLI reporting: unreadable/invalid plans,
+/// executor failures, or an empty manifest.
+pub fn resume_manifest(dir: &Path) -> Result<ResumeSummary, String> {
+    let shards = manifest_shards(dir);
+    if shards.is_empty() {
+        return Err(format!(
+            "{}: no plan_shard_0.json — not a shard manifest directory",
+            dir.display()
+        ));
+    }
+
+    let mut executed = Vec::new();
+    let mut intact = Vec::new();
+    let mut reports: Vec<CampaignReport> = Vec::with_capacity(shards.len());
+
+    for &i in &shards {
+        let report_path = shard_report_path(dir, i);
+        // A present, parseable report is kept as-is (the campaign derivation
+        // is deterministic, so re-running it could only reproduce it).
+        if let Ok(text) = std::fs::read_to_string(&report_path) {
+            if let Ok(report) = CampaignReport::from_json(&text) {
+                intact.push(i);
+                reports.push(report);
+                continue;
+            }
+        }
+
+        let plan_path = shard_plan_path(dir, i);
+        let text = std::fs::read_to_string(&plan_path)
+            .map_err(|e| format!("cannot read {}: {e}", plan_path.display()))?;
+        let plan = CampaignPlan::from_json(&text)
+            .map_err(|e| format!("{} is not a plan: {e}", plan_path.display()))?;
+        let report = execute_plan(&plan).map_err(|e| e.to_string())?;
+        std::fs::write(&report_path, format!("{}\n", report.to_json()))
+            .map_err(|e| format!("cannot write {}: {e}", report_path.display()))?;
+        executed.push(i);
+        reports.push(report);
+    }
+
+    let merged = reports
+        .into_iter()
+        .reduce(|a, b| a.merge(&b))
+        .expect("at least one shard");
+    Ok(ResumeSummary {
+        executed,
+        intact,
+        merged,
+    })
+}

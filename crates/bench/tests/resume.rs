@@ -1,0 +1,68 @@
+//! Integration test for the campaign resume driver: a manifest with a
+//! deleted and a corrupted shard report is resumed, re-executing exactly
+//! those shards, and the merged tally is bit-identical to the monolithic
+//! campaign.
+
+use fliptracker::Session;
+use ftkr_bench::shard::{manifest_shards, resume_manifest};
+use ftkr_inject::{CampaignTarget, TargetClass};
+
+fn write(path: &std::path::Path, text: &str) {
+    std::fs::write(path, format!("{text}\n")).expect("write manifest file");
+}
+
+#[test]
+fn resume_reexecutes_only_missing_and_corrupt_shards() {
+    let session = Session::by_name("IS").expect("IS exists");
+    let plan = session
+        .plan(
+            CampaignTarget::Region {
+                name: session.app().regions[0].clone(),
+            },
+            TargetClass::Internal,
+            24,
+        )
+        .expect("region resolves")
+        .with_seed(4242);
+    let monolithic = session.run_plan(&plan).expect("monolithic run");
+
+    // Coordinator: write a 4-shard manifest and "execute" every shard.
+    let dir = std::env::temp_dir().join(format!("ftkr-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create manifest dir");
+    write(&dir.join("plan.json"), &plan.to_json());
+    for (i, shard) in plan.shards(4).iter().enumerate() {
+        write(&dir.join(format!("plan_shard_{i}.json")), &shard.to_json());
+        let report = session.run_plan(shard).expect("shard run");
+        write(&dir.join(format!("report_{i}.json")), &report.to_json());
+    }
+    assert_eq!(manifest_shards(&dir), vec![0, 1, 2, 3]);
+
+    // A worker died before writing shard 2, and shard 1's report was
+    // truncated mid-write.
+    std::fs::remove_file(dir.join("report_2.json")).expect("delete report");
+    std::fs::write(dir.join("report_1.json"), "{\"counts\":{\"succ").expect("corrupt report");
+
+    let summary = resume_manifest(&dir).expect("resume succeeds");
+    assert_eq!(summary.executed, vec![1, 2], "only the broken shards re-run");
+    assert_eq!(summary.intact, vec![0, 3]);
+    assert_eq!(summary.merged, monolithic);
+
+    // The repaired reports landed on disk: a second resume is a no-op with
+    // the same merged tally.
+    let again = resume_manifest(&dir).expect("second resume succeeds");
+    assert!(again.executed.is_empty());
+    assert_eq!(again.intact, vec![0, 1, 2, 3]);
+    assert_eq!(again.merged, monolithic);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_rejects_non_manifest_directories() {
+    let dir = std::env::temp_dir().join(format!("ftkr-resume-empty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create dir");
+    assert!(resume_manifest(&dir).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}

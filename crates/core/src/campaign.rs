@@ -1,0 +1,252 @@
+//! Campaigns with per-injection pattern analysis, on the no-materialization
+//! path: every test of the campaign streams its faulty run through the
+//! fused detector bank ([`ftkr_patterns::StreamingDetector`]), so outcomes
+//! are classified **and** resilience patterns tallied without ever
+//! materializing a faulty trace — O(locations) memory per worker, for
+//! campaigns of any length.
+//!
+//! Each test is executed **once**: the streamed run feeds the detector bank
+//! and its [`ftkr_vm::RunResult`] classifies the outcome.  The test sequence
+//! and sharding are exactly the plain campaign's (the same
+//! `(seed, index) -> FaultSpec` derivation,
+//! [`ftkr_inject::Campaign::fault_for_index`]), so the embedded
+//! [`CampaignReport`] is bit-identical to [`Session::run_plan`] on the same
+//! plan — property-tested — and analyzed shard reports merge exactly like
+//! plain ones.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use ftkr_inject::{CampaignPlan, CampaignReport, IndexRange};
+use ftkr_patterns::{PatternKind, StreamingDetector};
+use ftkr_vm::{Vm, VmConfig};
+
+use crate::session::{PlanError, Session};
+
+/// Per-pattern instance tallies over a campaign (one counter per pattern
+/// kind, serialization-friendly).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternTally {
+    /// Dead Corrupted Locations instances.
+    pub dcl: u64,
+    /// Repeated Additions instances.
+    pub ra: u64,
+    /// Conditional Statement instances.
+    pub cs: u64,
+    /// Shifting instances.
+    pub shifting: u64,
+    /// Truncation instances.
+    pub truncation: u64,
+    /// Data Overwriting instances.
+    pub overwriting: u64,
+}
+
+impl PatternTally {
+    /// Record `n` instances of one kind.
+    pub fn record(&mut self, kind: PatternKind, n: u64) {
+        match kind {
+            PatternKind::DeadCorruptedLocations => self.dcl += n,
+            PatternKind::RepeatedAdditions => self.ra += n,
+            PatternKind::ConditionalStatement => self.cs += n,
+            PatternKind::Shifting => self.shifting += n,
+            PatternKind::Truncation => self.truncation += n,
+            PatternKind::DataOverwriting => self.overwriting += n,
+        }
+    }
+
+    /// The counter for one kind.
+    pub fn count(&self, kind: PatternKind) -> u64 {
+        match kind {
+            PatternKind::DeadCorruptedLocations => self.dcl,
+            PatternKind::RepeatedAdditions => self.ra,
+            PatternKind::ConditionalStatement => self.cs,
+            PatternKind::Shifting => self.shifting,
+            PatternKind::Truncation => self.truncation,
+            PatternKind::DataOverwriting => self.overwriting,
+        }
+    }
+
+    /// Total instances across all kinds.
+    pub fn total(&self) -> u64 {
+        PatternKind::ALL.iter().map(|&k| self.count(k)).sum()
+    }
+
+    /// Componentwise sum.
+    pub fn merge(mut self, other: PatternTally) -> PatternTally {
+        for kind in PatternKind::ALL {
+            self.record(kind, other.count(kind));
+        }
+        self
+    }
+}
+
+/// A campaign report enriched with streaming pattern analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzedCampaignReport {
+    /// The plain outcome tally — bit-identical to running the same plan
+    /// through [`Session::run_plan`].
+    pub report: CampaignReport,
+    /// Pattern instances observed across all injections of the shard.
+    pub patterns: PatternTally,
+    /// Number of injections that exhibited at least one pattern instance.
+    pub tests_with_patterns: u64,
+}
+
+impl AnalyzedCampaignReport {
+    /// Merge the report of another shard of the same campaign (panics on
+    /// seed/population mismatch, like [`CampaignReport::merge`]).
+    pub fn merge(mut self, other: &AnalyzedCampaignReport) -> AnalyzedCampaignReport {
+        self.report = self.report.merge(&other.report);
+        self.patterns = self.patterns.merge(other.patterns);
+        self.tests_with_patterns += other.tests_with_patterns;
+        self
+    }
+
+    /// Serialize for hand-off to a coordinating process.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports serialize")
+    }
+
+    /// Parse a report previously written by
+    /// [`AnalyzedCampaignReport::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+impl Session {
+    /// Execute a campaign plan (or one shard of it) with streaming pattern
+    /// analysis: each test's faulty run is consumed by the fused detector
+    /// bank as it executes — no faulty trace is materialized for any of the
+    /// plan's injections.  The clean reference trace *is* materialized once
+    /// (pattern detection aligns faulty events against it).
+    pub fn run_plan_analyzed(
+        &self,
+        plan: &CampaignPlan,
+    ) -> Result<AnalyzedCampaignReport, PlanError> {
+        if !plan.app.eq_ignore_ascii_case(self.app().name) {
+            return Err(PlanError::AppMismatch {
+                session_app: self.app().name.to_string(),
+                plan_app: plan.app.clone(),
+            });
+        }
+        let sites = self.sites(&plan.target, plan.class)?;
+        let sites: &[ftkr_inject::FaultSite] = sites.as_slice();
+        let clean = self.clean_trace();
+        let shard = plan.shard.intersect(IndexRange::full(plan.n_tests));
+        let campaign = self.campaign(plan.seed);
+        let max_steps = self.max_steps();
+        // Capture only Sync state in the worker closures (not the session).
+        let app = self.app();
+        let module = &app.module;
+
+        // ONE streamed faulty run per test: the detector observes the events
+        // as they execute, and the run result classifies the outcome — the
+        // fault sequence is the campaign's own (`fault_for_index`), so the
+        // outcome tally is bit-identical to `Session::run_plan`.
+        let population = sites.len() as u64 * 64;
+        let (counts, patterns, tests_with_patterns) = if sites.is_empty() || shard.is_empty() {
+            (ftkr_inject::CampaignCounts::default(), PatternTally::default(), 0)
+        } else {
+            (shard.start..shard.end)
+                .into_par_iter()
+                .map(|index| {
+                    let fault = campaign.fault_for_index(sites, index);
+                    let config = VmConfig {
+                        fault: Some(fault),
+                        max_steps,
+                        ..VmConfig::default()
+                    };
+                    let mut detector = StreamingDetector::new(clean, fault);
+                    let result = Vm::new(config)
+                        .run_with_visitors(module, &mut [&mut detector])
+                        .expect("module verifies");
+                    let mut counts = ftkr_inject::CampaignCounts::default();
+                    counts.record(if !result.outcome.is_completed() {
+                        ftkr_inject::Outcome::Crashed
+                    } else if app.verify(&result) {
+                        ftkr_inject::Outcome::VerificationSuccess
+                    } else {
+                        ftkr_inject::Outcome::VerificationFailed
+                    });
+                    let mut tally = PatternTally::default();
+                    let found = detector.into_patterns();
+                    for p in &found {
+                        tally.record(p.kind, 1);
+                    }
+                    (counts, tally, u64::from(!found.is_empty()))
+                })
+                .reduce(
+                    || (ftkr_inject::CampaignCounts::default(), PatternTally::default(), 0),
+                    |a, b| (a.0.merge(b.0), a.1.merge(b.1), a.2 + b.2),
+                )
+        };
+
+        Ok(AnalyzedCampaignReport {
+            report: CampaignReport {
+                counts,
+                n_tests: if sites.is_empty() { 0 } else { shard.len() },
+                population,
+                seed: plan.seed,
+            },
+            patterns,
+            tests_with_patterns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftkr_inject::{CampaignTarget, TargetClass};
+
+    #[test]
+    fn analyzed_campaign_counts_match_the_plain_campaign_bit_identically() {
+        let session = Session::by_name("IS").expect("IS exists");
+        let plan = session
+            .plan(
+                CampaignTarget::Region {
+                    name: session.app().regions[0].clone(),
+                },
+                TargetClass::Internal,
+                16,
+            )
+            .unwrap()
+            .with_seed(2024);
+        let plain = session.run_plan(&plan).unwrap();
+        let analyzed = session.run_plan_analyzed(&plan).unwrap();
+        assert_eq!(analyzed.report, plain);
+        // Low-order-bit faults in a resilient region do produce patterns.
+        assert!(
+            analyzed.patterns.total() > 0,
+            "expected some pattern instances: {analyzed:?}"
+        );
+        assert!(analyzed.tests_with_patterns <= plain.n_tests);
+    }
+
+    #[test]
+    fn analyzed_shards_merge_like_plain_shards() {
+        let session = Session::by_name("IS").unwrap();
+        let plan = session
+            .plan(
+                CampaignTarget::Region {
+                    name: session.app().regions[1].clone(),
+                },
+                TargetClass::Internal,
+                12,
+            )
+            .unwrap()
+            .with_seed(7);
+        let monolithic = session.run_plan_analyzed(&plan).unwrap();
+        let merged = plan
+            .shards(3)
+            .iter()
+            .map(|shard| session.run_plan_analyzed(shard).unwrap())
+            .reduce(|a, b| a.merge(&b))
+            .unwrap();
+        assert_eq!(merged, monolithic);
+        // And the JSON round trip is lossless.
+        let back = AnalyzedCampaignReport::from_json(&merged.to_json()).unwrap();
+        assert_eq!(back, merged);
+    }
+}

@@ -10,7 +10,6 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use ftkr_apps::App;
-use ftkr_acl::AclTable;
 use ftkr_inject::TargetClass;
 use ftkr_mpi::{run_spmd, ReduceOp};
 use ftkr_patterns::{PatternKind, RegionPatternSummary};
@@ -338,9 +337,13 @@ pub fn fig7() -> Fig7 {
         })
         .unwrap_or(target_iter.start);
     let fault = FaultSpec::in_result(step as u64, 52);
-    let faulty_run = session.traced_faulty_run(fault);
-    let faulty = faulty_run.trace.expect("traced");
-    let acl = AclTable::from_fault(&faulty, &fault);
+    // One fused walk produces the ACL table (and the patterns, unused here).
+    let acl = session
+        .injection(fault)
+        .with_acl()
+        .run()
+        .acl
+        .expect("acl requested");
     // The interesting part of the trajectory starts at the injection; drop
     // the all-zero prefix so the series matches the paper's zoomed view.
     let series = acl

@@ -9,8 +9,12 @@
 //! * [`session`] — the analysis session: one application, one cached clean
 //!   reference run, every driver's entry point, and the executor for
 //!   serializable campaign plans;
-//! * [`pipeline`] — single-injection analysis: trace, ACL, patterns, region
-//!   tolerance cases;
+//! * [`pipeline`] — single-injection analysis through the composable
+//!   [`pipeline::InjectionAnalysisBuilder`]: one fused walk per injection
+//!   (streamed with no materialized faulty trace, or materialized with the
+//!   full ACL table and region tolerance cases);
+//! * [`campaign`] — campaigns with streaming per-injection pattern analysis
+//!   ([`session::Session::run_plan_analyzed`]);
 //! * [`regions`] — region-level views of an application;
 //! * [`experiments`] — regenerates every table and figure of the paper's
 //!   evaluation (Table I/II, Figures 4–7);
@@ -25,6 +29,7 @@
 //! println!("{} pattern instances", analysis.patterns.len());
 //! ```
 
+pub mod campaign;
 pub mod effort;
 pub mod experiments;
 pub mod pipeline;
@@ -32,8 +37,11 @@ pub mod regions;
 pub mod session;
 pub mod use_cases;
 
+pub use campaign::{AnalyzedCampaignReport, PatternTally};
 pub use effort::Effort;
-pub use pipeline::{analyze_injection, InjectionAnalysis};
+pub use pipeline::{
+    analyze_injection, InjectionAnalysis, InjectionAnalysisBuilder, InjectionReport,
+};
 pub use regions::{region_table, RegionView};
 pub use session::{execute_plan, PlanError, Session};
 

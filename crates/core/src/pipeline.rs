@@ -1,21 +1,38 @@
-//! Single-injection analysis: the core FlipTracker workflow of Figure 1.
+//! Single-injection analysis: the core FlipTracker workflow of Figure 1,
+//! built around one fused walk per injection.
 //!
-//! The heavy lifting lives in [`Session::analyze`](crate::Session::analyze);
-//! this module defines the result type and keeps the classic one-shot entry
-//! point for callers that analyse a single fault and do not need to reuse
-//! the session's cached clean run.
+//! [`InjectionAnalysisBuilder`] (from [`Session::injection`]) is the one
+//! entry point every driver goes through — `Session`'s table/figure drivers,
+//! `experiments.rs`, and the campaign executors alike.  It composes what the
+//! caller needs and picks the cheapest execution mode that provides it:
+//!
+//! * **patterns only** (the default) — the faulty run is *streamed*: outcome
+//!   classification and all six pattern detectors ride the interpreter via
+//!   [`ftkr_patterns::StreamingDetector`], and no faulty trace is ever
+//!   materialized (O(locations) memory instead of O(events));
+//! * **`with_acl`** — the faulty trace is materialized once and a single
+//!   [`ftkr_vm::EventCursor`] walk produces the full [`AclTable`] *and* the
+//!   pattern instances, fused ([`ftkr_patterns::analyze_fused`]);
+//! * **`with_region_cases`** — additionally extracts the per-region DDDG
+//!   deltas; all matched region DDDGs are built in one further shared walk
+//!   ([`ftkr_dddg::DddgExtractor`]) instead of one pass per region.
+//!
+//! Either way the per-injection analysis consumes the faulty events once —
+//! the legacy `AclTable::from_fault` + `detect_all` seven-pass pipeline is
+//! retained only as a differential-testing reference.
 
 use ftkr_acl::AclTable;
 use ftkr_apps::App;
-use ftkr_dddg::ToleranceCase;
+use ftkr_dddg::{compare_io, DddgExtractor, ToleranceCase};
 use ftkr_inject::Outcome;
-use ftkr_patterns::PatternInstance;
-use ftkr_trace::RegionInstance;
-use ftkr_vm::FaultSpec;
+use ftkr_patterns::{PatternInstance, StreamingDetector};
+use ftkr_trace::{partition_regions, RegionInstance, RegionSelector};
+use ftkr_vm::{EventCursor, FaultSpec, TraceVisitor, Vm, VmConfig};
 
 use crate::session::Session;
 
-/// Everything FlipTracker learns from one injected fault.
+/// Everything FlipTracker learns from one injected fault (the full-depth
+/// result; [`Session::analyze`] returns it).
 #[derive(Debug, Clone)]
 pub struct InjectionAnalysis {
     /// The fault that was injected.
@@ -46,6 +63,170 @@ impl InjectionAnalysis {
     }
 }
 
+/// What one injection produced, at whatever depth the builder requested.
+#[derive(Debug, Clone)]
+pub struct InjectionReport {
+    /// The fault that was injected.
+    pub fault: FaultSpec,
+    /// Outcome of the faulty run.
+    pub outcome: Outcome,
+    /// Pattern instances detected in the faulty run.
+    pub patterns: Vec<PatternInstance>,
+    /// The full ACL table — `Some` whenever the analysis materialized the
+    /// faulty trace ([`InjectionAnalysisBuilder::with_acl`] or
+    /// [`InjectionAnalysisBuilder::with_region_cases`]; the fused walk
+    /// produces it either way), `None` on the streaming path.
+    pub acl: Option<AclTable>,
+    /// Per-region DDDG tolerance cases — non-empty only when requested with
+    /// [`InjectionAnalysisBuilder::with_region_cases`] (and the error reached
+    /// some region).
+    pub region_cases: Vec<(String, ToleranceCase)>,
+    /// Dynamic step count of the faulty run.
+    pub faulty_steps: u64,
+    /// True when the analysis materialized a faulty trace; false on the
+    /// streaming path.
+    pub materialized: bool,
+}
+
+/// Composable per-injection analysis: pick the outputs, get the cheapest
+/// single-walk execution that provides them.  Create with
+/// [`Session::injection`].
+pub struct InjectionAnalysisBuilder<'s> {
+    session: &'s Session,
+    fault: FaultSpec,
+    acl: bool,
+    region_cases: bool,
+}
+
+impl<'s> InjectionAnalysisBuilder<'s> {
+    pub(crate) fn new(session: &'s Session, fault: FaultSpec) -> Self {
+        InjectionAnalysisBuilder {
+            session,
+            fault,
+            acl: false,
+            region_cases: false,
+        }
+    }
+
+    /// Also build the full [`AclTable`] (forces trace materialization; the
+    /// table and the patterns still come from one fused walk).
+    pub fn with_acl(mut self) -> Self {
+        self.acl = true;
+        self
+    }
+
+    /// Also classify per-region DDDG tolerance cases (forces trace
+    /// materialization; all matched region DDDGs are extracted in one shared
+    /// walk).
+    pub fn with_region_cases(mut self) -> Self {
+        self.region_cases = true;
+        self
+    }
+
+    /// Run the analysis.
+    pub fn run(self) -> InjectionReport {
+        let session = self.session;
+        let fault = self.fault;
+        let clean = session.clean_trace();
+
+        if !self.acl && !self.region_cases {
+            // Streaming mode: outcome + patterns with no materialized faulty
+            // trace.
+            let config = VmConfig {
+                fault: Some(fault),
+                max_steps: session.max_steps(),
+                ..VmConfig::default()
+            };
+            let mut detector = StreamingDetector::new(clean, fault);
+            let result = Vm::new(config)
+                .run_with_visitors(&session.app().module, &mut [&mut detector])
+                .expect("benchmark module must verify");
+            let outcome = session.classify(&result);
+            return InjectionReport {
+                fault,
+                outcome,
+                patterns: detector.into_patterns(),
+                acl: None,
+                region_cases: Vec::new(),
+                faulty_steps: result.steps,
+                materialized: false,
+            };
+        }
+
+        // Materialized mode: one traced faulty run, one fused walk for
+        // ACL + patterns, and (optionally) one more shared walk for every
+        // matched region DDDG.
+        let faulty_run = session.traced_faulty_run(fault);
+        let outcome = session.classify(&faulty_run);
+        let faulty = faulty_run.trace.expect("tracing was enabled");
+        let fused = ftkr_patterns::analyze_fused(&faulty, clean, &fault);
+
+        let mut region_cases = Vec::new();
+        if self.region_cases {
+            let regions = session.regions();
+            let faulty_regions = partition_regions(
+                &faulty,
+                &session.app().module,
+                &RegionSelector::FirstLevelInner,
+            );
+            // Match clean/faulty instances until region-level control flow
+            // diverges; only instances overlapping the fault's dynamic
+            // lifetime are analysed.
+            let mut matched: Vec<&RegionInstance> = Vec::new();
+            for (clean_inst, faulty_inst) in regions.iter().zip(&faulty_regions) {
+                if clean_inst.key != faulty_inst.key {
+                    break;
+                }
+                matched.push(faulty_inst);
+            }
+            let analysed: Vec<(usize, &RegionInstance)> = matched
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.end > fault.at_step as usize)
+                .map(|(i, f)| (i, *f))
+                .collect();
+
+            // All faulty-region DDDGs from ONE walk over the faulty trace.
+            let mut extractors: Vec<DddgExtractor> = analysed
+                .iter()
+                .map(|(_, f)| DddgExtractor::new(f.start, f.end))
+                .collect();
+            {
+                let mut refs: Vec<&mut dyn TraceVisitor> = extractors
+                    .iter_mut()
+                    .map(|x| x as &mut dyn TraceVisitor)
+                    .collect();
+                EventCursor::new(&faulty).run(&mut refs);
+            }
+
+            for ((clean_pos, faulty_inst), extractor) in analysed.into_iter().zip(extractors) {
+                let clean_inst = &regions[clean_pos];
+                let clean_dddg = session.dddg(clean_inst);
+                let faulty_dddg = extractor.into_dddg();
+                let cmp = compare_io(
+                    &clean_dddg,
+                    &faulty_dddg,
+                    clean.slice(clean_inst.end.min(clean.len()), clean.len()),
+                    faulty.slice(faulty_inst.end.min(faulty.len()), faulty.len()),
+                );
+                if cmp.case != ToleranceCase::NotAffected {
+                    region_cases.push((clean_inst.key.name.clone(), cmp.case));
+                }
+            }
+        }
+
+        InjectionReport {
+            fault,
+            outcome,
+            patterns: fused.patterns,
+            acl: Some(fused.acl),
+            region_cases,
+            faulty_steps: faulty_run.steps,
+            materialized: true,
+        }
+    }
+}
+
 /// Run the full FlipTracker analysis for one injected fault.
 ///
 /// When `fault` is `None` a representative fault is chosen automatically
@@ -53,8 +234,9 @@ impl InjectionAnalysis {
 /// Returns `None` only if the application has no injectable site.
 ///
 /// Analysing several faults against the same application?  Open a
-/// [`Session`] once and call [`Session::analyze`] — the clean reference run
-/// and the region partitions are then computed once and shared.
+/// [`Session`] once and call [`Session::analyze`] — or compose exactly the
+/// outputs you need with [`Session::injection`] — so the clean reference run
+/// and the region partitions are computed once and shared.
 pub fn analyze_injection(app: &App, fault: Option<FaultSpec>) -> Option<InjectionAnalysis> {
     Session::new(app.clone()).analyze(fault)
 }
@@ -95,5 +277,33 @@ mod tests {
                 .map(|p| p.kind)
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn streaming_and_materialized_builder_modes_agree() {
+        let session = Session::by_name("IS").expect("IS exists");
+        let clean = session.clean_trace();
+        let step = (clean.len() / 3) as u64;
+        let fault = FaultSpec::in_result(step, 33);
+
+        let light = session.injection(fault).run();
+        assert!(!light.materialized);
+        assert!(light.acl.is_none());
+
+        let deep = session.injection(fault).with_acl().with_region_cases().run();
+        assert!(deep.materialized);
+        let acl = deep.acl.as_ref().expect("acl requested");
+
+        // The streaming path found exactly the instances the fused
+        // materialized walk found, and both classified the run identically.
+        assert_eq!(light.patterns, deep.patterns);
+        assert_eq!(light.outcome, deep.outcome);
+        assert_eq!(light.faulty_steps, deep.faulty_steps);
+
+        // And the fused ACL equals the legacy construction.
+        let faulty = session.traced_faulty_run(fault).trace.unwrap();
+        let legacy = AclTable::from_fault(&faulty, &fault);
+        assert_eq!(acl.counts, legacy.counts);
+        assert_eq!(acl.tainted_reads, legacy.tainted_reads);
     }
 }

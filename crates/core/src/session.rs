@@ -23,23 +23,20 @@ use std::cell::{OnceCell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use ftkr_acl::AclTable;
 use ftkr_apps::{app_by_name, App};
-use ftkr_dddg::{compare_io, Dddg, ToleranceCase};
+use ftkr_dddg::Dddg;
 use ftkr_inject::{
     input_sites, internal_sites, Campaign, CampaignPlan, CampaignReport, CampaignTarget,
     FaultSite, IndexRange, Outcome, TargetClass,
 };
-use ftkr_patterns::{
-    assign_to_regions, detect_all, DetectionInput, PatternRates, RegionPatternSummary,
-};
+use ftkr_patterns::{assign_to_regions, PatternRates, RegionPatternSummary};
 use ftkr_trace::{instance_slice, partition_iterations, partition_regions, RegionInstance,
     RegionSelector};
 use ftkr_vm::{FaultSpec, RunResult, Trace, TraceScope, Vm, VmConfig};
 
 use crate::effort::Effort;
 use crate::experiments::{SuccessRatePoint, SuccessRateSeries};
-use crate::pipeline::InjectionAnalysis;
+use crate::pipeline::{InjectionAnalysis, InjectionAnalysisBuilder};
 use crate::regions::{region_views as region_views_from, RegionView};
 
 /// Cache of fault-site lists, keyed by campaign target and class.
@@ -212,6 +209,19 @@ impl Session {
     /// multiple of the fault-free step count.
     pub fn max_steps(&self) -> u64 {
         self.clean_steps() * 10 + 10_000
+    }
+
+    /// Classify a completed faulty run by the paper's three manifestations:
+    /// trapped/hung runs crash, completed runs are judged by the
+    /// application's verification phase.
+    pub fn classify(&self, result: &RunResult) -> Outcome {
+        if !result.outcome.is_completed() {
+            Outcome::Crashed
+        } else if self.app.verify(result) {
+            Outcome::VerificationSuccess
+        } else {
+            Outcome::VerificationFailed
+        }
     }
 
     /// Run the application with `fault` injected, recording a trace
@@ -554,8 +564,11 @@ impl Session {
     /// The Table-I row set: for every named region, inject
     /// `effort.analysis_injections` faults into its representative instance,
     /// run the detectors, and union the pattern kinds found.
+    ///
+    /// Each injection goes through the streaming [`Session::injection`]
+    /// pipeline: patterns are detected as the faulty run executes, and no
+    /// faulty trace is materialized.
     pub fn region_table(&self, effort: &Effort) -> Vec<RegionPatternSummary> {
-        let clean = self.clean_trace();
         self.region_views()
             .iter()
             .map(|view| {
@@ -577,17 +590,8 @@ impl Session {
                         .min(sites.len() - 1)];
                         let bit = [30u8, 52, 12, 40, 3, 61][k % 6];
                         let fault = site.with_bit(bit);
-                        let faulty_run = self.traced_faulty_run(fault);
-                        let Some(faulty) = faulty_run.trace else {
-                            continue;
-                        };
-                        let acl = AclTable::from_fault(&faulty, &fault);
-                        let patterns = detect_all(DetectionInput {
-                            faulty: &faulty,
-                            clean,
-                            acl: &acl,
-                        });
-                        let by_region = assign_to_regions(&patterns, self.regions());
+                        let report = self.injection(fault).run();
+                        let by_region = assign_to_regions(&report.patterns, self.regions());
                         if let Some(kinds) = by_region.get(&view.name) {
                             found.extend(kinds.iter().copied());
                         }
@@ -625,6 +629,14 @@ impl Session {
         Some(FaultSpec::in_result(step as u64, 30))
     }
 
+    /// Open a composable per-injection analysis for one fault: patterns-only
+    /// by default (streamed, no materialized faulty trace), with the ACL
+    /// table and per-region DDDG cases opt-in.  This is the single analysis
+    /// entry point every driver goes through.
+    pub fn injection(&self, fault: FaultSpec) -> InjectionAnalysisBuilder<'_> {
+        InjectionAnalysisBuilder::new(self, fault)
+    }
+
     /// Run the full FlipTracker analysis for one injected fault.
     ///
     /// When `fault` is `None` a representative fault is chosen automatically
@@ -635,62 +647,18 @@ impl Session {
             Some(f) => f,
             None => self.default_fault()?,
         };
-        let clean = self.clean_trace();
-
-        let faulty_run = self.traced_faulty_run(fault);
-        let outcome = if !faulty_run.outcome.is_completed() {
-            Outcome::Crashed
-        } else if self.app.verify(&faulty_run) {
-            Outcome::VerificationSuccess
-        } else {
-            Outcome::VerificationFailed
-        };
-        let faulty = faulty_run.trace.expect("tracing was enabled");
-
-        // ACL table and pattern detection.
-        let acl = AclTable::from_fault(&faulty, &fault);
-        let patterns = detect_all(DetectionInput {
-            faulty: &faulty,
-            clean,
-            acl: &acl,
-        });
-
-        // Region model from the fault-free run, plus per-region DDDG
-        // comparison.
-        let regions = self.regions();
-        let faulty_regions =
-            partition_regions(&faulty, &self.app.module, &RegionSelector::FirstLevelInner);
-        let mut region_cases = Vec::new();
-        for (clean_inst, faulty_inst) in regions.iter().zip(&faulty_regions) {
-            if clean_inst.key != faulty_inst.key {
-                // Control flow diverged at the region level; stop matching.
-                break;
-            }
-            // Only analyse instances that overlap the fault's dynamic
-            // lifetime.
-            if faulty_inst.end <= fault.at_step as usize {
-                continue;
-            }
-            let clean_dddg = self.dddg(clean_inst);
-            let faulty_dddg = Dddg::from_slice(instance_slice(&faulty, faulty_inst));
-            let cmp = compare_io(
-                &clean_dddg,
-                &faulty_dddg,
-                clean.slice(clean_inst.end.min(clean.len()), clean.len()),
-                faulty.slice(faulty_inst.end.min(faulty.len()), faulty.len()),
-            );
-            if cmp.case != ToleranceCase::NotAffected {
-                region_cases.push((clean_inst.key.name.clone(), cmp.case));
-            }
-        }
-
+        let report = self
+            .injection(fault)
+            .with_acl()
+            .with_region_cases()
+            .run();
         Some(InjectionAnalysis {
             fault,
-            outcome,
-            acl,
-            patterns,
-            regions: regions.to_vec(),
-            region_cases,
+            outcome: report.outcome,
+            acl: report.acl.expect("acl requested"),
+            patterns: report.patterns,
+            regions: self.regions().to_vec(),
+            region_cases: report.region_cases,
             clean_steps: self.clean_steps(),
         })
     }

@@ -65,66 +65,113 @@ pub struct Dddg {
     written_final: Vec<(LocationId, NodeId)>,
 }
 
+/// Incremental DDDG construction: one [`DddgBuilder::push`] per event of the
+/// region, in order.  [`Dddg::from_slice`] drives it over a trace slice; the
+/// windowed [`crate::visitor::DddgExtractor`] drives it from a shared
+/// [`ftkr_vm::EventCursor`] walk or a live streamed run.
+#[derive(Debug, Default)]
+pub struct DddgBuilder {
+    g: Dddg,
+    /// Dense per-location tables over the producing run's id space (grown on
+    /// demand: a streamed run's location table grows as it executes).
+    latest: Vec<u32>,
+    written_at: Vec<u32>,
+    read_nodes: Vec<NodeId>,
+}
+
+impl DddgBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        DddgBuilder::default()
+    }
+
+    fn ensure(&mut self, id: LocationId) {
+        if id.index() >= self.latest.len() {
+            self.latest.resize(id.index() + 1, NO_NODE);
+            self.written_at.resize(id.index() + 1, NO_NODE);
+        }
+    }
+
+    /// Append one event: `idx` is the event's index *within the region*,
+    /// `reads`/`write` its dataflow in interned-id form, `locations` the
+    /// (at least partially) interned location table resolving those ids.
+    pub fn push(
+        &mut self,
+        idx: usize,
+        reads: &[(LocationId, Value)],
+        write: Option<(LocationId, Value)>,
+        line: u32,
+        locations: &[Location],
+    ) {
+        self.read_nodes.clear();
+        for &(id, value) in reads {
+            self.ensure(id);
+            let slot = self.latest[id.index()];
+            let node = if slot != NO_NODE {
+                NodeId(slot)
+            } else {
+                // First observation of this location inside the region:
+                // it carries a pre-existing value => input.
+                let n = self.g.push_node(DddgNode {
+                    location: locations[id.index()],
+                    version: 0,
+                    value,
+                    def_event: None,
+                    line,
+                });
+                self.latest[id.index()] = n.0;
+                self.g.roots.push(n);
+                n
+            };
+            self.read_nodes.push(node);
+        }
+        if let Some((id, value)) = write {
+            self.ensure(id);
+            let slot = self.latest[id.index()];
+            let version = if slot != NO_NODE {
+                self.g.nodes[slot as usize].version + 1
+            } else {
+                0
+            };
+            let to = self.g.push_node(DddgNode {
+                location: locations[id.index()],
+                version,
+                value,
+                def_event: Some(idx),
+                line,
+            });
+            self.latest[id.index()] = to.0;
+            if self.written_at[id.index()] == NO_NODE {
+                self.written_at[id.index()] = self.g.written_final.len() as u32;
+                self.g.written_final.push((id, to));
+            } else {
+                self.g.written_final[self.written_at[id.index()] as usize].1 = to;
+            }
+            for &from in &self.read_nodes {
+                self.g.edges.push(DddgEdge { from, to, event: idx });
+            }
+        }
+    }
+
+    /// The finished graph.
+    pub fn finish(self) -> Dddg {
+        self.g
+    }
+}
+
 impl Dddg {
     /// Build the graph from the events of one region instance.
     pub fn from_slice(slice: TraceSlice<'_>) -> Self {
         let trace = slice.trace();
-        let mut g = Dddg::default();
-        // Dense per-location tables over the owning trace's id space.
-        let mut latest: Vec<u32> = vec![NO_NODE; trace.num_locations()];
-        let mut written_at: Vec<u32> = vec![NO_NODE; trace.num_locations()];
-        let mut read_nodes: Vec<NodeId> = Vec::new();
-
+        let mut b = DddgBuilder::new();
+        // Pre-size the dense tables: the id space is known here.
+        b.latest = vec![NO_NODE; trace.num_locations()];
+        b.written_at = vec![NO_NODE; trace.num_locations()];
         for (idx, view) in slice.iter() {
             let event = view.event();
-            read_nodes.clear();
-            for &(id, value) in view.read_ids() {
-                let slot = latest[id.index()];
-                let node = if slot != NO_NODE {
-                    NodeId(slot)
-                } else {
-                    // First observation of this location inside the region:
-                    // it carries a pre-existing value => input.
-                    let n = g.push_node(DddgNode {
-                        location: trace.location(id),
-                        version: 0,
-                        value,
-                        def_event: None,
-                        line: event.line,
-                    });
-                    latest[id.index()] = n.0;
-                    g.roots.push(n);
-                    n
-                };
-                read_nodes.push(node);
-            }
-            if let Some((id, value)) = event.write {
-                let slot = latest[id.index()];
-                let version = if slot != NO_NODE {
-                    g.nodes[slot as usize].version + 1
-                } else {
-                    0
-                };
-                let to = g.push_node(DddgNode {
-                    location: trace.location(id),
-                    version,
-                    value,
-                    def_event: Some(idx),
-                    line: event.line,
-                });
-                latest[id.index()] = to.0;
-                if written_at[id.index()] == NO_NODE {
-                    written_at[id.index()] = g.written_final.len() as u32;
-                    g.written_final.push((id, to));
-                } else {
-                    g.written_final[written_at[id.index()] as usize].1 = to;
-                }
-                for &from in &read_nodes {
-                    g.edges.push(DddgEdge { from, to, event: idx });
-                }
-            }
+            b.push(idx, view.read_ids(), event.write, event.line, trace.locations());
         }
-        g
+        b.finish()
     }
 
     fn push_node(&mut self, node: DddgNode) -> NodeId {

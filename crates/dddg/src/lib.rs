@@ -19,6 +19,8 @@
 
 pub mod compare;
 pub mod graph;
+pub mod visitor;
 
 pub use compare::{compare_io, IoComparison, ToleranceCase};
-pub use graph::{Dddg, DddgEdge, DddgNode, NodeId};
+pub use graph::{Dddg, DddgBuilder, DddgEdge, DddgNode, NodeId};
+pub use visitor::DddgExtractor;

@@ -174,6 +174,21 @@ where
     /// Merging the reports of any partition of `[0, n_tests)` with
     /// [`CampaignReport::merge`] is bit-identical to [`Campaign::run`].
     pub fn run_range(&self, sites: &[FaultSite], range: IndexRange) -> CampaignReport {
+        self.run_range_by(sites, range, |fault| self.run_one(fault))
+    }
+
+    /// Like [`Campaign::run_range`], but each test is executed and classified
+    /// by `runner` instead of the built-in untraced run — the hook campaign
+    /// executors use to ride analyses (e.g. streaming pattern detection)
+    /// along the exact fault sequence of the campaign.  Sampling, sharding
+    /// and report assembly are identical, so a `runner` that classifies like
+    /// [`Campaign::run_one`] produces a bit-identical [`CampaignReport`].
+    pub fn run_range_by(
+        &self,
+        sites: &[FaultSite],
+        range: IndexRange,
+        runner: impl Fn(FaultSpec) -> Outcome + Sync,
+    ) -> CampaignReport {
         let population = sites.len() as u64 * 64;
         if sites.is_empty() || range.is_empty() {
             return CampaignReport {
@@ -187,7 +202,7 @@ where
             .into_par_iter()
             .map(|index| {
                 let mut c = CampaignCounts::default();
-                c.record(self.run_one(self.fault_for_index(sites, index)));
+                c.record(runner(self.fault_for_index(sites, index)));
                 c
             })
             .reduce(CampaignCounts::default, CampaignCounts::merge);

@@ -54,15 +54,16 @@ pub fn input_sites(region_start: usize, inputs: &[(Location, ftkr_vm::Value)]) -
 
 /// Sites corrupting *internal* computation: the result of every
 /// value-producing dynamic instruction in event range `[start, end)` of the
-/// fault-free trace.  `at_step` is the *absolute* dynamic step, so
-/// region-scoped traces ([`Trace::base_step`] > 0) produce the same sites as
-/// the corresponding slice of a full trace.
+/// fault-free trace.  `at_step` is the *absolute* dynamic step
+/// ([`Trace::step_of`]), so region-scoped traces ([`Trace::base_step`] > 0)
+/// and marker-elided traces produce the same sites as the corresponding
+/// slice of a full trace.
 pub fn internal_sites(trace: &Trace, start: usize, end: usize) -> Vec<FaultSite> {
     let end = end.min(trace.len());
     (start..end)
         .filter(|&i| trace.events[i].write.is_some())
         .map(|i| FaultSite {
-            at_step: trace.base_step() + i as u64,
+            at_step: trace.step_of(i),
             mem_addr: None,
             class: TargetClass::Internal,
         })

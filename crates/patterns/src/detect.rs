@@ -1,4 +1,12 @@
-//! Dynamic pattern detection over matched faulty / fault-free traces.
+//! Dynamic pattern detection over matched faulty / fault-free traces — the
+//! **legacy multi-pass path**.
+//!
+//! Deprecated as an entry point: new code goes through the fused single-walk
+//! pipeline ([`crate::fused`], surfaced to drivers as the
+//! `InjectionAnalysis` builder in `fliptracker`), which produces bit-identical
+//! [`PatternInstance`]s in one pass instead of six.  This module is retained
+//! for one PR as the differential reference the property tests compare the
+//! fused pipeline against, mirroring `ftkr_acl::reference`.
 //!
 //! Every detector takes the same [`DetectionInput`]: the faulty trace, the
 //! matching fault-free trace (same program, same input, no fault), and the

@@ -3,9 +3,73 @@
 use std::collections::HashMap;
 
 use ftkr_ir::{FunctionId, LoopId, LoopKind, Module};
-use ftkr_vm::{EventKind, Trace};
+use ftkr_vm::{EventKind, MarkerKind, Trace};
 
 use crate::region::{RegionInstance, RegionKey};
+
+/// One loop marker in partition-friendly form, abstracting over where it was
+/// recorded: inline in the event stream (ordinary traces) or in the
+/// out-of-band marker table (`TraceOpts::skip_markers` traces, which fall
+/// back to this plus the module's static loop tables).
+struct Marker {
+    func: FunctionId,
+    frame: u32,
+    id: LoopId,
+    kind: MarkerKind,
+    /// Event index of the marker itself (for inline markers), or of the
+    /// first event after it (for elided markers) — where an instance that
+    /// *includes* the marker starts.
+    here: usize,
+    /// First event index after the marker — where an instance that *ends*
+    /// at this marker stops (exclusive).
+    after: usize,
+}
+
+/// The trace's loop markers in execution order, from whichever channel holds
+/// them.
+fn marker_stream(trace: &Trace) -> Vec<Marker> {
+    if trace.markers_elided() {
+        return trace
+            .markers()
+            .iter()
+            .map(|m| Marker {
+                func: m.func,
+                frame: m.frame,
+                id: match m.kind {
+                    MarkerKind::Begin { id, .. }
+                    | MarkerKind::End { id }
+                    | MarkerKind::Iter { id } => id,
+                },
+                kind: m.kind,
+                here: m.at_event as usize,
+                after: m.at_event as usize,
+            })
+            .collect();
+    }
+    trace
+        .iter()
+        .filter_map(|(idx, event)| {
+            let kind = match event.kind {
+                EventKind::LoopBegin { id, depth, kind } => MarkerKind::Begin { id, depth, kind },
+                EventKind::LoopEnd { id } => MarkerKind::End { id },
+                EventKind::LoopIter { id } => MarkerKind::Iter { id },
+                _ => return None,
+            };
+            Some(Marker {
+                func: event.func,
+                frame: event.frame,
+                id: match kind {
+                    MarkerKind::Begin { id, .. }
+                    | MarkerKind::End { id }
+                    | MarkerKind::Iter { id } => id,
+                },
+                kind,
+                here: idx,
+                after: idx + 1,
+            })
+        })
+        .collect()
+}
 
 /// Which loops open code regions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,38 +135,38 @@ pub fn partition_regions(
     let mut main_iteration: Option<usize> = None;
     let mut main_loop: Option<(FunctionId, LoopId)> = None;
 
-    for (idx, event) in trace.iter() {
-        match event.kind {
-            EventKind::LoopBegin { id, kind, .. } => {
+    for marker in marker_stream(trace) {
+        match marker.kind {
+            MarkerKind::Begin { kind, .. } => {
                 if kind == LoopKind::Main && main_loop.is_none() {
-                    main_loop = Some((event.func, id));
+                    main_loop = Some((marker.func, marker.id));
                 }
-                let (name, lines) = loop_meta(module, event.func, id);
+                let (name, lines) = loop_meta(module, marker.func, marker.id);
                 if selector.selects(&name, kind, !open.is_empty()) {
                     let key = RegionKey {
-                        func: event.func,
-                        loop_id: id,
+                        func: marker.func,
+                        loop_id: marker.id,
                         name,
                     };
                     open.push(Open {
                         key,
-                        start: idx,
+                        start: marker.here,
                         main_iteration,
                         lines,
-                        frame: event.frame,
+                        frame: marker.frame,
                     });
                 }
             }
-            EventKind::LoopIter { id }
-                if main_loop == Some((event.func, id)) => {
-                    main_iteration = Some(main_iteration.map(|i| i + 1).unwrap_or(0));
-                }
-            EventKind::LoopEnd { id } => {
+            MarkerKind::Iter { .. } if main_loop == Some((marker.func, marker.id)) => {
+                main_iteration = Some(main_iteration.map(|i| i + 1).unwrap_or(0));
+            }
+            MarkerKind::End { .. } => {
                 // Close the innermost open region that matches this loop.
-                if let Some(pos) = open
-                    .iter()
-                    .rposition(|o| o.key.loop_id == id && o.key.func == event.func && o.frame == event.frame)
-                {
+                if let Some(pos) = open.iter().rposition(|o| {
+                    o.key.loop_id == marker.id
+                        && o.key.func == marker.func
+                        && o.frame == marker.frame
+                }) {
                     let o = open.remove(pos);
                     let counter = instance_counters.entry(o.key.clone()).or_insert(0);
                     let instance = *counter;
@@ -110,7 +174,7 @@ pub fn partition_regions(
                     instances.push(RegionInstance {
                         key: o.key,
                         start: o.start,
-                        end: idx + 1,
+                        end: marker.after,
                         instance,
                         main_iteration: o.main_iteration,
                         lines: o.lines,
@@ -153,16 +217,17 @@ pub fn partition_iterations(
     loop_name: Option<&str>,
 ) -> Vec<RegionInstance> {
     // Identify the target loop: (func, id).
+    let markers = marker_stream(trace);
     let mut target: Option<(FunctionId, LoopId)> = None;
-    for (_, event) in trace.iter() {
-        if let EventKind::LoopBegin { id, kind, .. } = event.kind {
-            let (name, _) = loop_meta(module, event.func, id);
+    for m in &markers {
+        if let MarkerKind::Begin { kind, .. } = m.kind {
+            let (name, _) = loop_meta(module, m.func, m.id);
             let matches = match loop_name {
                 Some(wanted) => name == wanted,
                 None => kind == LoopKind::Main,
             };
             if matches {
-                target = Some((event.func, id));
+                target = Some((m.func, m.id));
                 break;
             }
         }
@@ -193,20 +258,20 @@ pub fn partition_iterations(
         *count += 1;
     };
 
-    for (idx, event) in trace.iter() {
-        if event.func != tfunc {
+    for m in &markers {
+        if m.func != tfunc {
             continue;
         }
-        match event.kind {
-            EventKind::LoopIter { id } if id == tid => {
+        match m.kind {
+            MarkerKind::Iter { .. } if m.id == tid => {
                 if let Some(start) = current_start.take() {
-                    close(start, idx, &mut count, &mut instances);
+                    close(start, m.here, &mut count, &mut instances);
                 }
-                current_start = Some(idx);
+                current_start = Some(m.here);
             }
-            EventKind::LoopEnd { id } if id == tid => {
+            MarkerKind::End { .. } if m.id == tid => {
                 if let Some(start) = current_start.take() {
-                    close(start, idx, &mut count, &mut instances);
+                    close(start, m.here, &mut count, &mut instances);
                 }
             }
             _ => {}
@@ -353,5 +418,53 @@ mod tests {
         let module = nested_module();
         let trace = traced(&module);
         assert!(partition_iterations(&trace, &module, Some("nope")).is_empty());
+    }
+
+    /// `skip_markers` traces have no marker events, yet partitioning falls
+    /// back to the out-of-band marker table + static loop info and finds the
+    /// same regions covering the same computation.
+    #[test]
+    fn marker_elided_traces_partition_identically_modulo_markers() {
+        let module = nested_module();
+        let full = traced(&module);
+        let lean = Vm::new(VmConfig::tracing().without_markers())
+            .run(&module)
+            .unwrap()
+            .trace
+            .unwrap();
+        assert!(lean.markers_elided());
+
+        for selector in [RegionSelector::FirstLevelInner, RegionSelector::AllLoops] {
+            let a = partition_regions(&full, &module, &selector);
+            let b = partition_regions(&lean, &module, &selector);
+            assert_eq!(a.len(), b.len(), "{selector:?}");
+            for (fa, fb) in a.iter().zip(&b) {
+                assert_eq!(fa.key, fb.key);
+                assert_eq!(fa.instance, fb.instance);
+                assert_eq!(fa.main_iteration, fb.main_iteration);
+                assert_eq!(fa.lines, fb.lines);
+                // Same computation inside: the non-marker events of the full
+                // instance equal the events of the lean instance.
+                let fa_events: Vec<_> = (fa.start..fa.end)
+                    .filter(|&i| !full.events[i].kind.is_marker())
+                    .map(|i| full.resolved(i))
+                    .collect();
+                let fb_events: Vec<_> =
+                    (fb.start..fb.end).map(|i| lean.resolved(i)).collect();
+                assert_eq!(fa_events, fb_events, "region {:?}", fa.key.name);
+            }
+        }
+
+        let ia = partition_iterations(&full, &module, None);
+        let ib = partition_iterations(&lean, &module, None);
+        assert_eq!(ia.len(), ib.len());
+        for (fa, fb) in ia.iter().zip(&ib) {
+            let fa_events: Vec<_> = (fa.start..fa.end)
+                .filter(|&i| !full.events[i].kind.is_marker())
+                .map(|i| full.resolved(i))
+                .collect();
+            let fb_events: Vec<_> = (fb.start..fb.end).map(|i| lean.resolved(i)).collect();
+            assert_eq!(fa_events, fb_events, "iteration {}", fa.instance);
+        }
     }
 }

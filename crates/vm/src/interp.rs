@@ -11,8 +11,9 @@ use crate::fault::{FaultSpec, FaultTarget};
 use crate::location::Location;
 use crate::memory::{MemError, Memory};
 use crate::output::ProgramOutput;
-use crate::trace::{EventKind, LocationId, ReadSpan, Trace, TraceEvent};
+use crate::trace::{EventKind, LocationId, MarkerKind, MarkerRecord, ReadSpan, Trace, TraceEvent};
 use crate::value::Value;
+use crate::visitor::{EventCtx, TraceVisitor, WalkEnd};
 
 /// Reasons a run can abort; all of them map to the paper's *Crashed*
 /// manifestation (crash or hang).
@@ -109,6 +110,21 @@ impl TraceScope {
     }
 }
 
+/// Recording options orthogonal to *which* steps are traced (that is
+/// [`TraceScope`]): what gets written per recorded step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceOpts {
+    /// Elide loop marker events (`LoopBegin`/`LoopIter`/`LoopEnd`) from the
+    /// event stream at record time, logging them in the compact out-of-band
+    /// marker table instead ([`Trace::markers`]).  Markers carry no dataflow,
+    /// so taint/DDDG analyses are unaffected, and the code-region partitioner
+    /// falls back to the marker table plus the module's static loop info —
+    /// but event indices no longer equal dynamic steps (use
+    /// [`Trace::step_of`]), and marker-elided traces must not be mixed with
+    /// ordinary ones in index-aligned faulty/clean comparisons.
+    pub skip_markers: bool,
+}
+
 /// Interpreter configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct VmConfig {
@@ -117,6 +133,8 @@ pub struct VmConfig {
     pub record_trace: bool,
     /// Which dynamic steps to record when tracing (full run by default).
     pub trace_scope: TraceScope,
+    /// Per-step recording options (marker elision).
+    pub trace_opts: TraceOpts,
     /// Expected dynamic step count of the run (usually the step count of a
     /// prior untraced run).  Used to pre-size the trace's event and operand
     /// buffers so a tracing run performs O(1) vector allocations.
@@ -136,6 +154,7 @@ impl Default for VmConfig {
         VmConfig {
             record_trace: false,
             trace_scope: TraceScope::Full,
+            trace_opts: TraceOpts::default(),
             trace_hint: None,
             fault: None,
             max_steps: 200_000_000,
@@ -202,6 +221,13 @@ impl VmConfig {
     /// Builder form: restrict tracing to the given scope.
     pub fn scoped(mut self, scope: TraceScope) -> Self {
         self.trace_scope = scope;
+        self
+    }
+
+    /// Builder form: elide loop marker events from the recorded stream
+    /// (see [`TraceOpts::skip_markers`]).
+    pub fn without_markers(mut self) -> Self {
+        self.trace_opts.skip_markers = true;
         self
     }
 }
@@ -326,7 +352,32 @@ impl Vm {
     }
 
     fn execute(&self, module: &Module, entry: FunctionId, args: Vec<Value>) -> RunResult {
-        Interp::new(module, &self.config).run(entry, args)
+        Interp::new(module, &self.config, false).run(entry, args)
+    }
+
+    /// Execute the module's `main` function, streaming every dynamic event to
+    /// `visitors` **without materializing a trace**: the run keeps only the
+    /// interned location table and a one-event scratch buffer, so analyses
+    /// ride along in O(locations) memory instead of O(events) — the
+    /// no-materialization path campaign executors use to classify outcomes
+    /// and detect patterns per injection (see [`crate::visitor`]).
+    ///
+    /// Visitors observe exactly the events a materialized trace with the same
+    /// configuration would contain (same order, same operand reads, same
+    /// interned ids); [`RunResult::trace`] is always `None`.  The fault,
+    /// scope and limit configuration of the [`Vm`] apply unchanged.
+    pub fn run_with_visitors(
+        &self,
+        module: &Module,
+        visitors: &mut [&mut dyn TraceVisitor],
+    ) -> Result<RunResult, VerifyError> {
+        verify_executable(module)?;
+        let (entry, _) = module
+            .function_by_name("main")
+            .expect("verify_executable guarantees main");
+        let mut config = self.config;
+        config.record_trace = true;
+        Ok(Interp::new(module, &config, true).run_with_visitors(entry, Vec::new(), visitors))
     }
 }
 
@@ -341,6 +392,10 @@ struct Interp<'m> {
     frames: Vec<Frame>,
     steps: u64,
     next_frame_id: u32,
+    /// Stream events to visitors instead of materializing them: each recorded
+    /// event is handed over and immediately discarded, so `trace` never grows
+    /// beyond the location table plus a one-event scratch buffer.
+    streaming: bool,
 }
 
 enum StepFlow {
@@ -350,13 +405,14 @@ enum StepFlow {
 }
 
 impl<'m> Interp<'m> {
-    fn new(module: &'m Module, config: &VmConfig) -> Self {
+    fn new(module: &'m Module, config: &VmConfig, streaming: bool) -> Self {
         // Pre-size the trace from the expected step count (clamped to the
         // scope window and the step limit): tracing then allocates O(1)
         // vectors instead of growing them geometrically.  A scope window's
         // length is an exact event count, so it serves as the hint when no
-        // explicit one is given.
-        let trace = if config.record_trace {
+        // explicit one is given.  Streaming runs retain no events, so they
+        // never pre-size.
+        let trace = if config.record_trace && !streaming {
             let hint = match (config.trace_hint, config.trace_scope.len()) {
                 (Some(h), Some(w)) => Some(h.min(w)),
                 (Some(h), None) => Some(h),
@@ -384,6 +440,7 @@ impl<'m> Interp<'m> {
             frames: Vec::new(),
             steps: 0,
             next_frame_id: 0,
+            streaming,
         };
         if let TraceScope::Window { start, .. } = config.trace_scope {
             interp.trace.base_step = start;
@@ -391,20 +448,83 @@ impl<'m> Interp<'m> {
         interp
     }
 
-    fn run(mut self, entry: FunctionId, args: Vec<Value>) -> RunResult {
+    fn run(self, entry: FunctionId, args: Vec<Value>) -> RunResult {
+        self.run_core(entry, args, None)
+    }
+
+    /// The streaming run: every recorded event is dispatched to the visitors
+    /// and immediately discarded; `on_finish` carries the run outcome.
+    fn run_with_visitors(
+        self,
+        entry: FunctionId,
+        args: Vec<Value>,
+        visitors: &mut [&mut dyn TraceVisitor],
+    ) -> RunResult {
+        self.run_core(entry, args, Some(visitors))
+    }
+
+    fn run_core(
+        mut self,
+        entry: FunctionId,
+        args: Vec<Value>,
+        mut visitors: Option<&mut [&mut dyn TraceVisitor]>,
+    ) -> RunResult {
         let frame = self.make_frame(entry, args, Vec::new(), None);
         self.frames.push(frame);
+        let mut emitted = 0usize;
+        // Per-operand delivery is opt-in and constant per visitor: query it
+        // once instead of once per dynamic instruction.
+        let wants_reads: Vec<bool> = visitors
+            .as_deref()
+            .map(|vs| vs.iter().map(|v| v.wants_operand_reads()).collect())
+            .unwrap_or_default();
 
         let outcome = loop {
             if self.steps >= self.config.max_steps {
                 break RunOutcome::Trapped(TrapKind::StepLimit);
             }
-            match self.step() {
+            let flow = self.step();
+            // Dispatch the event this step recorded (if any) before acting on
+            // the flow, so a final `Ret` still reaches the visitors.
+            if let Some(vs) = visitors.as_deref_mut() {
+                if let Some(event) = self.trace.events.pop() {
+                    let pool_start = event.reads.offset as usize;
+                    let ctx = EventCtx {
+                        index: emitted,
+                        step: self.steps - 1,
+                        event: &event,
+                        reads: &self.trace.pool[event.reads.range()],
+                        locations: &self.trace.locations,
+                    };
+                    for (v, &wants) in vs.iter_mut().zip(&wants_reads) {
+                        v.on_event(&ctx);
+                        if wants {
+                            for (nth, &(id, value)) in ctx.reads.iter().enumerate() {
+                                v.on_operand_read(&ctx, nth, id, value);
+                            }
+                        }
+                    }
+                    emitted += 1;
+                    self.trace.pool.truncate(pool_start);
+                }
+            }
+            match flow {
                 StepFlow::Continue => {}
                 StepFlow::Finished => break RunOutcome::Completed,
                 StepFlow::Trap(t) => break RunOutcome::Trapped(t),
             }
         };
+
+        if let Some(vs) = visitors {
+            let end = WalkEnd {
+                events: emitted,
+                locations: &self.trace.locations,
+                outcome: Some(outcome),
+            };
+            for v in vs.iter_mut() {
+                v.on_finish(&end);
+            }
+        }
 
         // A trap can abort a step after its operand reads were pooled but
         // before the event was pushed; drop that dangling tail so the pool
@@ -421,7 +541,7 @@ impl<'m> Interp<'m> {
             steps: self.steps,
             outputs: self.outputs,
             memory: self.memory,
-            trace: if self.config.record_trace {
+            trace: if self.config.record_trace && !self.streaming {
                 Some(self.trace)
             } else {
                 None
@@ -804,17 +924,44 @@ impl<'m> Interp<'m> {
         }
 
         if record {
-            let len = (self.trace.pool.len() - pool_start) as u32;
-            let offset = u32::try_from(pool_start).expect("≤ 2^32 operand reads per trace");
-            self.trace.events.push(TraceEvent {
-                func: func_id,
-                frame: frame_id,
-                inst: inst_id,
-                line,
-                kind,
-                reads: ReadSpan { offset, len },
-                write,
-            });
+            // Marker elision: loop markers carry no dataflow, so under
+            // `skip_markers` they go to the compact out-of-band table instead
+            // of the event stream.
+            let elide = self.config.trace_opts.skip_markers && kind.is_marker();
+            if elide {
+                // Streaming runs retain no trace, so there is nothing for a
+                // marker record to annotate — and `events.len()` (always ~0
+                // there) could not position it anyway.  Drop the marker.
+                if !self.streaming {
+                    let marker = match kind {
+                        EventKind::LoopBegin { id, depth, kind } => {
+                            MarkerKind::Begin { id, depth, kind }
+                        }
+                        EventKind::LoopEnd { id } => MarkerKind::End { id },
+                        EventKind::LoopIter { id } => MarkerKind::Iter { id },
+                        _ => unreachable!("is_marker covers exactly the loop markers"),
+                    };
+                    self.trace.markers.push(MarkerRecord {
+                        at_event: u32::try_from(self.trace.events.len())
+                            .expect("≤ 2^32 events per trace"),
+                        func: func_id,
+                        frame: frame_id,
+                        kind: marker,
+                    });
+                }
+            } else {
+                let len = (self.trace.pool.len() - pool_start) as u32;
+                let offset = u32::try_from(pool_start).expect("≤ 2^32 operand reads per trace");
+                self.trace.events.push(TraceEvent {
+                    func: func_id,
+                    frame: frame_id,
+                    inst: inst_id,
+                    line,
+                    kind,
+                    reads: ReadSpan { offset, len },
+                    write,
+                });
+            }
         }
         self.steps += 1;
         flow
@@ -1256,5 +1403,153 @@ mod tests {
     fn verification_error_is_propagated() {
         let m = Module::new("empty");
         assert!(Vm::new(VmConfig::default()).run(&m).is_err());
+    }
+
+    /// A visitor that re-materializes the streamed events, for equivalence
+    /// checks against ordinary tracing.
+    #[derive(Default)]
+    struct Rebuild {
+        events: Vec<crate::ResolvedEvent>,
+        steps: Vec<u64>,
+        outcome: Option<RunOutcome>,
+    }
+
+    impl crate::TraceVisitor for Rebuild {
+        fn on_event(&mut self, ctx: &crate::EventCtx<'_>) {
+            self.steps.push(ctx.step);
+            self.events.push(crate::ResolvedEvent {
+                func: ctx.event.func,
+                frame: ctx.event.frame,
+                inst: ctx.event.inst,
+                line: ctx.event.line,
+                kind: ctx.event.kind.clone(),
+                reads: ctx
+                    .reads
+                    .iter()
+                    .map(|&(id, v)| (ctx.location(id), v))
+                    .collect(),
+                write: ctx.event.write.map(|(id, v)| (ctx.location(id), v)),
+            });
+        }
+        fn on_finish(&mut self, end: &crate::WalkEnd<'_>) {
+            self.outcome = end.outcome;
+        }
+    }
+
+    #[test]
+    fn streaming_visitors_see_exactly_the_materialized_trace() {
+        let module = sum_module();
+        let traced = Vm::new(VmConfig::tracing()).run(&module).unwrap();
+        let trace = traced.trace.unwrap();
+
+        let mut rebuild = Rebuild::default();
+        let streamed = Vm::new(VmConfig::default())
+            .run_with_visitors(&module, &mut [&mut rebuild])
+            .unwrap();
+
+        assert!(streamed.trace.is_none(), "streaming must not materialize");
+        assert_eq!(streamed.steps, traced.steps);
+        assert_eq!(rebuild.outcome, Some(RunOutcome::Completed));
+        assert_eq!(rebuild.events.len(), trace.len());
+        for (i, got) in rebuild.events.iter().enumerate() {
+            assert_eq!(got, &trace.resolved(i), "event {i} differs");
+            assert_eq!(rebuild.steps[i], i as u64);
+        }
+        // The memory image and outputs match an untraced run's.
+        assert_eq!(streamed.global_i64("sum").unwrap(), vec![45]);
+    }
+
+    #[test]
+    fn streaming_respects_faults_and_scope_windows() {
+        let module = sum_module();
+        let fault = FaultSpec::in_result(20, 1);
+        let traced = Vm::new(VmConfig::tracing_with_fault(fault))
+            .run(&module)
+            .unwrap();
+        let trace = traced.trace.unwrap();
+
+        let config = VmConfig {
+            fault: Some(fault),
+            trace_scope: TraceScope::Window { start: 5, end: 30 },
+            ..VmConfig::default()
+        };
+        let mut rebuild = Rebuild::default();
+        Vm::new(config)
+            .run_with_visitors(&module, &mut [&mut rebuild])
+            .unwrap();
+        assert_eq!(rebuild.events.len(), 25);
+        for (i, got) in rebuild.events.iter().enumerate() {
+            assert_eq!(got, &trace.resolved(5 + i), "window event {i} differs");
+            assert_eq!(rebuild.steps[i], 5 + i as u64);
+        }
+    }
+
+    #[test]
+    fn streaming_reports_traps_through_on_finish() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main");
+        let one = b.const_i64(1);
+        let zero = b.const_i64(0);
+        b.sdiv(one, zero);
+        b.ret(None);
+        m.add_function(b.finish());
+        let mut rebuild = Rebuild::default();
+        let r = Vm::new(VmConfig::default())
+            .run_with_visitors(&m, &mut [&mut rebuild])
+            .unwrap();
+        assert_eq!(r.outcome, RunOutcome::Trapped(TrapKind::DivisionByZero));
+        assert_eq!(
+            rebuild.outcome,
+            Some(RunOutcome::Trapped(TrapKind::DivisionByZero))
+        );
+        // The trapping instruction itself records no event (constants are
+        // operands, so the division is the very first instruction).
+        assert_eq!(rebuild.events.len(), 0);
+    }
+
+    #[test]
+    fn skip_markers_elides_markers_but_keeps_steps_derivable() {
+        let module = sum_module();
+        let full = Vm::new(VmConfig::tracing()).run(&module).unwrap();
+        let full_trace = full.trace.unwrap();
+        let lean = Vm::new(VmConfig::tracing().without_markers())
+            .run(&module)
+            .unwrap();
+        let lean_trace = lean.trace.unwrap();
+
+        // Same execution, fewer recorded events: exactly the markers moved to
+        // the side table.
+        assert_eq!(lean.steps, full.steps);
+        assert!(lean_trace.markers_elided());
+        assert_eq!(
+            lean_trace.len() + lean_trace.markers().len(),
+            full_trace.len()
+        );
+        assert_eq!(lean_trace.len(), full_trace.len_without_markers());
+        assert!(lean_trace.events.iter().all(|e| !e.kind.is_marker()));
+
+        // Every lean event resolves to the full-trace event at its absolute
+        // step, and `step_of` recovers that step exactly.
+        for i in 0..lean_trace.len() {
+            let step = lean_trace.step_of(i) as usize;
+            assert_eq!(lean_trace.resolved(i), full_trace.resolved(step));
+        }
+
+        // The side table mirrors the elided markers in order.
+        let mut markers = lean_trace.markers().iter();
+        for e in &full_trace.events {
+            if e.kind.is_marker() {
+                let m = markers.next().expect("one record per marker");
+                match (&e.kind, m.kind) {
+                    (EventKind::LoopBegin { id, .. }, MarkerKind::Begin { id: mid, .. })
+                    | (EventKind::LoopEnd { id }, MarkerKind::End { id: mid })
+                    | (EventKind::LoopIter { id }, MarkerKind::Iter { id: mid }) => {
+                        assert_eq!(*id, mid);
+                    }
+                    other => panic!("marker kind mismatch: {other:?}"),
+                }
+            }
+        }
+        assert!(markers.next().is_none());
     }
 }

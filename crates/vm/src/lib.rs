@@ -37,14 +37,16 @@ pub mod memory;
 pub mod output;
 pub mod trace;
 pub mod value;
+pub mod visitor;
 
 pub use fault::{FaultSpec, FaultTarget};
-pub use interp::{RunOutcome, RunResult, TraceScope, TrapKind, Vm, VmConfig};
+pub use interp::{RunOutcome, RunResult, TraceOpts, TraceScope, TrapKind, Vm, VmConfig};
 pub use location::Location;
 pub use memory::Memory;
 pub use output::{OutputRecord, ProgramOutput};
 pub use trace::{
-    EventView, EventKind, LocationId, ReadSpan, ResolvedEvent, Trace, TraceBuilder, TraceEvent,
-    TraceSlice,
+    EventView, EventKind, LocationId, MarkerKind, MarkerRecord, ReadSpan, ResolvedEvent, Trace,
+    TraceBuilder, TraceEvent, TraceSlice,
 };
 pub use value::Value;
+pub use visitor::{EventCtx, EventCursor, TraceVisitor, WalkEnd};

@@ -161,6 +161,48 @@ impl EventKind {
     }
 }
 
+/// Which loop marker an elided [`MarkerRecord`] stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MarkerKind {
+    /// Entry into a loop (one per loop execution).
+    Begin {
+        /// Static loop id.
+        id: LoopId,
+        /// Static nesting depth.
+        depth: u32,
+        /// Loop classification.
+        kind: LoopKind,
+    },
+    /// Exit from a loop.
+    End {
+        /// Static loop id.
+        id: LoopId,
+    },
+    /// Start of one loop iteration.
+    Iter {
+        /// Static loop id.
+        id: LoopId,
+    },
+}
+
+/// One loop marker elided from the event stream by
+/// `TraceOpts::skip_markers`: recorded out-of-band so the code-region
+/// partitioner can still reconstruct region boundaries (falling back to the
+/// module's static loop tables for names and lines) and so absolute dynamic
+/// steps stay derivable ([`Trace::step_of`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MarkerRecord {
+    /// Number of events recorded before the marker executed — i.e. the index
+    /// (into `Trace::events`) of the first event *after* the marker.
+    pub at_event: u32,
+    /// Function the marker instruction belongs to.
+    pub func: FunctionId,
+    /// Dynamic invocation number of that function.
+    pub frame: u32,
+    /// Which marker.
+    pub kind: MarkerKind,
+}
+
 /// One executed instruction, in the compact encoding.
 ///
 /// Operand reads are stored as a [`ReadSpan`] into the owning trace's operand
@@ -241,6 +283,9 @@ pub struct Trace {
     /// Dynamic step of the first recorded event (non-zero for region-scoped
     /// traces, which record only a window of the run).
     pub(crate) base_step: u64,
+    /// Loop markers elided from `events` by `TraceOpts::skip_markers`, in
+    /// execution order (empty for ordinary traces).
+    pub(crate) markers: Vec<MarkerRecord>,
 }
 
 impl Trace {
@@ -259,6 +304,7 @@ impl Trace {
             pool: Vec::with_capacity(operands),
             locations: Vec::with_capacity(events / 2 + 16),
             base_step: 0,
+            markers: Vec::new(),
         }
     }
 
@@ -282,6 +328,30 @@ impl Trace {
     /// window start for region-scoped traces (see `TraceScope`).
     pub fn base_step(&self) -> u64 {
         self.base_step
+    }
+
+    /// The loop markers elided from the event stream by
+    /// `TraceOpts::skip_markers`, in execution order.  Empty for ordinary
+    /// traces, whose markers live in `events` like any other instruction.
+    pub fn markers(&self) -> &[MarkerRecord] {
+        &self.markers
+    }
+
+    /// True when the trace was recorded with `TraceOpts::skip_markers`:
+    /// the event stream carries no loop markers, and event indices no longer
+    /// coincide with dynamic steps (use [`Trace::step_of`]).
+    pub fn markers_elided(&self) -> bool {
+        !self.markers.is_empty()
+    }
+
+    /// Absolute dynamic step of the event at `idx`: `base_step + idx` plus
+    /// the number of elided markers that executed before it.  For traces
+    /// recorded without `skip_markers` this is simply `base_step + idx`.
+    pub fn step_of(&self, idx: usize) -> u64 {
+        let elided = self
+            .markers
+            .partition_point(|m| m.at_event as usize <= idx);
+        self.base_step + idx as u64 + elided as u64
     }
 
     /// Number of distinct locations the trace touched (the id space is

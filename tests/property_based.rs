@@ -7,6 +7,7 @@ use ftkr_acl::{reference::build_reference, AclTable};
 use ftkr_dddg::Dddg;
 use ftkr_ir::prelude::*;
 use ftkr_ir::Global;
+use ftkr_patterns::{analyze_fused, analyze_fused_seeds, detect_all, detect_streaming, DetectionInput};
 use ftkr_trace::{partition_regions, RegionSelector};
 use ftkr_vm::{FaultSpec, Location, ResolvedEvent, Trace, Value, Vm, VmConfig};
 
@@ -270,6 +271,206 @@ proptest! {
         prop_assert!(n >= 1);
         let bigger = sample_size(pop + 1000, Confidence::C95, 0.03);
         prop_assert!(bigger >= n);
+    }
+}
+
+/// A random trace over a small location universe with realistic event kinds,
+/// for differential tests of the analysis pipelines.  `inst_salt` shifts the
+/// static instruction identities, so a faulty trace built with a different
+/// salt past some point models a divergent control-flow suffix (alignment
+/// must break there, not misinterpret).
+fn random_events(
+    rng: &mut rand::rngs::StdRng,
+    n: usize,
+    nloc: u64,
+    inst_salt: u32,
+) -> Vec<ResolvedEvent> {
+    use rand::RngCore as _;
+    let loc = |k: u64| {
+        if k.is_multiple_of(2) {
+            Location::mem(k)
+        } else {
+            Location::reg(FunctionId(0), 0, ValueId(k as u32))
+        }
+    };
+    let mut events = Vec::with_capacity(n);
+    for i in 0..n {
+        let kind = match rng.next_u64() % 8 {
+            0 => ftkr_vm::EventKind::Load,
+            1 => ftkr_vm::EventKind::Store,
+            2 => ftkr_vm::EventKind::Cmp {
+                kind: CmpKind::Lt,
+                float: true,
+                result: rng.next_u64().is_multiple_of(2),
+            },
+            3 => ftkr_vm::EventKind::CondBr {
+                taken: rng.next_u64().is_multiple_of(2),
+            },
+            4 => ftkr_vm::EventKind::Bin(BinKind::LShr),
+            5 => ftkr_vm::EventKind::Cast(CastKind::TruncI32),
+            6 => ftkr_vm::EventKind::Output {
+                format: OutputFormat::Scientific(2),
+            },
+            _ => ftkr_vm::EventKind::Bin(BinKind::FAdd),
+        };
+        let n_reads = (rng.next_u64() % 3) as usize;
+        let reads: Vec<(Location, Value)> = (0..n_reads)
+            .map(|_| {
+                (
+                    loc(rng.next_u64() % nloc),
+                    Value::F((rng.next_u64() % 16) as f64),
+                )
+            })
+            .collect();
+        let write = (!rng.next_u64().is_multiple_of(3)).then(|| {
+            (
+                loc(rng.next_u64() % nloc),
+                Value::F((rng.next_u64() % 16) as f64),
+            )
+        });
+        events.push(ResolvedEvent {
+            func: FunctionId(0),
+            frame: 0,
+            inst: ValueId(i as u32 ^ inst_salt),
+            line: 1 + (i as u32 % 7),
+            kind,
+            reads,
+            write,
+        });
+    }
+    events
+}
+
+fn patterns_of(faulty: &Trace, clean: &Trace, acl: &AclTable) -> Vec<ftkr_patterns::PatternInstance> {
+    detect_all(DetectionInput { faulty, clean, acl })
+}
+
+fn assert_acl_eq(a: &AclTable, b: &AclTable) {
+    assert_eq!(a.counts, b.counts);
+    assert_eq!(a.tainted_reads, b.tainted_reads);
+    assert_eq!(a.births, b.births);
+    assert_eq!(a.final_corrupted, b.final_corrupted);
+    let key = |t: &AclTable| -> Vec<(usize, Location, bool, u32)> {
+        t.deaths
+            .iter()
+            .map(|d| (d.event, d.location, d.cause == ftkr_acl::DeathCause::Overwritten, d.line))
+            .collect()
+    };
+    assert_eq!(key(a), key(b));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fused single-walk pipeline produces a bit-identical `AclTable`
+    /// and bit-identical `PatternInstance`s to the legacy seven-pass
+    /// pipeline, on random faulty/clean trace pairs — including pairs whose
+    /// control flow diverges mid-run (different static instructions after
+    /// the divergence point), empty traces, and windowed (truncated) pairs.
+    #[test]
+    fn fused_pipeline_matches_legacy_on_random_trace_pairs(
+        seed in any::<u64>(),
+        n in 0usize..80,
+        nloc in 1u64..8,
+        diverge_frac in 0usize..5,
+    ) {
+        use rand::{RngCore as _, SeedableRng as _};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+        // Clean trace; faulty trace shares the prefix (with some mutated
+        // written values) and diverges structurally afterwards.
+        let clean_events = random_events(&mut rng, n, nloc, 0);
+        let diverge_at = n * diverge_frac / 4;
+        let mut faulty_events = clean_events.clone();
+        for e in faulty_events.iter_mut().take(diverge_at) {
+            if rng.next_u64() % 4 == 0 {
+                if let Some((_, v)) = &mut e.write {
+                    *v = v.flip_bit((rng.next_u64() % 64) as u8);
+                }
+            }
+        }
+        let suffix_len = n - diverge_at;
+        faulty_events.truncate(diverge_at);
+        faulty_events.extend(random_events(&mut rng, suffix_len, nloc, 0x8000));
+        let clean = Trace::from_resolved(clean_events);
+        let faulty = Trace::from_resolved(faulty_events);
+
+        // 1-2 random seed corruptions (occasionally on a ghost location).
+        let n_seeds = 1 + (rng.next_u64() % 2) as usize;
+        let seeds: Vec<(usize, Location)> = (0..n_seeds)
+            .map(|_| {
+                let at = if n == 0 { 0 } else { (rng.next_u64() % n as u64) as usize };
+                (at, Location::mem(rng.next_u64() % (nloc + 2)))
+            })
+            .collect();
+
+        let legacy_acl = AclTable::build(&faulty, &seeds);
+        let legacy_patterns = patterns_of(&faulty, &clean, &legacy_acl);
+        let fused = analyze_fused_seeds(&faulty, &clean, &seeds);
+        assert_acl_eq(&fused.acl, &legacy_acl);
+        prop_assert_eq!(fused.patterns, legacy_patterns);
+
+        // A window-scoped (truncated) pair behaves identically: analyses
+        // only ever see indices inside the window.
+        if n >= 2 {
+            let end = 1 + (rng.next_u64() as usize % (n - 1));
+            let wclean = Trace::from_resolved((0..end).map(|i| clean.resolved(i)));
+            let wfaulty = Trace::from_resolved((0..end).map(|i| faulty.resolved(i)));
+            let wseeds: Vec<(usize, Location)> =
+                seeds.iter().map(|&(at, l)| (at.min(end - 1), l)).collect();
+            let wacl = AclTable::build(&wfaulty, &wseeds);
+            let wlegacy = patterns_of(&wfaulty, &wclean, &wacl);
+            let wfused = analyze_fused_seeds(&wfaulty, &wclean, &wseeds);
+            assert_acl_eq(&wfused.acl, &wacl);
+            prop_assert_eq!(wfused.patterns, wlegacy);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The streaming detector — fed straight from the interpreter, with no
+    /// materialized faulty trace — finds exactly the pattern instances the
+    /// legacy materialized pipeline finds, for both fault kinds across
+    /// random injection points.
+    #[test]
+    fn streaming_detection_matches_legacy_on_vm_runs(
+        n in 2i64..24,
+        step in 0u64..400,
+        bit in 0u8..64,
+        mem_fault in any::<bool>(),
+        addr in 0u64..4,
+    ) {
+        let module = parametric_module(n, 1.25, 0.75);
+        let clean_run = Vm::new(VmConfig::tracing()).run(&module).unwrap();
+        let clean = clean_run.trace.as_ref().unwrap();
+        let at_step = step % clean_run.steps;
+        let fault = if mem_fault {
+            FaultSpec::in_memory(at_step, addr, bit)
+        } else {
+            FaultSpec::in_result(at_step, bit)
+        };
+
+        let config = VmConfig {
+            max_steps: clean_run.steps * 10 + 100,
+            ..VmConfig::default()
+        };
+        let faulty_config = VmConfig {
+            record_trace: true,
+            fault: Some(fault),
+            ..config
+        };
+        let faulty = Vm::new(faulty_config).run(&module).unwrap().trace.unwrap();
+        let legacy_acl = AclTable::from_fault(&faulty, &fault);
+        let legacy_patterns = patterns_of(&faulty, clean, &legacy_acl);
+
+        let fused = analyze_fused(&faulty, clean, &fault);
+        prop_assert_eq!(&fused.patterns, &legacy_patterns);
+
+        let (result, streamed) = detect_streaming(&module, clean, fault, config);
+        prop_assert!(result.trace.is_none());
+        prop_assert_eq!(streamed, legacy_patterns);
     }
 }
 
