@@ -16,8 +16,10 @@ if [[ "${1:-}" == "bench" ]]; then
         CRITERION_JSON="$PWD/$medians" cargo bench -p ftkr-bench --bench "$bench"
     done
     # Traced-footprint stats of the Figure-5 window path (event/operand
-    # counts, appended in the same JSONL shape as the timing medians).
+    # counts, appended in the same JSONL shape as the timing medians), for
+    # one original and one promoted app.
     cargo run --release -q -p ftkr-bench --bin campaign_shard -- stats MG mg_a "$medians"
+    cargo run --release -q -p ftkr-bench --bin campaign_shard -- stats LU lu_rhs "$medians"
     cargo run --release -q -p ftkr-bench --bin bench_report -- \
         "$medians" crates/bench/baseline_seed.jsonl BENCH_fliptracker.json
     exit 0
@@ -34,14 +36,18 @@ if [[ "${1:-}" == "quick" ]]; then
     exit 0
 fi
 
-echo "==> fused-vs-legacy differential: single-walk analysis == legacy passes"
-cargo test --release -q --test property_based matches_legacy
+echo "==> registry-wide spec-conformance harness (all ten apps)"
+cargo test --release -q --test conformance
 
-echo "==> shard round-trip: two-shard CampaignPlan JSON == monolithic tally"
+echo "==> fused-pipeline differentials: exact sweep == forward taint == streaming"
+cargo test --release -q --test property_based fused
+cargo test --release -q -p ftkr-patterns --test golden_scenarios golden
+
+echo "==> shard round-trip on promoted LU: two-shard plan JSON == monolithic tally"
 sharddir="target/shard-roundtrip"
 rm -rf "$sharddir"
 cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
-    plan IS region:is_a internal 32 7 2 "$sharddir" > /dev/null
+    plan LU region:lu_blts internal 32 7 2 "$sharddir" > /dev/null
 cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
     run "$sharddir/plan_shard_0.json" "$sharddir/report_0.json"
 cargo run --release -q -p ftkr-bench --bin campaign_shard -- \

@@ -6,7 +6,7 @@ use ftkr_ir::prelude::*;
 use ftkr_ir::Global;
 
 use crate::common::{emit_axpy, emit_dot_product, emit_lcg_next, emit_tridiag_matvec};
-use crate::spec::{reference_f64, App, Verifier};
+use crate::spec::{reference_f64, App, AppSize, Verifier};
 
 /// Problem size of the miniature kernel.
 pub const N: i64 = 24;
@@ -287,6 +287,7 @@ pub fn cg_with(variant: CgVariant) -> App {
             expected,
             rel_tol: 1e-8,
         },
+        size: AppSize::Quick,
     }
 }
 

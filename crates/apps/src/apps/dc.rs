@@ -1,0 +1,258 @@
+//! NPB DC: integer group-by aggregation over a fact table ("data cube").
+//! Each main-loop iteration mirrors the ADC algorithm's view computation —
+//! clear the views, aggregate the fact table into the finest-grained view,
+//! roll the parent view up from the child view (the cube lattice edge), and
+//! checksum both views — giving the four Table-I-style code regions
+//! `dc_clear`, `dc_aggregate`, `dc_rollup` and `dc_checksum`.  The exact
+//! integer checksum makes DC the least error-tolerant program of the set, as
+//! the paper also finds.
+
+use ftkr_ir::prelude::*;
+use ftkr_ir::Global;
+
+use crate::common::emit_lcg_next;
+use crate::spec::{App, AppSize, Verifier};
+
+/// Fact-table rows and view-A group count of one size class (view B is the
+/// 2-to-1 rollup of view A; the main loop recomputes the cube 4 times).
+fn params(size: AppSize) -> (i64, i64) {
+    match size {
+        AppSize::Quick => (48, 8),
+        AppSize::ClassW => (192, 16),
+    }
+}
+
+/// Main-loop iterations (the number of times the cube is recomputed).
+const NITER: i64 = 4;
+
+struct DcGlobals {
+    table: GlobalId,
+    view_a: GlobalId,
+    view_b: GlobalId,
+    sums: GlobalId,
+}
+
+/// `build_views`: one cube computation over the globals, structured as four
+/// regions.
+fn build_views(module: &mut Module, ids: &DcGlobals, rows: i64, groups_a: i64) {
+    let groups_b = groups_a / 2;
+    // view A groups by the attribute's top log2(groups_a) bits.
+    let shift_a = 8 - groups_a.trailing_zeros() as i64;
+    let mut b = FunctionBuilder::new("build_views");
+    let t = b.global_addr(ids.table);
+    let va = b.global_addr(ids.view_a);
+    let vb = b.global_addr(ids.view_b);
+    let sums = b.global_addr(ids.sums);
+
+    // dc_clear: zero both views.
+    b.set_line(500);
+    let z = b.const_i64(0);
+    let ga = b.const_i64(groups_a);
+    b.region_for("dc_clear", z, ga, |b, i| {
+        let zi = b.const_i64(0);
+        b.store_idx(va, i, zi);
+        let gb = b.const_i64(groups_b);
+        let lt = b.icmp(CmpKind::Lt, i, gb);
+        b.if_then(lt, |b| {
+            let zi2 = b.const_i64(0);
+            b.store_idx(vb, i, zi2);
+        });
+    });
+
+    // dc_aggregate: scan the fact table into the finest view.
+    b.set_line(510);
+    let z2 = b.const_i64(0);
+    let rows_c = b.const_i64(rows);
+    b.region_for("dc_aggregate", z2, rows_c, |b, r| {
+        let two = b.const_i64(2);
+        let base = b.mul(r, two);
+        let attr = b.load_idx(t, base);
+        let one = b.const_i64(1);
+        let midx = b.add(base, one);
+        let measure = b.load_idx(t, midx);
+        let shift = b.const_i64(shift_a);
+        let group = b.lshr(attr, shift);
+        let cur = b.load_idx(va, group);
+        let next = b.add(cur, measure);
+        b.store_idx(va, group, next);
+    });
+
+    // dc_rollup: the parent view from the child view (each coarse group is
+    // the sum of two fine groups — the cube lattice edge the ADC algorithm
+    // walks instead of rescanning the fact table).
+    b.set_line(520);
+    let z3 = b.const_i64(0);
+    let gb3 = b.const_i64(groups_b);
+    b.region_for("dc_rollup", z3, gb3, |b, g| {
+        let two = b.const_i64(2);
+        let lo = b.mul(g, two);
+        let one = b.const_i64(1);
+        let hi = b.add(lo, one);
+        let a_lo = b.load_idx(va, lo);
+        let a_hi = b.load_idx(va, hi);
+        let sum = b.add(a_lo, a_hi);
+        b.store_idx(vb, g, sum);
+    });
+
+    // dc_checksum: totals of both views, published for the verification
+    // phase (sums[0] = Σ view A, sums[1] = Σ view B).
+    b.set_line(530);
+    let sum_a = b.alloca("sum_a", 1);
+    let sum_b = b.alloca("sum_b", 1);
+    let zi = b.const_i64(0);
+    b.store(sum_a, zi);
+    b.store(sum_b, zi);
+    let z4 = b.const_i64(0);
+    let ga4 = b.const_i64(groups_a);
+    b.region_for("dc_checksum", z4, ga4, |b, i| {
+        let v = b.load_idx(va, i);
+        let cur = b.load(sum_a);
+        let next = b.add(cur, v);
+        b.store(sum_a, next);
+        let gb = b.const_i64(groups_b);
+        let lt = b.icmp(CmpKind::Lt, i, gb);
+        b.if_then(lt, |b| {
+            let w = b.load_idx(vb, i);
+            let cur_b = b.load(sum_b);
+            let next_b = b.add(cur_b, w);
+            b.store(sum_b, next_b);
+        });
+    });
+    let a = b.load(sum_a);
+    let bsum = b.load(sum_b);
+    b.store(sums, a);
+    let one5 = b.const_i64(1);
+    b.store_idx(sums, one5, bsum);
+    b.set_line(538);
+    b.ret(None);
+    module.add_function(b.finish());
+}
+
+fn build_module(rows: i64, groups_a: i64) -> Module {
+    let mut m = Module::new("dc");
+    let ids = DcGlobals {
+        table: m.add_global(Global::zeroed_i64("fact_table", (rows * 2) as u32)),
+        view_a: m.add_global(Global::zeroed_i64("view_a", groups_a as u32)),
+        view_b: m.add_global(Global::zeroed_i64("view_b", (groups_a / 2) as u32)),
+        sums: m.add_global(Global::zeroed_i64("sums", 2)),
+    };
+    let verify = m.add_global(Global::zeroed_i64("verify", 2));
+    build_views(&mut m, &ids, rows, groups_a);
+
+    let mut b = FunctionBuilder::new("main");
+    let t = b.global_addr(ids.table);
+    let sums = b.global_addr(ids.sums);
+    let verify_a = b.global_addr(verify);
+
+    // Populate the fact table: attribute = lcg bits, measure = small int.
+    b.set_line(50);
+    let seed = b.alloca("seed", 1);
+    let s0 = b.const_i64(424_243);
+    b.store(seed, s0);
+    let zero = b.const_i64(0);
+    let rows_c = b.const_i64(rows);
+    b.for_loop("dc_fill", LoopKind::Inner, zero, rows_c, 1, |b, r| {
+        let u = emit_lcg_next(b, seed);
+        let scaled = b.fmul(u, b.const_f64(256.0));
+        let attr = b.fptosi(scaled);
+        let two = b.const_i64(2);
+        let base = b.mul(r, two);
+        b.store_idx(t, base, attr);
+        let measure = b.srem(r, b.const_i64(7));
+        let one = b.const_i64(1);
+        let idx2 = b.add(base, one);
+        b.store_idx(t, idx2, measure);
+    });
+
+    // Main loop: recompute the aggregate views (the cube) several times.
+    b.set_line(80);
+    let zero2 = b.const_i64(0);
+    let niter = b.const_i64(NITER);
+    b.main_for("dc_main", zero2, niter, |b, _it| {
+        b.call("build_views", vec![]);
+    });
+
+    // Verification: the two views must agree exactly, and their common total
+    // must equal the measure total (computable in closed form — the
+    // attributes only choose groups, never change the sum).
+    let expected_total: i64 = (0..rows).map(|r| r % 7).sum();
+    let a = b.load(sums);
+    let one = b.const_i64(1);
+    let bsum = b.load_idx(sums, one);
+    let views_agree = b.icmp(CmpKind::Eq, a, bsum);
+    let expected_c = b.const_i64(expected_total);
+    let total_right = b.icmp(CmpKind::Eq, a, expected_c);
+    let both = b.and(views_agree, total_right);
+    b.store(verify_a, both);
+    let one2 = b.const_i64(1);
+    b.store_idx(verify_a, one2, a);
+    b.output(a, OutputFormat::Integer);
+    b.ret(None);
+    m.add_function(b.finish());
+    m
+}
+
+/// The DC benchmark at a chosen problem size.
+pub fn dc_sized(size: AppSize) -> App {
+    let (rows, groups_a) = params(size);
+    App {
+        name: "DC",
+        module: build_module(rows, groups_a),
+        regions: vec![
+            "dc_clear".into(),
+            "dc_aggregate".into(),
+            "dc_rollup".into(),
+            "dc_checksum".into(),
+        ],
+        main_loop: "dc_main",
+        main_iterations: NITER as usize,
+        verifier: Verifier::GlobalFlagSet {
+            global: "verify",
+            index: 0,
+            expected: 1,
+        },
+        size,
+    }
+}
+
+/// The DC benchmark (quick size — the registry default).
+pub fn dc() -> App {
+    dc_sized(AppSize::Quick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_views_agree_exactly_and_match_the_closed_form_total() {
+        let app = dc();
+        let result = app.run_clean();
+        assert!(app.verify(&result));
+        let verify = result.global_i64("verify").unwrap();
+        assert_eq!(verify[0], 1);
+        let (rows, _) = params(AppSize::Quick);
+        let expected: i64 = (0..rows).map(|r| r % 7).sum();
+        assert_eq!(verify[1], expected);
+    }
+
+    #[test]
+    fn dc_rollup_is_consistent_with_the_fine_view() {
+        let app = dc();
+        let result = app.run_clean();
+        let va = result.global_i64("view_a").unwrap();
+        let vb = result.global_i64("view_b").unwrap();
+        for (g, b) in vb.iter().enumerate() {
+            assert_eq!(*b, va[2 * g] + va[2 * g + 1], "rollup group {g}");
+        }
+    }
+
+    #[test]
+    fn class_w_dc_preserves_the_region_set() {
+        let quick = dc();
+        let big = dc_sized(AppSize::ClassW);
+        assert_eq!(quick.regions, big.regions);
+        let result = big.run_clean();
+        assert!(big.verify(&result));
+    }
+}

@@ -5,7 +5,7 @@ use ftkr_ir::prelude::*;
 use ftkr_ir::Global;
 
 use crate::common::emit_lcg_next;
-use crate::spec::{App, Verifier};
+use crate::spec::{App, AppSize, Verifier};
 
 /// Number of keys.
 pub const NUM_KEYS: i64 = 64;
@@ -238,6 +238,7 @@ pub fn is() -> App {
             index: 0,
             expected: 1,
         },
+        size: AppSize::Quick,
     }
 }
 

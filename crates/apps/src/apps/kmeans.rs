@@ -6,7 +6,7 @@
 use ftkr_ir::prelude::*;
 use ftkr_ir::Global;
 
-use crate::spec::{reference_i64_vec, App, Verifier};
+use crate::spec::{reference_i64_vec, App, AppSize, Verifier};
 
 /// Number of points.
 pub const NPOINTS: i64 = 32;
@@ -228,6 +228,7 @@ pub fn kmeans() -> App {
             expected,
             min_fraction: 0.95,
         },
+        size: AppSize::Quick,
     }
 }
 

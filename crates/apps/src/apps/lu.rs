@@ -1,0 +1,207 @@
+//! NPB LU: an SSOR (symmetric successive over-relaxation) solver for a
+//! tridiagonal system, structured like NPB LU's `ssor()` routine — residual
+//! computation (`rhs`), a lower-triangular forward sweep (`blts`), an
+//! upper-triangular backward sweep (`buts`), and the solution update — with
+//! the four Table-I-style code regions `lu_rhs`, `lu_blts`, `lu_buts` and
+//! `lu_add`.  Verification is NPB-faithful: the residual norm of the final
+//! solution is checked against a fault-free reference value at a relative
+//! tolerance.
+
+use ftkr_ir::prelude::*;
+use ftkr_ir::Global;
+
+use crate::common::{emit_sum_sq_diff, emit_tridiag_matvec};
+use crate::spec::{reference_f64, App, AppSize, Verifier};
+
+/// Grid size and main-loop iteration count of one size class.
+fn params(size: AppSize) -> (i64, i64) {
+    match size {
+        AppSize::Quick => (24, 6),
+        AppSize::ClassW => (64, 12),
+    }
+}
+
+/// `ssor`: one SSOR sweep over the globals, structured as four regions
+/// (mirroring NPB LU's per-itr call chain `rhs → blts → buts → add`).
+fn build_ssor(module: &mut Module, ids: &LuGlobals, n: i64) {
+    let mut b = FunctionBuilder::new("ssor");
+    let u = b.global_addr(ids.u);
+    let rhs = b.global_addr(ids.rhs);
+    let r = b.global_addr(ids.r);
+    let au = b.global_addr(ids.au);
+
+    // lu_rhs: residual r = rhs − A u (the matvec is a helper region of its
+    // own, like MG's mg_a_matvec; it is not a listed Table-I row).
+    b.set_line(200);
+    emit_tridiag_matvec(&mut b, "lu_rhs_matvec", u, au, n, 2.0, -1.0);
+    let zero = b.const_i64(0);
+    let n_c = b.const_i64(n);
+    b.region_for("lu_rhs", zero, n_c, |b, i| {
+        let f = b.load_idx(rhs, i);
+        let a = b.load_idx(au, i);
+        let d = b.fsub(f, a);
+        b.store_idx(r, i, d);
+    });
+
+    // lu_blts: the lower-triangular (forward) sweep.
+    b.set_line(210);
+    let one = b.const_i64(1);
+    let n2 = b.const_i64(n);
+    b.region_for("lu_blts", one, n2, |b, i| {
+        let left = b.sub(i, b.const_i64(1));
+        let rl = b.load_idx(r, left);
+        let ri = b.load_idx(r, i);
+        let half = b.const_f64(0.5);
+        let c = b.fmul(half, rl);
+        let next = b.fadd(ri, c);
+        b.store_idx(r, i, next);
+    });
+
+    // lu_buts: the upper-triangular (backward) sweep.
+    b.set_line(220);
+    let z3 = b.const_i64(0);
+    let n3 = b.const_i64(n - 1);
+    b.region_for("lu_buts", z3, n3, |b, k| {
+        // iterate i from n-2 down to 0
+        let i = b.sub(b.const_i64(n - 2), k);
+        let right = b.add(i, b.const_i64(1));
+        let rr = b.load_idx(r, right);
+        let ri = b.load_idx(r, i);
+        let half = b.const_f64(0.5);
+        let c = b.fmul(half, rr);
+        let next = b.fadd(ri, c);
+        b.store_idx(r, i, next);
+    });
+
+    // lu_add: relax the solution, u += ω · r (NPB LU's `add`-style update).
+    b.set_line(230);
+    let z4 = b.const_i64(0);
+    let n4 = b.const_i64(n);
+    b.region_for("lu_add", z4, n4, |b, i| {
+        let ri = b.load_idx(r, i);
+        let omega = b.const_f64(0.3);
+        let du = b.fmul(omega, ri);
+        let ui = b.load_idx(u, i);
+        let u2 = b.fadd(ui, du);
+        b.store_idx(u, i, u2);
+    });
+    b.set_line(238);
+    b.ret(None);
+    module.add_function(b.finish());
+}
+
+struct LuGlobals {
+    u: GlobalId,
+    rhs: GlobalId,
+    r: GlobalId,
+    au: GlobalId,
+    verify: GlobalId,
+}
+
+fn build_module(n: i64, niter: i64) -> Module {
+    let mut m = Module::new("lu");
+    let ids = LuGlobals {
+        u: m.add_global(Global::zeroed_f64("u", n as u32)),
+        rhs: m.add_global(Global::with_f64(
+            "rhs",
+            (0..n).map(|i| ((i as f64) * 0.37).sin()).collect(),
+        )),
+        r: m.add_global(Global::zeroed_f64("r", n as u32)),
+        au: m.add_global(Global::zeroed_f64("au", n as u32)),
+        verify: m.add_global(Global::zeroed_f64("verify", 1)),
+    };
+    build_ssor(&mut m, &ids, n);
+
+    let mut b = FunctionBuilder::new("main");
+    let u = b.global_addr(ids.u);
+    let rhs = b.global_addr(ids.rhs);
+    let au = b.global_addr(ids.au);
+    let verify = b.global_addr(ids.verify);
+
+    // Main loop: one SSOR sweep per iteration.
+    b.set_line(100);
+    let zero = b.const_i64(0);
+    let niter_c = b.const_i64(niter);
+    b.main_for("lu_main", zero, niter_c, |b, _it| {
+        b.call("ssor", vec![]);
+    });
+
+    // Verification: residual norm of the final solution against the
+    // fault-free reference (NPB LU checks RSDNM against reference values).
+    b.set_line(120);
+    emit_tridiag_matvec(&mut b, "lu_verify_matvec", u, au, n, 2.0, -1.0);
+    let total = emit_sum_sq_diff(&mut b, "lu_verify_norm", rhs, au, n);
+    let norm = b.sqrt(total);
+    b.store(verify, norm);
+    b.output(norm, OutputFormat::Scientific(8));
+    b.ret(None);
+    m.add_function(b.finish());
+    m
+}
+
+/// The LU benchmark at a chosen problem size.
+pub fn lu_sized(size: AppSize) -> App {
+    let (n, niter) = params(size);
+    let module = build_module(n, niter);
+    let expected = reference_f64(&module, "verify", 0);
+    App {
+        name: "LU",
+        module,
+        regions: vec![
+            "lu_rhs".into(),
+            "lu_blts".into(),
+            "lu_buts".into(),
+            "lu_add".into(),
+        ],
+        main_loop: "lu_main",
+        main_iterations: niter as usize,
+        verifier: Verifier::GlobalClose {
+            global: "verify",
+            index: 0,
+            expected,
+            rel_tol: 1e-8,
+        },
+        size,
+    }
+}
+
+/// The LU benchmark (quick size — the registry default).
+pub fn lu() -> App {
+    lu_sized(AppSize::Quick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_reduces_residual_and_verifies() {
+        let app = lu();
+        let result = app.run_clean();
+        assert!(app.verify(&result));
+        let norm = result.global_f64("verify").unwrap()[0];
+        assert!(norm.is_finite() && norm >= 0.0);
+        // The SSOR sweeps must actually reduce the residual below the
+        // initial ||rhs|| (u starts at zero, so the initial residual is rhs).
+        let initial: f64 = (0..24).map(|i| ((i as f64) * 0.37).sin().powi(2)).sum();
+        assert!(norm * norm < initial, "SSOR did not reduce the residual");
+    }
+
+    #[test]
+    fn lu_has_the_four_ssor_regions() {
+        let app = lu();
+        assert_eq!(app.regions, vec!["lu_rhs", "lu_blts", "lu_buts", "lu_add"]);
+        assert!(app.module.function_by_name("ssor").is_some());
+    }
+
+    #[test]
+    fn class_w_lu_is_strictly_bigger_but_still_verifies() {
+        let quick = lu();
+        let big = lu_sized(AppSize::ClassW);
+        assert_eq!(quick.regions, big.regions);
+        assert!(big.main_iterations > quick.main_iterations);
+        let result = big.run_clean();
+        assert!(big.verify(&result));
+        assert!(result.steps > quick.run_clean().steps * 4);
+    }
+}

@@ -7,7 +7,7 @@
 use ftkr_ir::prelude::*;
 use ftkr_ir::Global;
 
-use crate::spec::{reference_f64, App, Verifier};
+use crate::spec::{reference_f64, App, AppSize, Verifier};
 
 /// Nodes per element (a hexahedron, as in LULESH).
 pub const NODES: i64 = 8;
@@ -188,6 +188,7 @@ pub fn lulesh() -> App {
             expected,
             rel_tol: 1e-6,
         },
+        size: AppSize::Quick,
     }
 }
 

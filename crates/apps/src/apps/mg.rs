@@ -6,7 +6,7 @@ use ftkr_ir::prelude::*;
 use ftkr_ir::Global;
 
 use crate::common::emit_tridiag_matvec;
-use crate::spec::{reference_f64, App, Verifier};
+use crate::spec::{reference_f64, App, AppSize, Verifier};
 
 /// Fine-grid size.
 pub const N: i64 = 32;
@@ -212,6 +212,7 @@ pub fn mg() -> App {
             expected,
             rel_tol: 1e-8,
         },
+        size: AppSize::Quick,
     }
 }
 

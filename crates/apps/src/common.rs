@@ -81,6 +81,58 @@ pub fn emit_copy(b: &mut FunctionBuilder, region: &str, src: Operand, dst: Opera
     });
 }
 
+/// Emit `Σ x[i]²` over `n` elements with a plain (non-region) inner loop —
+/// the shape of every solver's verification norm.  Returns the scalar sum.
+pub fn emit_sum_sq(b: &mut FunctionBuilder, loop_name: &str, x: Operand, n: i64) -> Operand {
+    let acc = b.alloca(format!("{loop_name}.acc"), 1);
+    let zf = b.const_f64(0.0);
+    b.store(acc, zf);
+    let zero = b.const_i64(0);
+    let end = b.const_i64(n);
+    b.for_loop(loop_name, LoopKind::Inner, zero, end, 1, |b, i| {
+        let xi = b.load_idx(x, i);
+        let sq = b.fmul(xi, xi);
+        let cur = b.load(acc);
+        let next = b.fadd(cur, sq);
+        b.store(acc, next);
+    });
+    b.load(acc)
+}
+
+/// Emit `Σ (a[i] − c[i])²` over `n` elements with a plain inner loop — the
+/// residual-norm shape of the LU/MG verification phases.  Returns the sum.
+pub fn emit_sum_sq_diff(
+    b: &mut FunctionBuilder,
+    loop_name: &str,
+    a: Operand,
+    c: Operand,
+    n: i64,
+) -> Operand {
+    let acc = b.alloca(format!("{loop_name}.acc"), 1);
+    let zf = b.const_f64(0.0);
+    b.store(acc, zf);
+    let zero = b.const_i64(0);
+    let end = b.const_i64(n);
+    b.for_loop(loop_name, LoopKind::Inner, zero, end, 1, |b, i| {
+        let av = b.load_idx(a, i);
+        let cv = b.load_idx(c, i);
+        let d = b.fsub(av, cv);
+        let sq = b.fmul(d, d);
+        let cur = b.load(acc);
+        let next = b.fadd(cur, sq);
+        b.store(acc, next);
+    });
+    b.load(acc)
+}
+
+/// Emit the flat index `row * n + col` of cell `(row, col)` of an `n × n`
+/// grid stored row-major (the 2-D layout of the promoted BT/SP kernels).
+pub fn emit_idx2(b: &mut FunctionBuilder, row: Operand, col: Operand, n: i64) -> Operand {
+    let n_c = b.const_i64(n);
+    let base = b.mul(row, n_c);
+    b.add(base, col)
+}
+
 /// Emit a tridiagonal matrix-vector product `q = A p` where `A` has `diag` on
 /// the diagonal and `off` on both off-diagonals (the standard 1-D Laplacian
 /// shape used by the miniature CG and MG kernels).

@@ -29,6 +29,9 @@ pub mod apps;
 pub mod common;
 pub mod spec;
 
-pub use apps::{all_apps, app_by_name, cg, cg_with, dc, ft, is, kmeans, lu, lulesh, mg, sp};
+pub use apps::{
+    all_apps, all_apps_sized, app_by_name, app_by_name_sized, bt, bt_sized, cg, cg_with, dc,
+    dc_sized, ft, ft_sized, is, kmeans, lu, lu_sized, lulesh, mg, sp, sp_sized,
+};
 pub use apps::cg::CgVariant;
-pub use spec::{App, Verifier};
+pub use spec::{App, AppSize, Verifier};

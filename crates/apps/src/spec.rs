@@ -3,6 +3,30 @@
 
 use ftkr_ir::Module;
 use ftkr_vm::{RunResult, Vm, VmConfig};
+use serde::{Deserialize, Serialize};
+
+/// Problem-size knob of the NPB kernels: the grid sizes and iteration counts
+/// an application is built with.
+///
+/// The knob maps onto NPB input classes: [`AppSize::Quick`] plays the role of
+/// Class S (everything sized so statistically meaningful campaigns finish in
+/// seconds — the registry default, and what [`crate::all_apps`] returns),
+/// [`AppSize::ClassW`] scales the five promoted kernels (LU, BT, SP, DC, FT)
+/// to Class-W-style larger grids and longer main loops.  Scaling changes only
+/// the inputs: region names, region count and the verification phase are
+/// preserved across sizes (the conformance harness asserts this).
+///
+/// Campaign plans always resolve against the quick-size registry, so a plan's
+/// dynamic window stays valid in any executor process; the size knob is for
+/// the in-process experiment drivers (threaded through `Effort`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppSize {
+    /// Class-S-style inputs: the smallest statistically useful sizes.
+    #[default]
+    Quick,
+    /// Class-W-style inputs: larger grids, longer main loops.
+    ClassW,
+}
 
 /// How a completed run is judged — the application's verification phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +146,10 @@ pub struct App {
     pub main_iterations: usize,
     /// Verification phase.
     pub verifier: Verifier,
+    /// Problem size this build was constructed at.  Campaign plans are only
+    /// portable across processes for [`AppSize::Quick`] builds (the registry
+    /// size every executor resolves); `Session::plan`/`run_plan` enforce it.
+    pub size: AppSize,
 }
 
 impl App {

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use ftkr_acl::AclTable;
 use ftkr_dddg::Dddg;
-use ftkr_patterns::{analyze_fused, detect_all, detect_fused_patterns, DetectionInput};
+use ftkr_patterns::{analyze_fused, detect_fused_patterns};
 use ftkr_trace::{instance_slice, partition_regions, RegionSelector};
 use ftkr_vm::{EventKind, FaultSpec, Trace, Vm, VmConfig};
 
@@ -94,18 +94,6 @@ fn analysis_costs(c: &mut Criterion) {
         b.iter(|| AclTable::from_fault(std::hint::black_box(&faulty), &fault).max_count())
     });
 
-    let acl = AclTable::from_fault(&faulty, &fault);
-    group.bench_function("pattern_detection_mg", |b| {
-        b.iter(|| {
-            detect_all(DetectionInput {
-                faulty: std::hint::black_box(&faulty),
-                clean: &clean,
-                acl: &acl,
-            })
-            .len()
-        })
-    });
-
     group.finish();
 
     // ---- the fused per-injection analysis pipeline --------------------
@@ -113,10 +101,10 @@ fn analysis_costs(c: &mut Criterion) {
     // Two representative injections: the historical benchmark fault (which
     // crashes the run early — the common campaign outcome, and the exact
     // definition the seed baseline measured `acl_construction_mg` /
-    // `pattern_detection_mg` against), and a fully-propagating fault whose
+    // `pattern_detection_mg` against, so `bench_report` can still compute
+    // the fused-vs-seed trajectory), and a fully-propagating fault whose
     // taint stays alive to the end of the run (the worst case for the
-    // detectors).  For each, the legacy passes (ACL build + six-detector
-    // scan) are compared with the fused single-walk replacements.
+    // detectors).
     let mut group = c.benchmark_group("analysis_fused");
     let taint_step = (clean.len() / 3..clean.len())
         .find(|&i| {
@@ -136,17 +124,6 @@ fn analysis_costs(c: &mut Criterion) {
         ("taint_mg", taint_fault, &taint_faulty),
     ];
     for (label, case_fault, case_faulty) in cases {
-        group.bench_function(format!("legacy_passes_{label}"), |b| {
-            b.iter(|| {
-                let acl = AclTable::from_fault(std::hint::black_box(case_faulty), &case_fault);
-                detect_all(DetectionInput {
-                    faulty: case_faulty,
-                    clean: &clean,
-                    acl: &acl,
-                })
-                .len()
-            })
-        });
         group.bench_function(format!("single_walk_{label}"), |b| {
             b.iter(|| {
                 detect_fused_patterns(std::hint::black_box(case_faulty), &clean, case_fault).len()

@@ -6,9 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use ftkr_acl::AclTable;
 use ftkr_inject::{internal_sites, Campaign};
-use ftkr_patterns::{detect_all, detect_streaming, DetectionInput};
+use ftkr_patterns::{analyze_fused, detect_streaming};
 use ftkr_vm::{EventKind, FaultSpec, Vm, VmConfig};
 
 fn campaign_throughput(c: &mut Criterion) {
@@ -55,8 +54,8 @@ fn campaign_throughput(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("injection_materialized_mg", |b| {
         b.iter(|| {
-            // The pre-fused per-injection analysis: materialize the faulty
-            // trace, build the ACL table, run the six detectors.
+            // The materialized per-injection analysis: record the faulty
+            // trace, then run the fused ACL + detector walk over it.
             let config = VmConfig {
                 record_trace: true,
                 trace_hint: Some(clean_run.steps),
@@ -68,13 +67,8 @@ fn campaign_throughput(c: &mut Criterion) {
                 .run(std::hint::black_box(&app.module))
                 .unwrap();
             let faulty = run.trace.unwrap();
-            let acl = AclTable::from_fault(&faulty, &fault);
-            detect_all(DetectionInput {
-                faulty: &faulty,
-                clean: &clean,
-                acl: &acl,
-            })
-            .len()
+            let fused = analyze_fused(&faulty, &clean, &fault);
+            fused.acl.max_count() as usize + fused.patterns.len()
         })
     });
     group.bench_function("injection_streaming_mg", |b| {

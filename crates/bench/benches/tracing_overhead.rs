@@ -62,44 +62,50 @@ fn tracing_overhead(c: &mut Criterion) {
     // list in a fresh session, from a full reference trace vs. from a
     // region-scoped `TraceScope::Window` re-run (the window a CampaignPlan
     // carries).  The window path is what keeps per-region campaign shards
-    // from recording full traces.
-    let coordinator = fliptracker::Session::new(ftkr_apps::mg());
-    let target = ftkr_inject::CampaignTarget::Region {
-        name: "mg_a".to_string(),
-    };
-    let (start, end) = coordinator
-        .target_window(&target)
-        .expect("mg_a resolves");
-    group.bench_with_input(
-        BenchmarkId::new("fig5_sites_full", "MG"),
-        &target,
-        |b, target| {
-            b.iter(|| {
-                let session = fliptracker::Session::new(ftkr_apps::mg());
-                session
-                    .sites(target, ftkr_inject::TargetClass::Internal)
-                    .unwrap()
-                    .len()
-            })
-        },
-    );
-    group.bench_with_input(
-        BenchmarkId::new("fig5_sites_window", "MG"),
-        &target,
-        |b, target| {
-            b.iter(|| {
-                let plan = ftkr_inject::CampaignPlan::new(
-                    "MG",
-                    target.clone(),
-                    ftkr_inject::TargetClass::Internal,
-                    0,
-                )
-                .with_window(start, end);
-                let session = fliptracker::Session::new(ftkr_apps::mg());
-                session.run_plan(&plan).unwrap().population
-            })
-        },
-    );
+    // from recording full traces.  Measured on MG (original) and LU
+    // (promoted), so the promoted apps' shard path is tracked too.
+    type AppCtor = fn() -> ftkr_apps::App;
+    let fig5_apps: [(&str, AppCtor, &str); 2] =
+        [("MG", ftkr_apps::mg, "mg_a"), ("LU", ftkr_apps::lu, "lu_rhs")];
+    for (name, app_fn, region) in fig5_apps {
+        let coordinator = fliptracker::Session::new(app_fn());
+        let target = ftkr_inject::CampaignTarget::Region {
+            name: region.to_string(),
+        };
+        let (start, end) = coordinator
+            .target_window(&target)
+            .expect("region resolves");
+        group.bench_with_input(
+            BenchmarkId::new("fig5_sites_full", name),
+            &target,
+            |b, target| {
+                b.iter(|| {
+                    let session = fliptracker::Session::new(app_fn());
+                    session
+                        .sites(target, ftkr_inject::TargetClass::Internal)
+                        .unwrap()
+                        .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fig5_sites_window", name),
+            &target,
+            |b, target| {
+                b.iter(|| {
+                    let plan = ftkr_inject::CampaignPlan::new(
+                        name,
+                        target.clone(),
+                        ftkr_inject::TargetClass::Internal,
+                        0,
+                    )
+                    .with_window(start, end);
+                    let session = fliptracker::Session::new(app_fn());
+                    session.run_plan(&plan).unwrap().population
+                })
+            },
+        );
+    }
     group.finish();
 }
 

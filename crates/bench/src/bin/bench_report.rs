@@ -47,16 +47,17 @@ struct Report {
     /// reference trace over the `TraceScope::Window` trace (MG, `mg_a`) —
     /// how much trace memory the window path avoids.
     fig5_window_traced_events_ratio: Option<f64>,
+    /// Figure-5 per-region site derivation for the promoted LU app
+    /// (`lu_rhs`): wall-time speedup of the `TraceScope::Window` shard path
+    /// over a full reference trace.
+    fig5_window_site_derivation_speedup_lu: Option<f64>,
+    /// Figure-5 per-region tracing footprint for the promoted LU app:
+    /// recorded events of the full reference trace over the
+    /// `TraceScope::Window` trace (`lu_rhs`).
+    fig5_window_traced_events_ratio_lu: Option<f64>,
     /// Tracing overhead ratio (traced / plain, MG) with loop markers elided
     /// (`TraceOpts::skip_markers`) — the residual-overhead knob.
     tracing_overhead_ratio_mg_skip_markers: Option<f64>,
-    /// Fused per-injection analysis vs the legacy ACL + six-detector passes,
-    /// both measured fresh, on the historical crash-outcome benchmark fault
-    /// (the common campaign case — the seed baseline's fault definition).
-    analysis_fused_per_injection_speedup_crash_mg: Option<f64>,
-    /// Same comparison on a fully-propagating fault whose taint survives to
-    /// the end of the run (the detectors' worst case).
-    analysis_fused_per_injection_speedup_taint_mg: Option<f64>,
     /// Fused single-walk pattern analysis vs the *seed's* per-injection
     /// analysis stages (`acl_construction_mg` + `pattern_detection_mg`,
     /// same fault definition) — the trajectory-since-seed view.
@@ -164,17 +165,17 @@ fn main() {
             fresh_counts.get("fig5_trace/full_events/MG"),
             fresh_counts.get("fig5_trace/window_events/MG"),
         ),
+        fig5_window_site_derivation_speedup_lu: ratio(
+            fresh.get("tracing_overhead/fig5_sites_full/LU"),
+            fresh.get("tracing_overhead/fig5_sites_window/LU"),
+        ),
+        fig5_window_traced_events_ratio_lu: ratio(
+            fresh_counts.get("fig5_trace/full_events/LU"),
+            fresh_counts.get("fig5_trace/window_events/LU"),
+        ),
         tracing_overhead_ratio_mg_skip_markers: ratio(
             fresh.get("tracing_overhead/traced_skip_markers/MG"),
             fresh.get("tracing_overhead/plain/MG"),
-        ),
-        analysis_fused_per_injection_speedup_crash_mg: ratio(
-            fresh.get("analysis_fused/legacy_passes_crash_mg"),
-            fresh.get("analysis_fused/single_walk_crash_mg"),
-        ),
-        analysis_fused_per_injection_speedup_taint_mg: ratio(
-            fresh.get("analysis_fused/legacy_passes_taint_mg"),
-            fresh.get("analysis_fused/single_walk_taint_mg"),
         ),
         analysis_fused_vs_seed_speedup_mg: match (
             baseline.get("analysis/acl_construction_mg"),
@@ -218,13 +219,13 @@ fn main() {
     if let Some(s) = report.tracing_overhead_ratio_mg_skip_markers {
         println!("bench_report: tracing overhead ratio with skip_markers (MG): {s:.2}x");
     }
-    if let (Some(c), Some(t)) = (
-        report.analysis_fused_per_injection_speedup_crash_mg,
-        report.analysis_fused_per_injection_speedup_taint_mg,
+    if let (Some(s), Some(r)) = (
+        report.fig5_window_site_derivation_speedup_lu,
+        report.fig5_window_traced_events_ratio_lu,
     ) {
         println!(
-            "bench_report: fused per-injection analysis vs legacy passes (MG): \
-             {c:.2}x (crash fault), {t:.2}x (propagating fault)"
+            "bench_report: fig5 window path on promoted LU (lu_rhs): {s:.2}x faster site \
+             derivation, {r:.1}x fewer recorded events"
         );
     }
     if let Some(s) = report.analysis_fused_vs_seed_speedup_mg {

@@ -124,6 +124,7 @@ impl Session {
         &self,
         plan: &CampaignPlan,
     ) -> Result<AnalyzedCampaignReport, PlanError> {
+        self.require_registry_size()?;
         if !plan.app.eq_ignore_ascii_case(self.app().name) {
             return Err(PlanError::AppMismatch {
                 session_app: self.app().name.to_string(),

@@ -1,5 +1,6 @@
 //! Effort levels: how much statistical work the experiments perform.
 
+use ftkr_apps::AppSize;
 use serde::{Deserialize, Serialize};
 
 /// Knobs that trade statistical rigor against wall-clock time.  The paper's
@@ -20,6 +21,11 @@ pub struct Effort {
     /// Simulated MPI ranks for the tracing-overhead experiment (the paper
     /// uses 64 processes on 8 nodes).
     pub ranks: usize,
+    /// Problem size the experiment drivers build the applications at:
+    /// [`AppSize::Quick`] keeps the registry's calibrated Class-S-style
+    /// sizes, [`AppSize::ClassW`] scales the promoted NPB kernels (LU, BT,
+    /// SP, DC, FT) to Class-W-style grids ([`Effort::paper`] selects it).
+    pub app_size: AppSize,
 }
 
 impl Effort {
@@ -30,6 +36,7 @@ impl Effort {
             analysis_injections: 3,
             timing_runs: 2,
             ranks: 4,
+            app_size: AppSize::Quick,
         }
     }
 
@@ -40,17 +47,20 @@ impl Effort {
             analysis_injections: 6,
             timing_runs: 5,
             ranks: 16,
+            app_size: AppSize::Quick,
         }
     }
 
     /// The paper's statistical configuration (95 % confidence, 3 % margin ⇒
-    /// ≈1067 injections per point; 64 ranks; 20 timing runs).
+    /// ≈1067 injections per point; 64 ranks; 20 timing runs; Class-W-scaled
+    /// inputs for the promoted NPB kernels).
     pub fn paper() -> Self {
         Effort {
             tests_per_point: 1067,
             analysis_injections: 10,
             timing_runs: 20,
             ranks: 64,
+            app_size: AppSize::ClassW,
         }
     }
 
@@ -84,6 +94,8 @@ mod tests {
         assert!(s.tests_per_point < p.tests_per_point);
         assert_eq!(p.ranks, 64);
         assert_eq!(p.timing_runs, 20);
+        assert_eq!(q.app_size, AppSize::Quick);
+        assert_eq!(p.app_size, AppSize::ClassW);
     }
 
     #[test]

@@ -20,14 +20,24 @@ use crate::effort::Effort;
 use crate::regions::region_table;
 use crate::session::Session;
 
-/// The five programs the paper analyses region-by-region.
-pub const REGION_APPS: [&str; 5] = ["CG", "MG", "KMEANS", "IS", "LULESH"];
+/// The programs the per-region drivers analyse, in Table IV order.  The
+/// paper runs its per-region analysis on five programs; with LU, BT, SP, DC
+/// and FT promoted to full per-region applications, every per-region
+/// analysis now covers the complete ten-app evaluation set.
+pub const REGION_APPS: [&str; 10] = [
+    "CG", "MG", "LU", "BT", "IS", "DC", "SP", "FT", "KMEANS", "LULESH",
+];
 
-fn region_sessions() -> Vec<Session> {
-    REGION_APPS
-        .iter()
-        .map(|name| Session::by_name(name).expect("known app"))
-        .collect()
+fn region_sessions(effort: &Effort) -> Vec<Session> {
+    // REGION_APPS equals the registry in Table-IV order, so build every app
+    // exactly once — a per-name `by_name_sized` lookup would construct the
+    // full ten-app registry (ten reference runs) per name.
+    let apps = ftkr_apps::all_apps_sized(effort.app_size);
+    debug_assert_eq!(
+        apps.iter().map(|a| a.name).collect::<Vec<_>>(),
+        REGION_APPS
+    );
+    apps.into_iter().map(Session::new).collect()
 }
 
 // --------------------------------------------------------------------------
@@ -79,10 +89,11 @@ impl Table1 {
 }
 
 /// Reproduce Table I: the resilience computation patterns found in the code
-/// regions of CG, MG, KMEANS, IS and LULESH.
+/// regions of all ten applications (the paper's five per-region programs
+/// plus the promoted LU, BT, SP, DC and FT).
 pub fn table1(effort: &Effort) -> Table1 {
     Table1 {
-        programs: region_sessions()
+        programs: region_sessions(effort)
             .iter()
             .map(|session| Table1Program {
                 program: session.app().name.to_string(),
@@ -184,10 +195,10 @@ fn time_spmd(app: &App, ranks: usize, trace: bool, reps: usize) -> f64 {
     best
 }
 
-/// Reproduce Figure 4: per-process tracing overhead of the five MPI programs.
+/// Reproduce Figure 4: per-process tracing overhead of the region programs.
 pub fn fig4(effort: &Effort) -> Fig4 {
     Fig4 {
-        rows: region_sessions()
+        rows: region_sessions(effort)
             .iter()
             .map(|session| {
                 let app = session.app();
@@ -270,7 +281,7 @@ impl SuccessRateSeries {
 /// from one shared clean reference run.
 pub fn fig5(effort: &Effort) -> SuccessRateSeries {
     let mut points = Vec::new();
-    for session in region_sessions() {
+    for session in region_sessions(effort) {
         points.extend(session.figure5(effort).points);
     }
     SuccessRateSeries { points }
@@ -280,7 +291,7 @@ pub fn fig5(effort: &Effort) -> SuccessRateSeries {
 /// body treated as one code region), for internal and input locations.
 pub fn fig6(effort: &Effort, max_iterations: usize) -> SuccessRateSeries {
     let mut points = Vec::new();
-    for session in region_sessions() {
+    for session in region_sessions(effort) {
         points.extend(session.figure6(effort, max_iterations).points);
     }
     SuccessRateSeries { points }
@@ -574,7 +585,7 @@ mod tests {
     }
 
     #[test]
-    fn fig5_quick_produces_points_for_every_region_of_is() {
+    fn fig5_quick_produces_points_for_every_app_including_the_promoted_five() {
         let mut effort = Effort::quick();
         effort.tests_per_point = 12;
         let series = fig5(&effort);
@@ -586,6 +597,22 @@ mod tests {
                     .any(|p| p.program == "IS" && p.target == region),
                 "missing point for {region}"
             );
+        }
+        // The promoted apps appear alongside the original five, with every
+        // declared region contributing an internal-class bar.
+        for app in ftkr_apps::all_apps() {
+            for region in &app.regions {
+                assert!(
+                    series.points.iter().any(|p| {
+                        p.program == app.name
+                            && &p.target == region
+                            && p.class == TargetClass::Internal
+                    }),
+                    "missing internal point for {}/{}",
+                    app.name,
+                    region
+                );
+            }
         }
         for p in &series.points {
             assert!((0.0..=1.0).contains(&p.success_rate));

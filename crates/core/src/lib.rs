@@ -53,7 +53,7 @@ pub mod prelude {
     pub use crate::regions::{region_table, RegionView};
     pub use crate::session::{execute_plan, PlanError, Session};
     pub use crate::use_cases;
-    pub use ftkr_apps::{all_apps, app_by_name, App};
+    pub use ftkr_apps::{all_apps, all_apps_sized, app_by_name, app_by_name_sized, App, AppSize};
     pub use ftkr_inject::{CampaignPlan, CampaignTarget, IndexRange, TargetClass};
     pub use ftkr_patterns::PatternKind;
 }

@@ -17,9 +17,9 @@
 //!   deltas; all matched region DDDGs are built in one further shared walk
 //!   ([`ftkr_dddg::DddgExtractor`]) instead of one pass per region.
 //!
-//! Either way the per-injection analysis consumes the faulty events once —
-//! the legacy `AclTable::from_fault` + `detect_all` seven-pass pipeline is
-//! retained only as a differential-testing reference.
+//! Either way the per-injection analysis consumes the faulty events once.
+//! (The legacy `detect_all` seven-pass pipeline is gone; golden-snapshot and
+//! cross-driver property tests hold the fused walks to its exact output.)
 
 use ftkr_acl::AclTable;
 use ftkr_apps::App;
@@ -300,10 +300,10 @@ mod tests {
         assert_eq!(light.outcome, deep.outcome);
         assert_eq!(light.faulty_steps, deep.faulty_steps);
 
-        // And the fused ACL equals the legacy construction.
+        // And the fused ACL equals the standalone dense construction.
         let faulty = session.traced_faulty_run(fault).trace.unwrap();
-        let legacy = AclTable::from_fault(&faulty, &fault);
-        assert_eq!(acl.counts, legacy.counts);
-        assert_eq!(acl.tainted_reads, legacy.tainted_reads);
+        let reference = AclTable::from_fault(&faulty, &fault);
+        assert_eq!(acl.counts, reference.counts);
+        assert_eq!(acl.tainted_reads, reference.tainted_reads);
     }
 }

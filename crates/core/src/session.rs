@@ -66,6 +66,17 @@ pub enum PlanError {
         /// Fault-free dynamic step count of the session's application.
         clean_steps: u64,
     },
+    /// The session's application was built at a non-registry problem size.
+    /// Plans carry only the application *name*, so an executor would rebuild
+    /// the app at the quick registry size and resolve the plan's window
+    /// against a different fault-free run — planning and execution are
+    /// therefore restricted to quick-size sessions ([`Session::by_name`]).
+    NonRegistrySize {
+        /// The session's application.
+        app: String,
+        /// The size the session's build was constructed at.
+        size: ftkr_apps::AppSize,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -89,6 +100,11 @@ impl std::fmt::Display for PlanError {
                 f,
                 "plan window [{start}, {end}) does not fit the fault-free run \
                  ({clean_steps} dynamic steps) — stale or mismatched plan?"
+            ),
+            PlanError::NonRegistrySize { app, size } => write!(
+                f,
+                "application {app:?} was built at {size:?}; campaign plans only \
+                 resolve against the quick-size registry (Session::by_name)"
             ),
         }
     }
@@ -146,7 +162,10 @@ impl Session {
     }
 
     /// Open a session by application name (the registry the campaign plans
-    /// resolve against).
+    /// resolve against — always the quick problem size, so plan windows stay
+    /// valid in any executor process).  Sized builds for the in-process
+    /// experiment drivers come from `ftkr_apps::all_apps_sized` +
+    /// [`Session::new`].
     pub fn by_name(name: &str) -> Option<Self> {
         app_by_name(name).map(Session::new)
     }
@@ -423,6 +442,7 @@ impl Session {
         class: TargetClass,
         n_tests: u64,
     ) -> Result<CampaignPlan, PlanError> {
+        self.require_registry_size()?;
         let (start, end) = self.target_window(&target)?;
         let seed = match target {
             CampaignTarget::WholeProgram => WHOLE_PROGRAM_SEED,
@@ -438,6 +458,7 @@ impl Session {
     /// the plan names the application, and the session supplies its
     /// registry-defined verification phase.
     pub fn run_plan(&self, plan: &CampaignPlan) -> Result<CampaignReport, PlanError> {
+        self.require_registry_size()?;
         if !plan.app.eq_ignore_ascii_case(self.app.name) {
             return Err(PlanError::AppMismatch {
                 session_app: self.app.name.to_string(),
@@ -447,6 +468,20 @@ impl Session {
         let sites = self.plan_sites(plan)?;
         let shard = plan.shard.intersect(IndexRange::full(plan.n_tests));
         Ok(self.campaign(plan.seed).run_range(&sites, shard))
+    }
+
+    /// Plans name the application symbolically, so both planning and
+    /// execution must happen on the build every executor process resolves —
+    /// the quick registry size.  A `ClassW` session would embed (or apply)
+    /// windows from a different fault-free run.
+    pub(crate) fn require_registry_size(&self) -> Result<(), PlanError> {
+        if self.app.size != ftkr_apps::AppSize::Quick {
+            return Err(PlanError::NonRegistrySize {
+                app: self.app.name.to_string(),
+                size: self.app.size,
+            });
+        }
+        Ok(())
     }
 
     /// Resolve a plan's site list: from the cached clean trace when one is
@@ -748,6 +783,33 @@ mod tests {
         assert!(matches!(
             execute_plan(&stale),
             Err(PlanError::InvalidWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn non_registry_size_sessions_refuse_to_plan_or_execute() {
+        // A Class-W session cannot plan (the window would come from a
+        // fault-free run no executor process reproduces) nor execute a plan
+        // (it would apply a quick-registry window to the wrong run).
+        let class_w = Session::new(ftkr_apps::lu_sized(ftkr_apps::AppSize::ClassW));
+        let target = CampaignTarget::Region {
+            name: class_w.app().regions[0].clone(),
+        };
+        assert!(matches!(
+            class_w.plan(target.clone(), TargetClass::Internal, 4),
+            Err(PlanError::NonRegistrySize { .. })
+        ));
+        let quick_plan = Session::by_name("LU")
+            .unwrap()
+            .plan(target, TargetClass::Internal, 4)
+            .unwrap();
+        assert!(matches!(
+            class_w.run_plan(&quick_plan),
+            Err(PlanError::NonRegistrySize { .. })
+        ));
+        assert!(matches!(
+            class_w.run_plan_analyzed(&quick_plan),
+            Err(PlanError::NonRegistrySize { .. })
         ));
     }
 

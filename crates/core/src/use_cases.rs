@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use ftkr_apps::{all_apps, cg_with, App, CgVariant};
+use ftkr_apps::{all_apps_sized, cg_with, App, CgVariant};
 use ftkr_model::{standardized_coefficients, BayesianLinearRegression};
 use ftkr_patterns::PatternRates;
 use ftkr_vm::{Vm, VmConfig};
@@ -190,9 +190,10 @@ impl Table4 {
 }
 
 /// Reproduce Table IV: pattern rates, measured success rates, and
-/// leave-one-out predictions for all ten benchmarks.
+/// leave-one-out predictions for all ten benchmarks, at the effort's
+/// problem size (`Effort::paper` runs the promoted NPB kernels at Class W).
 pub fn table4(effort: &Effort) -> Table4 {
-    let apps = all_apps();
+    let apps = all_apps_sized(effort.app_size);
     let mut features: Vec<Vec<f64>> = Vec::with_capacity(apps.len());
     let mut measured: Vec<f64> = Vec::with_capacity(apps.len());
     for app in &apps {

@@ -1,18 +1,19 @@
 //! The fused per-injection analysis pipeline: ACL taint tracking and all six
 //! pattern detectors evaluated in **one** walk over the faulty events.
 //!
-//! The legacy path ([`crate::detect_all`]) runs six independent detectors,
-//! each scanning the full faulty trace and each re-deriving the same
-//! aligned-clean lookups and taint queries — seven passes per injection
-//! counting the ACL build.  Here a single detector bank consumes each event
-//! once, sharing one taint verdict and one aligned-clean resolution per
-//! event, with dense [`LocationId`]-indexed state instead of per-detector
-//! hash maps.  Two drivers feed it:
+//! The retired legacy path (`detect_all`, deleted after one deprecation PR)
+//! ran six independent detectors, each scanning the full faulty trace and
+//! each re-deriving the same aligned-clean lookups and taint queries — seven
+//! passes per injection counting the ACL build.  Here a single detector bank
+//! consumes each event once, sharing one taint verdict and one aligned-clean
+//! resolution per event, with dense [`LocationId`]-indexed state instead of
+//! per-detector hash maps.  Two drivers feed it:
 //!
 //! * [`FusedInjection`] — a [`TraceVisitor`] over a **materialized** faulty
 //!   trace that additionally builds the full [`AclTable`] via the exact
-//!   [`TaintSweep`]; its output (table *and* instances) is bit-identical to
-//!   the legacy passes, which the workspace property tests enforce.
+//!   [`TaintSweep`]; its table is bit-identical to [`AclTable::build`] and
+//!   its instances to the streaming walk, which the workspace property
+//!   tests enforce.
 //! * [`StreamingDetector`] — a [`TraceVisitor`] for
 //!   [`ftkr_vm::Vm::run_with_visitors`] that tracks taint forward-only (no
 //!   future knowledge exists in a live run) and defers never-used-again
@@ -83,8 +84,9 @@ struct RaChain {
 /// plus death notifications from whichever taint tracker drives the bank.
 ///
 /// Instances are collected per kind and assembled by [`DetectorBank::finish`]
-/// in the legacy `detect_all` concatenation order, so the final sorted output
-/// is bit-identical to running the six legacy detectors separately.
+/// in the concatenation order the deleted legacy `detect_all` used, so the
+/// output ordering contract survives it — pinned today by the
+/// golden-snapshot tests in `crates/patterns/tests/golden_scenarios.rs`.
 struct DetectorBank {
     /// Per location id: last `Load` event that read this memory cell.
     last_load: Vec<u32>,
@@ -366,9 +368,10 @@ impl DetectorBank {
         }
     }
 
-    /// Assemble the findings exactly as the legacy `detect_all` does:
-    /// per-detector lists concatenated in pattern order, then stably sorted
-    /// by `(event, kind)`.
+    /// Assemble the findings exactly as the deleted legacy `detect_all`
+    /// did: per-detector lists concatenated in pattern order, then stably
+    /// sorted by `(event, kind)` — the ordering the golden-snapshot tests
+    /// pin.
     fn finish(mut self) -> Vec<PatternInstance> {
         let mut ra: Vec<PatternInstance> = Vec::new();
         for chain in &self.chains {
@@ -408,8 +411,8 @@ pub struct FusedAnalysis {
     /// The ACL table of the faulty run (bit-identical to
     /// [`AclTable::build`]).
     pub acl: AclTable,
-    /// The detected pattern instances (bit-identical to
-    /// [`crate::detect_all`]).
+    /// The detected pattern instances (bit-identical to the patterns-only
+    /// [`detect_fused_patterns`] walk).
     pub patterns: Vec<PatternInstance>,
 }
 
@@ -504,8 +507,9 @@ impl TraceVisitor for FusedInjection<'_> {
 }
 
 /// Run the fused analysis over a materialized faulty/clean trace pair: one
-/// walk producing the ACL table **and** all pattern instances, bit-identical
-/// to `AclTable::from_fault` + `detect_all`.
+/// walk producing the ACL table **and** all pattern instances — the table
+/// bit-identical to `AclTable::from_fault`, the instances to
+/// [`detect_fused_patterns`].
 pub fn analyze_fused(faulty: &Trace, clean: &Trace, fault: &FaultSpec) -> FusedAnalysis {
     let mut fused = FusedInjection::for_fault(faulty, clean, fault);
     ftkr_vm::EventCursor::new(faulty).run(&mut [&mut fused]);
@@ -871,8 +875,8 @@ impl TraceVisitor for StreamingDetector<'_> {
 /// trace pair: forward taint, no [`AclTable`] — the per-injection hot path
 /// when only the pattern instances matter (Table-I-scale hunts build and
 /// discard the ACL table otherwise).  Monomorphic driver, so the walk pays
-/// no visitor dispatch; output is bit-identical to
-/// `AclTable::from_fault` + `detect_all`.
+/// no visitor dispatch; output is bit-identical to [`analyze_fused`]'s
+/// instances.
 pub fn detect_fused_patterns(
     faulty: &Trace,
     clean: &Trace,
@@ -932,7 +936,6 @@ pub fn detect_streaming(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::detect::{detect_all, DetectionInput};
     use ftkr_ir::prelude::*;
     use ftkr_ir::Global;
     use ftkr_vm::{Vm, VmConfig};
@@ -982,16 +985,6 @@ mod tests {
         m
     }
 
-    fn legacy(faulty: &Trace, clean: &Trace, fault: &FaultSpec) -> (AclTable, Vec<PatternInstance>) {
-        let acl = AclTable::from_fault(faulty, fault);
-        let patterns = detect_all(DetectionInput {
-            faulty,
-            clean,
-            acl: &acl,
-        });
-        (acl, patterns)
-    }
-
     fn acl_eq(a: &AclTable, b: &AclTable) {
         assert_eq!(a.counts, b.counts);
         assert_eq!(a.tainted_reads, b.tainted_reads);
@@ -1004,14 +997,17 @@ mod tests {
     }
 
     #[test]
-    fn fused_walk_is_bit_identical_to_the_legacy_passes() {
+    fn fused_walk_matches_the_dense_acl_and_the_patterns_only_walk() {
         let module = busy_module();
         let clean = Vm::new(VmConfig::tracing())
             .run(&module)
             .unwrap()
             .trace
             .unwrap();
-        // Sweep a spread of injection points and bit positions.
+        // Sweep a spread of injection points and bit positions.  The ACL
+        // side is checked against the standalone dense builder, the pattern
+        // side against the forward-taint patterns-only walk — two
+        // independent implementations per output.
         for (frac, bit) in [(7usize, 30u8), (3, 52), (2, 3), (5, 61), (4, 12)] {
             let fault = FaultSpec::in_result((clean.len() / frac) as u64, bit);
             let faulty = Vm::new(VmConfig::tracing_with_fault(fault))
@@ -1019,19 +1015,20 @@ mod tests {
                 .unwrap()
                 .trace
                 .unwrap();
-            let (legacy_acl, legacy_patterns) = legacy(&faulty, &clean, &fault);
+            let reference_acl = AclTable::from_fault(&faulty, &fault);
             let fused = analyze_fused(&faulty, &clean, &fault);
-            acl_eq(&fused.acl, &legacy_acl);
-            assert_eq!(fused.patterns, legacy_patterns, "fault {fault:?}");
+            acl_eq(&fused.acl, &reference_acl);
+            let patterns_only = detect_fused_patterns(&faulty, &clean, fault);
+            assert_eq!(fused.patterns, patterns_only, "fault {fault:?}");
             assert!(
-                !legacy_patterns.is_empty() || legacy_acl.births.is_empty(),
+                !fused.patterns.is_empty() || fused.acl.births.is_empty(),
                 "expected some signal for fault {fault:?}"
             );
         }
     }
 
     #[test]
-    fn streaming_detector_matches_the_legacy_passes_without_a_trace() {
+    fn streaming_detector_matches_the_materialized_walk_without_a_trace() {
         let module = busy_module();
         let clean = Vm::new(VmConfig::tracing())
             .run(&module)
@@ -1045,11 +1042,11 @@ mod tests {
                 .unwrap()
                 .trace
                 .unwrap();
-            let (_, legacy_patterns) = legacy(&faulty, &clean, &fault);
+            let materialized = analyze_fused(&faulty, &clean, &fault).patterns;
             let (result, streamed) =
                 detect_streaming(&module, &clean, fault, VmConfig::default());
             assert!(result.trace.is_none());
-            assert_eq!(streamed, legacy_patterns, "fault {fault:?}");
+            assert_eq!(streamed, materialized, "fault {fault:?}");
         }
     }
 
@@ -1070,9 +1067,9 @@ mod tests {
                 .unwrap()
                 .trace
                 .unwrap();
-            let (_, legacy_patterns) = legacy(&faulty, &clean, &fault);
+            let materialized = analyze_fused(&faulty, &clean, &fault).patterns;
             let (_, streamed) = detect_streaming(&module, &clean, fault, VmConfig::default());
-            assert_eq!(streamed, legacy_patterns, "fault {fault:?}");
+            assert_eq!(streamed, materialized, "fault {fault:?}");
         }
     }
 }

@@ -15,25 +15,26 @@
 //! 6. **Data Overwriting (DO)** — the corrupted location is overwritten with
 //!    a clean value.
 //!
-//! [`fused`] is the production detection pipeline: one fused detector bank
-//! evaluates all six patterns in a single walk over the faulty events —
-//! fused with the exact ACL sweep over a materialized trace
-//! ([`fused::analyze_fused`]), or streamed straight from the interpreter
-//! with no materialized faulty trace at all ([`fused::StreamingDetector`]).
-//! [`detect::detect_all`] is the legacy multi-pass path, kept as a thin
-//! deprecated reference that the property tests compare the fused pipeline
-//! against (bit-identical instances).  [`rates::static_rates`] computes the
-//! per-application *pattern rates* that feed the resilience-prediction model
-//! of the paper's second use case (Table IV), and [`summary`] maps detected
-//! instances back onto code regions for Table I.
+//! [`fused`] is the detection pipeline: one fused detector bank evaluates
+//! all six patterns in a single walk over the faulty events — fused with the
+//! exact ACL sweep over a materialized trace ([`fused::analyze_fused`]), or
+//! streamed straight from the interpreter with no materialized faulty trace
+//! at all ([`fused::StreamingDetector`]).  The two fused drivers are
+//! independent implementations (exact backward-looking sweep vs. forward
+//! taint with deferred deaths); the workspace property tests hold them
+//! bit-identical to each other, and golden-snapshot tests pin the exact
+//! instances they emit on recorded traces (the coverage the retired legacy
+//! multi-pass `detect_all` reference used to provide).
+//! [`rates::static_rates`] computes the per-application *pattern rates* that
+//! feed the resilience-prediction model of the paper's second use case
+//! (Table IV), and [`summary`] maps detected instances back onto code
+//! regions for Table I.
 
-pub mod detect;
 pub mod fused;
 pub mod kinds;
 pub mod rates;
 pub mod summary;
 
-pub use detect::{detect_all, DetectionInput};
 pub use fused::{
     analyze_fused, analyze_fused_seeds, detect_fused_patterns, detect_streaming, FusedAnalysis,
     FusedInjection, StreamingDetector,

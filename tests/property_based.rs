@@ -7,7 +7,7 @@ use ftkr_acl::{reference::build_reference, AclTable};
 use ftkr_dddg::Dddg;
 use ftkr_ir::prelude::*;
 use ftkr_ir::Global;
-use ftkr_patterns::{analyze_fused, analyze_fused_seeds, detect_all, detect_streaming, DetectionInput};
+use ftkr_patterns::{analyze_fused, analyze_fused_seeds, detect_fused_patterns, detect_streaming};
 use ftkr_trace::{partition_regions, RegionSelector};
 use ftkr_vm::{FaultSpec, Location, ResolvedEvent, Trace, Value, Vm, VmConfig};
 
@@ -341,10 +341,6 @@ fn random_events(
     events
 }
 
-fn patterns_of(faulty: &Trace, clean: &Trace, acl: &AclTable) -> Vec<ftkr_patterns::PatternInstance> {
-    detect_all(DetectionInput { faulty, clean, acl })
-}
-
 fn assert_acl_eq(a: &AclTable, b: &AclTable) {
     assert_eq!(a.counts, b.counts);
     assert_eq!(a.tainted_reads, b.tainted_reads);
@@ -362,17 +358,27 @@ fn assert_acl_eq(a: &AclTable, b: &AclTable) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// The fused single-walk pipeline produces a bit-identical `AclTable`
-    /// and bit-identical `PatternInstance`s to the legacy seven-pass
-    /// pipeline, on random faulty/clean trace pairs — including pairs whose
-    /// control flow diverges mid-run (different static instructions after
-    /// the divergence point), empty traces, and windowed (truncated) pairs.
+    /// The fused single-walk pipeline's outputs are cross-checked on random
+    /// faulty/clean trace pairs — including pairs whose control flow
+    /// diverges mid-run (different static instructions after the divergence
+    /// point), empty traces, and windowed (truncated) pairs.  The
+    /// `AclTable` must be bit-identical to the standalone dense builder
+    /// (`AclTable::build`), and the pattern instances bit-identical between
+    /// the exact-sweep fused walk (`analyze_fused`) and the forward-taint
+    /// patterns-only walk (`detect_fused_patterns`).  Note what this does
+    /// and does not prove: the two drivers differ in taint tracking and
+    /// death reconstruction (exact backward-looking sweep vs. forward taint
+    /// with deferred deaths), so this differential guards that machinery —
+    /// but they share one `DetectorBank`, so the six detector *predicates*
+    /// are pinned by the golden-snapshot and per-pattern scenario tests in
+    /// `crates/patterns/tests/golden_scenarios.rs`, not by this test.
     #[test]
-    fn fused_pipeline_matches_legacy_on_random_trace_pairs(
+    fn fused_pipeline_differentials_hold_on_random_trace_pairs(
         seed in any::<u64>(),
         n in 0usize..80,
         nloc in 1u64..8,
         diverge_frac in 0usize..5,
+        bit in 0u8..64,
     ) {
         use rand::{RngCore as _, SeedableRng as _};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -404,11 +410,19 @@ proptest! {
             })
             .collect();
 
-        let legacy_acl = AclTable::build(&faulty, &seeds);
-        let legacy_patterns = patterns_of(&faulty, &clean, &legacy_acl);
+        let reference_acl = AclTable::build(&faulty, &seeds);
         let fused = analyze_fused_seeds(&faulty, &clean, &seeds);
-        assert_acl_eq(&fused.acl, &legacy_acl);
-        prop_assert_eq!(fused.patterns, legacy_patterns);
+        assert_acl_eq(&fused.acl, &reference_acl);
+
+        // Pattern differential: a single memory-cell fault expressible as a
+        // `FaultSpec`, evaluated by both fused drivers.
+        let at = seeds[0].0;
+        let addr = rng.next_u64() % (nloc + 2);
+        let fault = FaultSpec::in_memory(at as u64, addr, bit);
+        let exact = analyze_fused(&faulty, &clean, &fault);
+        let forward = detect_fused_patterns(&faulty, &clean, fault);
+        prop_assert_eq!(&exact.patterns, &forward);
+        assert_acl_eq(&exact.acl, &AclTable::from_fault(&faulty, &fault));
 
         // A window-scoped (truncated) pair behaves identically: analyses
         // only ever see indices inside the window.
@@ -419,10 +433,12 @@ proptest! {
             let wseeds: Vec<(usize, Location)> =
                 seeds.iter().map(|&(at, l)| (at.min(end - 1), l)).collect();
             let wacl = AclTable::build(&wfaulty, &wseeds);
-            let wlegacy = patterns_of(&wfaulty, &wclean, &wacl);
             let wfused = analyze_fused_seeds(&wfaulty, &wclean, &wseeds);
             assert_acl_eq(&wfused.acl, &wacl);
-            prop_assert_eq!(wfused.patterns, wlegacy);
+            let wfault = FaultSpec::in_memory(at.min(end - 1) as u64, addr, bit);
+            let wexact = analyze_fused(&wfaulty, &wclean, &wfault);
+            let wforward = detect_fused_patterns(&wfaulty, &wclean, wfault);
+            prop_assert_eq!(&wexact.patterns, &wforward);
         }
     }
 }
@@ -432,10 +448,11 @@ proptest! {
 
     /// The streaming detector — fed straight from the interpreter, with no
     /// materialized faulty trace — finds exactly the pattern instances the
-    /// legacy materialized pipeline finds, for both fault kinds across
-    /// random injection points.
+    /// materialized fused walks find, for both fault kinds across random
+    /// injection points, and the fused ACL equals the standalone dense
+    /// construction.
     #[test]
-    fn streaming_detection_matches_legacy_on_vm_runs(
+    fn streaming_detection_matches_the_fused_walks_on_vm_runs(
         n in 2i64..24,
         step in 0u64..400,
         bit in 0u8..64,
@@ -462,15 +479,15 @@ proptest! {
             ..config
         };
         let faulty = Vm::new(faulty_config).run(&module).unwrap().trace.unwrap();
-        let legacy_acl = AclTable::from_fault(&faulty, &fault);
-        let legacy_patterns = patterns_of(&faulty, clean, &legacy_acl);
 
         let fused = analyze_fused(&faulty, clean, &fault);
-        prop_assert_eq!(&fused.patterns, &legacy_patterns);
+        assert_acl_eq(&fused.acl, &AclTable::from_fault(&faulty, &fault));
+        let forward = detect_fused_patterns(&faulty, clean, fault);
+        prop_assert_eq!(&fused.patterns, &forward);
 
         let (result, streamed) = detect_streaming(&module, clean, fault, config);
         prop_assert!(result.trace.is_none());
-        prop_assert_eq!(streamed, legacy_patterns);
+        prop_assert_eq!(streamed, fused.patterns);
     }
 }
 
@@ -525,5 +542,50 @@ proptest! {
             .reduce(|a, b| a.merge(&b))
             .unwrap();
         prop_assert_eq!(merged, monolithic);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Seed determinism of the campaign machinery, for one promoted (LU)
+    /// and one original (IS) application: the same `CampaignPlan` — same
+    /// app, seed and shard split — produces byte-identical `CampaignReport`
+    /// JSON in every fresh session, and any shard split merges to the same
+    /// bytes as the monolithic run.
+    #[test]
+    fn campaign_plans_execute_byte_identically_across_repeated_runs(
+        seed in any::<u64>(),
+        k in 1usize..4,
+        promoted in any::<bool>(),
+    ) {
+        use ftkr_inject::{CampaignTarget, TargetClass};
+        let name = if promoted { "LU" } else { "IS" };
+        let session = fliptracker::Session::by_name(name).expect("known app");
+        let region = session.app().regions[0].clone();
+        let plan = session
+            .plan(CampaignTarget::Region { name: region }, TargetClass::Internal, 8)
+            .expect("plan resolves")
+            .with_seed(seed);
+        let first = session.run_plan(&plan).expect("plan executes").to_json();
+        let again = fliptracker::Session::by_name(name)
+            .unwrap()
+            .run_plan(&plan)
+            .expect("plan re-executes")
+            .to_json();
+        prop_assert_eq!(&first, &again, "{} report JSON differs across runs", name);
+
+        let merged = plan
+            .shards(k)
+            .iter()
+            .map(|shard| {
+                fliptracker::Session::by_name(name)
+                    .unwrap()
+                    .run_plan(shard)
+                    .expect("shard executes")
+            })
+            .reduce(|a, b| a.merge(&b))
+            .expect("at least one shard");
+        prop_assert_eq!(merged.to_json(), first, "{} sharded merge differs", name);
     }
 }
