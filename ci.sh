@@ -20,6 +20,12 @@ if [[ "${1:-}" == "bench" ]]; then
     # one original and one promoted app.
     cargo run --release -q -p ftkr-bench --bin campaign_shard -- stats MG mg_a "$medians"
     cargo run --release -q -p ftkr-bench --bin campaign_shard -- stats LU lu_rhs "$medians"
+    # Fork-point checkpoint executor vs cold-start executor: two satellite
+    # regions plus the latest window in the registry (LU's last main-loop
+    # iteration), where the skipped clean prefix is longest.
+    cargo run --release -q -p ftkr-bench --bin campaign_shard -- speedup LU region:lu_blts "$medians"
+    cargo run --release -q -p ftkr-bench --bin campaign_shard -- speedup MG region:mg_a "$medians"
+    cargo run --release -q -p ftkr-bench --bin campaign_shard -- speedup LU iter:last "$medians"
     cargo run --release -q -p ftkr-bench --bin bench_report -- \
         "$medians" crates/bench/baseline_seed.jsonl BENCH_fliptracker.json
     exit 0
@@ -38,6 +44,9 @@ fi
 
 echo "==> registry-wide spec-conformance harness (all ten apps)"
 cargo test --release -q --test conformance
+
+echo "==> checkpoint equivalence: fork-point executor == cold executor (all ten apps)"
+cargo test --release -q --test checkpoint_equivalence
 
 echo "==> fused-pipeline differentials: exact sweep == forward taint == streaming"
 cargo test --release -q --test property_based fused

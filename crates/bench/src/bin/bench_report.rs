@@ -69,6 +69,25 @@ struct Report {
     /// materialized faulty trace holds per injection vs the interned
     /// locations (the only per-run state) the streamed run retains.
     campaign_streaming_resident_events_ratio_mg: Option<f64>,
+    /// Fork-point checkpoint executor vs cold-start executor: campaign wall
+    /// time on LU region `lu_blts` (`Session::run_plan_cold` over
+    /// `Session::run_plan`, warm checkpoint).
+    campaign_checkpoint_speedup_lu: Option<f64>,
+    /// Fork-point vs cold campaign wall time on MG region `mg_a`.
+    campaign_checkpoint_speedup_mg: Option<f64>,
+    /// Fork-point vs cold campaign wall time on LU's *last* main-loop
+    /// iteration — the latest window in the registry, so the fork path skips
+    /// nearly the whole clean prefix on every test.
+    campaign_checkpoint_speedup_lu_last_iteration: Option<f64>,
+    /// One-time snapshot capture cost on the LU last-iteration target, in
+    /// nanoseconds (amortized over every test of the campaign).
+    campaign_checkpoint_capture_ns_lu_last_iteration: Option<u64>,
+    /// Per-test restore cost on the LU last-iteration target, in nanoseconds
+    /// (a resume stopped at the snapshot's own step — pure restoration).
+    campaign_checkpoint_restore_ns_lu_last_iteration: Option<u64>,
+    /// Snapshot footprint on the LU last-iteration target: live memory cells
+    /// captured in the image.
+    campaign_checkpoint_snapshot_cells_lu_last_iteration: Option<u64>,
 }
 
 /// Parse one `{"name":...,"median_ns":...}` timing line or one
@@ -195,6 +214,27 @@ fn main() {
             fresh_counts.get("campaign_streaming/materialized_trace_events/MG"),
             fresh_counts.get("campaign_streaming/streaming_resident_locations/MG"),
         ),
+        campaign_checkpoint_speedup_lu: ratio(
+            fresh.get("campaign_checkpoint/cold/LU@lu_blts"),
+            fresh.get("campaign_checkpoint/fork/LU@lu_blts"),
+        ),
+        campaign_checkpoint_speedup_mg: ratio(
+            fresh.get("campaign_checkpoint/cold/MG@mg_a"),
+            fresh.get("campaign_checkpoint/fork/MG@mg_a"),
+        ),
+        campaign_checkpoint_speedup_lu_last_iteration: ratio(
+            fresh.get("campaign_checkpoint/cold/LU@iter_last"),
+            fresh.get("campaign_checkpoint/fork/LU@iter_last"),
+        ),
+        campaign_checkpoint_capture_ns_lu_last_iteration: fresh
+            .get("campaign_checkpoint/capture/LU@iter_last")
+            .copied(),
+        campaign_checkpoint_restore_ns_lu_last_iteration: fresh
+            .get("campaign_checkpoint/restore/LU@iter_last")
+            .copied(),
+        campaign_checkpoint_snapshot_cells_lu_last_iteration: fresh_counts
+            .get("campaign_checkpoint/snapshot_cells/LU@iter_last")
+            .copied(),
         benchmarks,
     };
 
@@ -238,6 +278,27 @@ fn main() {
         println!(
             "bench_report: streaming campaign resident state: {s:.0}x fewer entries than a \
              materialized faulty trace"
+        );
+    }
+    for (label, speedup) in [
+        ("LU lu_blts", report.campaign_checkpoint_speedup_lu),
+        ("MG mg_a", report.campaign_checkpoint_speedup_mg),
+        (
+            "LU last iteration",
+            report.campaign_checkpoint_speedup_lu_last_iteration,
+        ),
+    ] {
+        if let Some(s) = speedup {
+            println!("bench_report: fork-point campaign vs cold ({label}): {s:.2}x");
+        }
+    }
+    if let (Some(c), Some(r)) = (
+        report.campaign_checkpoint_capture_ns_lu_last_iteration,
+        report.campaign_checkpoint_restore_ns_lu_last_iteration,
+    ) {
+        println!(
+            "bench_report: checkpoint capture {c} ns once, restore {r} ns per test \
+             (LU last iteration)"
         );
     }
 }

@@ -7,11 +7,12 @@
 //! whole campaign in one process.
 //!
 //! ```sh
-//! campaign_shard plan   <app> <target> <class> <n_tests> <seed> <k> <dir>
-//! campaign_shard run    <plan.json> [report.json]
-//! campaign_shard merge  <report.json> <report.json>...
-//! campaign_shard resume <manifest-dir>
-//! campaign_shard stats  <app> <region> [out.jsonl]
+//! campaign_shard plan    <app> <target> <class> <n_tests> <seed> <k> <dir>
+//! campaign_shard run     <plan.json> [report.json]
+//! campaign_shard merge   <report.json> <report.json>...
+//! campaign_shard resume  <manifest-dir>
+//! campaign_shard stats   <app> <region> [out.jsonl]
+//! campaign_shard speedup <app> <region:NAME|iter:N|iter:last> [out.jsonl]
 //! ```
 //!
 //! * `plan` resolves the target's dynamic window in a session and writes
@@ -31,6 +32,13 @@
 //!   reference trace, plus the streaming campaign path's resident-event
 //!   footprint, as JSON lines that `bench_report` folds into
 //!   `BENCH_fliptracker.json`.
+//! * `speedup` measures the fork-point checkpoint executor against the
+//!   cold-start executor on one campaign target (wall time of
+//!   `Session::run_plan` vs `Session::run_plan_cold`, plus one-time capture
+//!   cost, per-run restore cost, and snapshot footprint counters), in the
+//!   same JSONL shape.  `iter:last` resolves to the final main-loop
+//!   iteration — the latest window the registry offers, i.e. the longest
+//!   clean prefix the fork path can skip.
 
 use std::process::exit;
 
@@ -44,7 +52,8 @@ fn usage() -> ! {
          <n_tests> <seed> <k> <dir>\n  campaign_shard run    <plan.json> [report.json]\n  \
          campaign_shard merge  <report.json> <report.json>...\n  \
          campaign_shard resume <manifest-dir>\n  \
-         campaign_shard stats  <app> <region> [out.jsonl]"
+         campaign_shard stats  <app> <region> [out.jsonl]\n  \
+         campaign_shard speedup <app> <region:NAME|iter:N|iter:last> [out.jsonl]"
     );
     exit(2);
 }
@@ -291,6 +300,143 @@ fn cmd_stats(args: &[String]) {
     }
 }
 
+/// Median wall time of `f` in nanoseconds over `repeats` timed runs.
+fn median_ns(repeats: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..repeats)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn cmd_speedup(args: &[String]) {
+    let (app, target_text, out) = match args {
+        [app, target] => (app, target, None),
+        [app, target, out] => (app, target, Some(out)),
+        _ => usage(),
+    };
+    let session = Session::by_name(app).unwrap_or_else(|| {
+        eprintln!("campaign_shard: unknown application {app:?}");
+        exit(1);
+    });
+    // `iter:last` is resolved here (plans carry absolute indices only).
+    let (target, label) = if *target_text == "iter:last" {
+        let index = session.iterations().len() - 1;
+        (CampaignTarget::Iteration { index }, "iter_last".to_string())
+    } else {
+        let t = parse_target(target_text);
+        let label = match &t {
+            CampaignTarget::Region { name } => name.clone(),
+            CampaignTarget::Iteration { index } => format!("iter_{index}"),
+            CampaignTarget::WholeProgram => {
+                eprintln!("campaign_shard: speedup needs a mid-run target, not `whole`");
+                exit(1);
+            }
+        };
+        (t, label)
+    };
+    const N_TESTS: u64 = 24;
+    const SEED: u64 = 0xBE7C_4A5E;
+    let plan = session
+        .plan(target, TargetClass::Internal, N_TESTS)
+        .unwrap_or_else(|e| {
+            eprintln!("campaign_shard: {e}");
+            exit(1);
+        })
+        .with_seed(SEED);
+
+    // Warm every lazy cache both paths share (sites, clean trace, the
+    // checkpoint), then verify once more that fork == cold before timing —
+    // a speedup number for a divergent executor would be meaningless.
+    let cold_report = session.run_plan_cold(&plan).expect("cold plan executes");
+    let fork_report = session.run_plan(&plan).expect("forked plan executes");
+    assert_eq!(
+        fork_report.to_json(),
+        cold_report.to_json(),
+        "fork-point report diverged from the cold report"
+    );
+
+    let repeats = 5;
+    let cold_ns = median_ns(repeats, || {
+        let _ = session.run_plan_cold(&plan).unwrap();
+    });
+    let fork_ns = median_ns(repeats, || {
+        let _ = session.run_plan(&plan).unwrap();
+    });
+
+    // One-time capture cost, per-run restore cost, snapshot footprint.  The
+    // restore cost is isolated by resuming with `max_steps` equal to the
+    // snapshot's own step: the resumed run hits the step limit before
+    // executing a single instruction, so the wall time is restoration alone.
+    let module = &session.app().module;
+    let probe = Vm::new(VmConfig::default());
+    // The executor forks at the earliest sampled site step; recover it from
+    // the sites the plan resolves (the same derivation `run_plan` uses).
+    let sites = session
+        .sites(&plan.target, plan.class)
+        .expect("target resolves");
+    let fork_at = sites.iter().map(|s| s.at_step).min().unwrap_or(0);
+    let mut captured = None;
+    let capture_ns = median_ns(repeats, || {
+        captured = probe.snapshot_at(module, fork_at).unwrap();
+    });
+    let snap = captured.expect("fork step is mid-run");
+    let restore_ns = median_ns(repeats, || {
+        let stopper = Vm::new(VmConfig {
+            max_steps: snap.step(),
+            ..VmConfig::default()
+        });
+        let _ = stopper.resume_from(module, &snap).unwrap();
+    });
+
+    let records = [
+        (format!("campaign_checkpoint/cold/{app}@{label}"), cold_ns, "median_ns"),
+        (format!("campaign_checkpoint/fork/{app}@{label}"), fork_ns, "median_ns"),
+        (format!("campaign_checkpoint/capture/{app}@{label}"), capture_ns, "median_ns"),
+        (format!("campaign_checkpoint/restore/{app}@{label}"), restore_ns, "median_ns"),
+        (
+            format!("campaign_checkpoint/snapshot_cells/{app}@{label}"),
+            snap.memory_cells(),
+            "count",
+        ),
+        (
+            format!("campaign_checkpoint/snapshot_locations/{app}@{label}"),
+            snap.num_locations() as u64,
+            "count",
+        ),
+        (format!("campaign_checkpoint/fork_step/{app}@{label}"), snap.step(), "count"),
+    ];
+    let mut lines = String::new();
+    for (name, value, key) in records {
+        lines.push_str(&format!("{{\"name\":\"{name}\",\"{key}\":{value}}}\n"));
+    }
+    eprintln!(
+        "campaign_shard: {app}@{label}: cold {cold_ns} ns, fork {fork_ns} ns \
+         ({:.2}x), capture {capture_ns} ns, restore {restore_ns} ns, fork step {}",
+        cold_ns as f64 / fork_ns.max(1) as f64,
+        snap.step()
+    );
+    match out {
+        Some(path) => {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| {
+                    eprintln!("campaign_shard: cannot open {path}: {e}");
+                    exit(1);
+                });
+            f.write_all(lines.as_bytes()).expect("append speedup records");
+        }
+        None => print!("{lines}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -300,6 +446,7 @@ fn main() {
             "merge" => cmd_merge(rest),
             "resume" => cmd_resume(rest),
             "stats" => cmd_stats(rest),
+            "speedup" => cmd_speedup(rest),
             _ => usage(),
         },
         None => usage(),

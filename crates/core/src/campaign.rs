@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use ftkr_inject::{CampaignPlan, CampaignReport, IndexRange};
 use ftkr_patterns::{PatternKind, StreamingDetector};
-use ftkr_vm::{Vm, VmConfig};
+use ftkr_vm::{Vm, VmConfig, VmSnapshot};
 
 use crate::session::{PlanError, Session};
 
@@ -120,17 +120,42 @@ impl Session {
     /// bank as it executes — no faulty trace is materialized for any of the
     /// plan's injections.  The clean reference trace *is* materialized once
     /// (pattern detection aligns faulty events against it).
+    ///
+    /// Like [`Session::run_plan`], mid-run fault populations fork from a
+    /// fault-free checkpoint: one detector is primed over the clean prefix
+    /// ([`StreamingDetector::primed`]), and every test forks it
+    /// ([`StreamingDetector::fork`]) and resumes the VM from the snapshot.
+    /// Both the outcome tally and the pattern tally are bit-identical to
+    /// [`Session::run_plan_analyzed_cold`].
     pub fn run_plan_analyzed(
         &self,
         plan: &CampaignPlan,
     ) -> Result<AnalyzedCampaignReport, PlanError> {
-        self.require_registry_size()?;
-        if !plan.app.eq_ignore_ascii_case(self.app().name) {
-            return Err(PlanError::AppMismatch {
-                session_app: self.app().name.to_string(),
-                plan_app: plan.app.clone(),
-            });
-        }
+        self.check_plan(plan)?;
+        let sites = self.sites(&plan.target, plan.class)?;
+        let fork = Session::fork_step(&sites);
+        let snapshot = if fork > 0 { self.checkpoint_at(fork) } else { None };
+        self.run_plan_analyzed_with(plan, snapshot.as_ref())
+    }
+
+    /// The cold-start reference executor of [`Session::run_plan_analyzed`]:
+    /// every faulty run re-executes the clean prefix and its detector
+    /// streams from event zero.  Kept public (and exercised by the
+    /// equivalence suite) as the first-principles baseline the fork-point
+    /// path is held byte-identical to.
+    pub fn run_plan_analyzed_cold(
+        &self,
+        plan: &CampaignPlan,
+    ) -> Result<AnalyzedCampaignReport, PlanError> {
+        self.check_plan(plan)?;
+        self.run_plan_analyzed_with(plan, None)
+    }
+
+    fn run_plan_analyzed_with(
+        &self,
+        plan: &CampaignPlan,
+        forked: Option<&VmSnapshot>,
+    ) -> Result<AnalyzedCampaignReport, PlanError> {
         let sites = self.sites(&plan.target, plan.class)?;
         let sites: &[ftkr_inject::FaultSite] = sites.as_slice();
         let clean = self.clean_trace();
@@ -140,6 +165,11 @@ impl Session {
         // Capture only Sync state in the worker closures (not the session).
         let app = self.app();
         let module = &app.module;
+        // One detector is primed over the clean prefix up to the fork; every
+        // test forks it (cheap clone) instead of re-streaming the prefix.
+        let primed = forked.map(|snap| {
+            StreamingDetector::primed(clean, snap.events_emitted() as usize, snap.num_locations())
+        });
 
         // ONE streamed faulty run per test: the detector observes the events
         // as they execute, and the run result classifies the outcome — the
@@ -158,10 +188,18 @@ impl Session {
                         max_steps,
                         ..VmConfig::default()
                     };
-                    let mut detector = StreamingDetector::new(clean, fault);
-                    let result = Vm::new(config)
-                        .run_with_visitors(module, &mut [&mut detector])
-                        .expect("module verifies");
+                    let mut detector = match &primed {
+                        Some(p) => p.fork(fault),
+                        None => StreamingDetector::new(clean, fault),
+                    };
+                    let vm = Vm::new(config);
+                    let result = match forked {
+                        Some(snap) => {
+                            vm.resume_with_visitors(module, snap, &mut [&mut detector])
+                        }
+                        None => vm.run_with_visitors(module, &mut [&mut detector]),
+                    }
+                    .expect("module verifies");
                     let mut counts = ftkr_inject::CampaignCounts::default();
                     counts.record(if !result.outcome.is_completed() {
                         ftkr_inject::Outcome::Crashed
@@ -223,6 +261,24 @@ mod tests {
             "expected some pattern instances: {analyzed:?}"
         );
         assert!(analyzed.tests_with_patterns <= plain.n_tests);
+    }
+
+    #[test]
+    fn analyzed_fork_point_execution_matches_the_cold_executor_byte_for_byte() {
+        let session = Session::by_name("IS").unwrap();
+        let plan = session
+            .plan(
+                CampaignTarget::Region {
+                    name: session.app().regions.last().unwrap().clone(),
+                },
+                TargetClass::Internal,
+                16,
+            )
+            .unwrap()
+            .with_seed(31337);
+        let cold = session.run_plan_analyzed_cold(&plan).unwrap();
+        let forked = session.run_plan_analyzed(&plan).unwrap();
+        assert_eq!(forked.to_json(), cold.to_json());
     }
 
     #[test]

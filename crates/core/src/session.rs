@@ -32,7 +32,7 @@ use ftkr_inject::{
 use ftkr_patterns::{assign_to_regions, PatternRates, RegionPatternSummary};
 use ftkr_trace::{instance_slice, partition_iterations, partition_regions, RegionInstance,
     RegionSelector};
-use ftkr_vm::{FaultSpec, RunResult, Trace, TraceScope, Vm, VmConfig};
+use ftkr_vm::{FaultSpec, RunResult, Trace, TraceScope, Vm, VmConfig, VmSnapshot};
 
 use crate::effort::Effort;
 use crate::experiments::{SuccessRatePoint, SuccessRateSeries};
@@ -144,6 +144,8 @@ pub struct Session {
     dddgs: RefCell<HashMap<(usize, usize), Rc<Dddg>>>,
     /// Fault-site lists, keyed by campaign target and class.
     sites: SiteCache,
+    /// Fork-point checkpoints of the fault-free run, keyed by capture step.
+    checkpoints: RefCell<HashMap<u64, VmSnapshot>>,
 }
 
 impl Session {
@@ -158,6 +160,7 @@ impl Session {
             iterations: OnceCell::new(),
             dddgs: RefCell::new(HashMap::new()),
             sites: RefCell::new(HashMap::new()),
+            checkpoints: RefCell::new(HashMap::new()),
         }
     }
 
@@ -411,6 +414,33 @@ impl Session {
         list
     }
 
+    // -- fork-point checkpoints -------------------------------------------
+
+    /// The fault-free VM state at dynamic step `step`, captured once and then
+    /// shared by every fork (a [`VmSnapshot`] clone is one `Arc` bump).
+    /// Returns `None` when the fault-free run finishes at or before `step`.
+    ///
+    /// Capturing replays the prefix in a throwaway interpreter; it never
+    /// touches the session's cached clean run, so shard executors that fork
+    /// campaigns from a checkpoint still avoid full-trace materialization.
+    pub fn checkpoint_at(&self, step: u64) -> Option<VmSnapshot> {
+        if let Some(snap) = self.checkpoints.borrow().get(&step) {
+            return Some(snap.clone());
+        }
+        let snap = Vm::new(VmConfig::default())
+            .snapshot_at(&self.app.module, step)
+            .expect("benchmark module must verify")?;
+        self.checkpoints.borrow_mut().insert(step, snap.clone());
+        Some(snap)
+    }
+
+    /// The fork step of a site list: the earliest dynamic step any of its
+    /// faults can strike.  A checkpoint captured there is safe for every
+    /// test of the campaign, and as late as possible (maximum prefix saved).
+    pub(crate) fn fork_step(sites: &[FaultSite]) -> u64 {
+        sites.iter().map(|s| s.at_step).min().unwrap_or(0)
+    }
+
     // -- campaigns ---------------------------------------------------------
 
     /// A campaign against this application, judged by its verification
@@ -457,7 +487,45 @@ impl Session {
     /// closure of the old `Campaign::new(&module, closure)` API is gone:
     /// the plan names the application, and the session supplies its
     /// registry-defined verification phase.
+    ///
+    /// When the plan's fault population lies strictly after program entry —
+    /// every region and iteration target — the faulty runs fork from a
+    /// cached fault-free checkpoint at the earliest sampled step
+    /// ([`Session::checkpoint_at`]) instead of each re-executing the clean
+    /// prefix.  The fault sequence is a pure function of `(seed, index)`
+    /// either way, and the VM prefix is deterministic, so the report is
+    /// bit-identical to [`Session::run_plan_cold`] — the equivalence the
+    /// `checkpoint_equivalence` integration suite holds over the whole
+    /// application registry.
     pub fn run_plan(&self, plan: &CampaignPlan) -> Result<CampaignReport, PlanError> {
+        self.check_plan(plan)?;
+        let sites = self.plan_sites(plan)?;
+        let shard = plan.shard.intersect(IndexRange::full(plan.n_tests));
+        let fork = Self::fork_step(&sites);
+        if fork > 0 {
+            if let Some(snapshot) = self.checkpoint_at(fork) {
+                return Ok(self
+                    .campaign(plan.seed)
+                    .run_range_from(&sites, shard, &snapshot));
+            }
+        }
+        Ok(self.campaign(plan.seed).run_range(&sites, shard))
+    }
+
+    /// Execute a campaign plan with every faulty run cold-started from
+    /// program entry — the reference executor [`Session::run_plan`] must
+    /// stay byte-identical to.  Kept public (and exercised by the
+    /// equivalence suite) so the fork-point path is always checkable against
+    /// first principles.
+    pub fn run_plan_cold(&self, plan: &CampaignPlan) -> Result<CampaignReport, PlanError> {
+        self.check_plan(plan)?;
+        let sites = self.plan_sites(plan)?;
+        let shard = plan.shard.intersect(IndexRange::full(plan.n_tests));
+        Ok(self.campaign(plan.seed).run_range(&sites, shard))
+    }
+
+    /// Shared validation of [`Session::run_plan`]-family entry points.
+    pub(crate) fn check_plan(&self, plan: &CampaignPlan) -> Result<(), PlanError> {
         self.require_registry_size()?;
         if !plan.app.eq_ignore_ascii_case(self.app.name) {
             return Err(PlanError::AppMismatch {
@@ -465,9 +533,7 @@ impl Session {
                 plan_app: plan.app.clone(),
             });
         }
-        let sites = self.plan_sites(plan)?;
-        let shard = plan.shard.intersect(IndexRange::full(plan.n_tests));
-        Ok(self.campaign(plan.seed).run_range(&sites, shard))
+        Ok(())
     }
 
     /// Plans name the application symbolically, so both planning and
@@ -839,6 +905,40 @@ mod tests {
             "windowed execution must not record a full clean trace"
         );
         assert_eq!(report, reference);
+    }
+
+    #[test]
+    fn plan_execution_forks_from_a_checkpoint_and_matches_the_cold_path() {
+        let session = Session::by_name("IS").unwrap();
+        let region = session.app().regions.last().unwrap().clone();
+        let plan = session
+            .plan(CampaignTarget::Region { name: region }, TargetClass::Internal, 12)
+            .unwrap()
+            .with_seed(5);
+        let cold = session.run_plan_cold(&plan).unwrap();
+        assert!(
+            session.checkpoints.borrow().is_empty(),
+            "the cold path must not capture checkpoints"
+        );
+        let forked = session.run_plan(&plan).unwrap();
+        assert!(
+            !session.checkpoints.borrow().is_empty(),
+            "a mid-run fault population must fork from a checkpoint"
+        );
+        assert_eq!(forked, cold);
+        // The checkpoint is captured once and reused across executions.
+        let captured = session.checkpoints.borrow().len();
+        let again = session.run_plan(&plan).unwrap();
+        assert_eq!(again, cold);
+        assert_eq!(session.checkpoints.borrow().len(), captured);
+    }
+
+    #[test]
+    fn checkpoints_past_the_end_of_the_run_are_unavailable() {
+        let session = Session::by_name("IS").unwrap();
+        let steps = session.clean_steps();
+        assert!(session.checkpoint_at(steps).is_none());
+        assert!(session.checkpoint_at(steps / 2).is_some());
     }
 
     #[test]

@@ -6,7 +6,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use ftkr_ir::Module;
-use ftkr_vm::{FaultSpec, RunResult, Vm, VmConfig};
+use ftkr_vm::{FaultSpec, RunResult, Vm, VmConfig, VmSnapshot};
 
 use crate::outcome::{CampaignCounts, Outcome};
 use crate::plan::IndexRange;
@@ -141,6 +141,46 @@ where
         }
     }
 
+    /// Run a single faulty run forked from a checkpoint and classify it —
+    /// the fork-point analogue of [`Campaign::run_one`]: instead of
+    /// re-executing the clean prefix `[0, snapshot.step())`, the run resumes
+    /// from the captured state.  Deterministic prefixes make the
+    /// classification bit-identical to [`Campaign::run_one`] for any fault
+    /// at or after the fork point.
+    ///
+    /// # Panics
+    /// Panics when `fault.at_step` precedes the checkpoint: such a fault
+    /// would have to strike inside the restored prefix state, which the
+    /// resumed run never executes — it would silently land nowhere (or, for
+    /// a memory fault, at the wrong step).  Rejecting it loudly keeps
+    /// fork-point campaigns honest; callers must fork only from checkpoints
+    /// at or before their site window.
+    pub fn run_one_from(&self, snapshot: &VmSnapshot, fault: FaultSpec) -> Outcome {
+        assert!(
+            fault.at_step >= snapshot.step(),
+            "fault at step {} precedes the checkpoint at step {}: \
+             it cannot strike in a forked run",
+            fault.at_step,
+            snapshot.step()
+        );
+        let config = VmConfig {
+            fault: Some(fault),
+            max_steps: self.max_steps,
+            ..VmConfig::default()
+        };
+        let result = Vm::new(config)
+            .resume_from(self.module, snapshot)
+            .expect("campaign module must verify");
+        if !result.outcome.is_completed() {
+            return Outcome::Crashed;
+        }
+        if (self.verify)(&result) {
+            Outcome::VerificationSuccess
+        } else {
+            Outcome::VerificationFailed
+        }
+    }
+
     /// The fault injected by test `index` of a campaign: sampled uniformly
     /// from `sites × 64 bits` by an RNG derived from `(seed, index)`.  Each
     /// test owns its derivation, so campaigns stay deterministic per seed
@@ -175,6 +215,25 @@ where
     /// [`CampaignReport::merge`] is bit-identical to [`Campaign::run`].
     pub fn run_range(&self, sites: &[FaultSite], range: IndexRange) -> CampaignReport {
         self.run_range_by(sites, range, |fault| self.run_one(fault))
+    }
+
+    /// Run one index-range shard of a campaign with every test forked from
+    /// `snapshot` instead of cold-started ([`Campaign::run_one_from`]).  The
+    /// fault sequence is the same pure function of `(seed, index)`, so as
+    /// long as every sampled site lies at or after the checkpoint step the
+    /// report is bit-identical to [`Campaign::run_range`] — at the cost of
+    /// executing only the suffix of each faulty run.
+    ///
+    /// # Panics
+    /// Panics (per test) when a sampled fault precedes the checkpoint; see
+    /// [`Campaign::run_one_from`].
+    pub fn run_range_from(
+        &self,
+        sites: &[FaultSite],
+        range: IndexRange,
+        snapshot: &VmSnapshot,
+    ) -> CampaignReport {
+        self.run_range_by(sites, range, |fault| self.run_one_from(snapshot, fault))
     }
 
     /// Like [`Campaign::run_range`], but each test is executed and classified
@@ -416,6 +475,49 @@ mod tests {
         // A report survives the JSON round trip unchanged.
         let back = CampaignReport::from_json(&merged.to_json()).unwrap();
         assert_eq!(back, merged);
+    }
+
+    #[test]
+    fn fork_point_campaign_matches_the_cold_campaign_bit_for_bit() {
+        let m = module();
+        let trace = clean_trace(&m);
+        // Restrict sites to the second half of the trace, then checkpoint at
+        // the earliest sampled step: every fault lands at or after the fork.
+        let window_start = trace.len() / 2;
+        let sites = internal_sites(&trace, window_start, trace.len());
+        assert!(!sites.is_empty());
+        let fork = sites.iter().map(|s| s.at_step).min().unwrap();
+        let snapshot = Vm::new(VmConfig::default())
+            .snapshot_at(&m, fork)
+            .unwrap()
+            .expect("fork step is mid-run");
+        let campaign = Campaign::new(&m, verify)
+            .with_seed(99)
+            .with_max_steps(trace.len() as u64 * 10 + 1000);
+        let cold = campaign.run_range(&sites, IndexRange::full(120));
+        let forked = campaign.run_range_from(&sites, IndexRange::full(120), &snapshot);
+        assert_eq!(forked, cold);
+        // Sharded fork-point ranges merge exactly like cold ones.
+        let merged = [IndexRange::new(0, 37), IndexRange::new(37, 120)]
+            .iter()
+            .map(|&r| campaign.run_range_from(&sites, r, &snapshot))
+            .reduce(|a, b| a.merge(&b))
+            .unwrap();
+        assert_eq!(merged, cold);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes the checkpoint")]
+    fn fork_point_execution_rejects_faults_before_the_checkpoint() {
+        let m = module();
+        let trace = clean_trace(&m);
+        let snapshot = Vm::new(VmConfig::default())
+            .snapshot_at(&m, trace.len() as u64 / 2)
+            .unwrap()
+            .unwrap();
+        let campaign = Campaign::new(&m, verify);
+        // A fault in the restored prefix must trap loudly, not vanish.
+        let _ = campaign.run_one_from(&snapshot, FaultSpec::in_result(0, 1));
     }
 
     #[test]

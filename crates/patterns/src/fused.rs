@@ -69,6 +69,7 @@ fn instance(
 /// One Repeated-Additions chain: read-modify-write updates to a single
 /// memory cell while its dataflow is corrupted (dense replacement for the
 /// legacy per-address hash map).
+#[derive(Clone)]
 struct RaChain {
     addr: u64,
     first_err: f64,
@@ -87,6 +88,7 @@ struct RaChain {
 /// in the concatenation order the deleted legacy `detect_all` used, so the
 /// output ordering contract survives it — pinned today by the
 /// golden-snapshot tests in `crates/patterns/tests/golden_scenarios.rs`.
+#[derive(Clone)]
 struct DetectorBank {
     /// Per location id: last `Load` event that read this memory cell.
     last_load: Vec<u32>,
@@ -530,7 +532,7 @@ pub fn analyze_fused_seeds(
 /// A growable bitmap over the (still-growing) location id space of a
 /// streaming run, with a live counter so an empty set costs nothing to
 /// query.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct GrowSet {
     words: Vec<u64>,
     alive: u32,
@@ -649,6 +651,59 @@ impl<'c> StreamingDetector<'c> {
             seeded_now: Vec::new(),
             outcome: None,
             events_seen: 0,
+            finished: None,
+        }
+    }
+
+    /// A prefix-primed detector for fork-point campaign executors: the
+    /// fault-free prefix `clean.events[..prefix_events]` is fed through the
+    /// cheap prefix path **once**, against the location table as it stood at
+    /// the fork point (`prefix_locations` entries).  The primed detector
+    /// carries no fault yet; [`StreamingDetector::fork`] clones it per
+    /// injection, so a campaign pays the prefix walk once instead of once
+    /// per test.
+    ///
+    /// The resulting state is behaviourally identical to a cold streaming
+    /// run's at the fork: only the last-load table, the event counter and
+    /// the scanned-locations cursor carry information before a fault
+    /// strikes, and all three depend on the prefix events alone.
+    pub fn primed(clean: &'c Trace, prefix_events: usize, prefix_locations: usize) -> Self {
+        assert!(prefix_events <= clean.len(), "prefix exceeds the clean trace");
+        let locations = &clean.locations()[..prefix_locations];
+        // Sentinel fault: no real injection strikes at u64::MAX, so every
+        // prefix event takes the pre-fault path.
+        let mut primed = StreamingDetector::new(clean, FaultSpec::in_result(u64::MAX, 0));
+        for (index, event) in clean.events[..prefix_events].iter().enumerate() {
+            primed.on_prefix_event(index, event, clean.reads_of(event), locations);
+        }
+        primed
+    }
+
+    /// Clone a primed detector for one injection, arming it with `fault`.
+    ///
+    /// # Panics
+    /// Panics when `fault.at_step` precedes the primed prefix: such a fault
+    /// would have to strike inside state this detector (and the fork-point
+    /// executor it rides) treats as fault-free — rejecting it loudly beats
+    /// silently mis-classifying the injection.
+    pub fn fork(&self, fault: FaultSpec) -> StreamingDetector<'c> {
+        assert!(
+            fault.at_step >= self.events_seen as u64,
+            "fault at step {} precedes the checkpoint (primed through event {})",
+            fault.at_step,
+            self.events_seen
+        );
+        StreamingDetector {
+            clean: self.clean,
+            fault,
+            bank: self.bank.clone(),
+            tainted: self.tainted.clone(),
+            marks: self.marks.clone(),
+            pending_mem: self.pending_mem.clone(),
+            seen_locations: self.seen_locations,
+            seeded_now: Vec::new(),
+            outcome: None,
+            events_seen: self.events_seen,
             finished: None,
         }
     }
@@ -1048,6 +1103,60 @@ mod tests {
             assert!(result.trace.is_none());
             assert_eq!(streamed, materialized, "fault {fault:?}");
         }
+    }
+
+    #[test]
+    fn primed_fork_detectors_match_cold_streaming_over_resumed_runs() {
+        let module = busy_module();
+        let clean = Vm::new(VmConfig::tracing())
+            .run(&module)
+            .unwrap()
+            .trace
+            .unwrap();
+        let fork = clean.len() as u64 / 3;
+        let snap = Vm::new(VmConfig::default())
+            .snapshot_at(&module, fork)
+            .unwrap()
+            .expect("mid-run step");
+        let primed = StreamingDetector::primed(
+            &clean,
+            snap.events_emitted() as usize,
+            snap.num_locations(),
+        );
+        let faults = [
+            FaultSpec::in_result(fork, 40),
+            FaultSpec::in_result(fork + 13, 2),
+            FaultSpec::in_result(clean.len() as u64 - 2, 52),
+            FaultSpec::in_memory(fork, 0, 30),
+            FaultSpec::in_memory(fork + 7, 3, 52),
+        ];
+        for fault in faults {
+            let (cold_result, cold_patterns) =
+                detect_streaming(&module, &clean, fault, VmConfig::default());
+            let mut forked = primed.fork(fault);
+            let config = ftkr_vm::VmConfig {
+                fault: Some(fault),
+                ..ftkr_vm::VmConfig::default()
+            };
+            let forked_result = Vm::new(config)
+                .resume_with_visitors(&module, &snap, &mut [&mut forked])
+                .unwrap();
+            assert_eq!(forked_result.outcome, cold_result.outcome, "fault {fault:?}");
+            assert_eq!(forked.into_patterns(), cold_patterns, "fault {fault:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes the checkpoint")]
+    fn fork_rejects_faults_that_precede_the_primed_prefix() {
+        let module = busy_module();
+        let clean = Vm::new(VmConfig::tracing())
+            .run(&module)
+            .unwrap()
+            .trace
+            .unwrap();
+        let primed = StreamingDetector::primed(&clean, 20, clean.num_locations());
+        let _ = primed.fork(FaultSpec::in_result(5, 1));
     }
 
     #[test]

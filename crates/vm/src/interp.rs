@@ -11,6 +11,7 @@ use crate::fault::{FaultSpec, FaultTarget};
 use crate::location::Location;
 use crate::memory::{MemError, Memory};
 use crate::output::ProgramOutput;
+use crate::snapshot::{SnapshotImage, VmSnapshot};
 use crate::trace::{EventKind, LocationId, MarkerKind, MarkerRecord, ReadSpan, Trace, TraceEvent};
 use crate::value::Value;
 use crate::visitor::{EventCtx, TraceVisitor, WalkEnd};
@@ -232,8 +233,10 @@ impl VmConfig {
     }
 }
 
-/// Everything a run produces.
-#[derive(Debug, Clone)]
+/// Everything a run produces.  `PartialEq` compares outcome, step count,
+/// outputs, memory image and trace — the full observable state, which is
+/// what the snapshot/restore equivalence tests assert on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// How the run ended.
     pub outcome: RunOutcome,
@@ -265,7 +268,10 @@ pub struct Vm {
     config: VmConfig,
 }
 
-struct Frame {
+/// One live call frame.  `Clone` (and `pub(crate)`) so [`VmSnapshot`] can
+/// capture and restore the whole frame stack.
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
     func: FunctionId,
     frame_id: u32,
     block: BlockId,
@@ -379,6 +385,103 @@ impl Vm {
         config.record_trace = true;
         Ok(Interp::new(module, &config, true).run_with_visitors(entry, Vec::new(), visitors))
     }
+
+    /// Execute the prefix `[0, step)` of the module's `main` function and
+    /// capture the complete interpreter state as a [`VmSnapshot`], without
+    /// materializing a trace.  The instruction at `step` has **not** executed
+    /// when the snapshot is taken, so a fault at `at_step == step` lands
+    /// correctly in a resumed run.
+    ///
+    /// The prefix is executed with trace recording forced on (streamed and
+    /// discarded), so the snapshot's interning tables are exactly those a
+    /// cold recording run builds over the same prefix — the property that
+    /// keeps resumed traces and streamed event indices bit-identical to cold
+    /// runs.  The [`Vm`]'s fault, scope and limit configuration apply to the
+    /// prefix unchanged (campaign executors capture with a fault-free
+    /// configuration).
+    ///
+    /// Returns `Ok(None)` when the run finishes or traps before reaching
+    /// `step` (including via `max_steps`): state past the end of the program
+    /// does not exist. `step == 0` captures the initial state with the entry
+    /// frame pushed.
+    pub fn snapshot_at(
+        &self,
+        module: &Module,
+        step: u64,
+    ) -> Result<Option<VmSnapshot>, VerifyError> {
+        verify_executable(module)?;
+        let (entry, _) = module
+            .function_by_name("main")
+            .expect("verify_executable guarantees main");
+        let mut config = self.config;
+        config.record_trace = true;
+        let mut interp = Interp::new(module, &config, true);
+        let frame = interp.make_frame(entry, Vec::new(), Vec::new(), None);
+        interp.frames.push(frame);
+        let mut emitted = 0u64;
+        while interp.steps < step {
+            if interp.steps >= config.max_steps {
+                return Ok(None);
+            }
+            let flow = interp.step();
+            // Discard the streamed event, keeping only the cursor: the
+            // snapshot records *how many* events the prefix delivered, not
+            // the events themselves.
+            if let Some(event) = interp.trace.events.pop() {
+                interp.trace.pool.truncate(event.reads.offset as usize);
+                emitted += 1;
+            }
+            match flow {
+                StepFlow::Continue => {}
+                StepFlow::Finished | StepFlow::Trap(_) => return Ok(None),
+            }
+        }
+        Ok(Some(interp.capture(emitted)))
+    }
+
+    /// Resume execution from a snapshot and run to completion, exactly as if
+    /// the capturing run had continued past the fork point.  Deterministic
+    /// programs make the composition `snapshot_at(s)` + `resume_from` equal
+    /// to one uninterrupted run — outputs, final memory, outcome and step
+    /// count — with one exception the campaign executors exploit: the
+    /// [`Vm`]'s fault applies to the *resumed* steps, so a fault with
+    /// `at_step >= snapshot.step()` strikes identically to a cold faulty
+    /// run while the prefix is never re-executed.
+    ///
+    /// `max_steps` counts absolute steps (the prefix included), so hang
+    /// detection behaves as in a cold run.  The memory-cell limit is the
+    /// capturing run's (the image carries it); tracing follows this [`Vm`]'s
+    /// configuration and records only resumed steps — the produced trace's
+    /// `base_step` starts at the fork point (or the scope window, if later).
+    pub fn resume_from(
+        &self,
+        module: &Module,
+        snapshot: &VmSnapshot,
+    ) -> Result<RunResult, VerifyError> {
+        verify_executable(module)?;
+        Ok(Interp::from_snapshot(module, &self.config, false, snapshot)
+            .run_loop(None, snapshot.events_emitted() as usize))
+    }
+
+    /// Resume execution from a snapshot, streaming every resumed event to
+    /// `visitors` without materializing a trace (the fork-point analogue of
+    /// [`Vm::run_with_visitors`]).  Event indices continue from
+    /// [`VmSnapshot::events_emitted`] and the location table from the
+    /// snapshot's interned prefix, so visitors observe exactly the suffix of
+    /// the event stream a cold streamed run would deliver — prefix-primed
+    /// consumers (e.g. streaming pattern detectors) compose bit-identically.
+    pub fn resume_with_visitors(
+        &self,
+        module: &Module,
+        snapshot: &VmSnapshot,
+        visitors: &mut [&mut dyn TraceVisitor],
+    ) -> Result<RunResult, VerifyError> {
+        verify_executable(module)?;
+        let mut config = self.config;
+        config.record_trace = true;
+        Ok(Interp::from_snapshot(module, &config, true, snapshot)
+            .run_loop(Some(visitors), snapshot.events_emitted() as usize))
+    }
 }
 
 struct Interp<'m> {
@@ -448,6 +551,73 @@ impl<'m> Interp<'m> {
         interp
     }
 
+    /// Capture the complete current state as a snapshot image.  `emitted` is
+    /// the streamed-event cursor of the capturing prefix run.
+    fn capture(&self, emitted: u64) -> VmSnapshot {
+        VmSnapshot::new(SnapshotImage {
+            step: self.steps,
+            events_emitted: emitted,
+            next_frame_id: self.next_frame_id,
+            memory: self.memory.clone(),
+            frames: self.frames.clone(),
+            outputs: self.outputs.clone(),
+            locations: self.trace.locations.clone(),
+            mem_ids: self.mem_ids.clone(),
+        })
+    }
+
+    /// Rebuild an interpreter from a snapshot: every mutable slab is copied
+    /// out of the shared image (copy-on-restore), so restores never alias.
+    /// When the resumed configuration does not record, the interning tables
+    /// are dropped instead of copied — a plain campaign resume pays for the
+    /// memory image and frames only.
+    fn from_snapshot(
+        module: &'m Module,
+        config: &VmConfig,
+        streaming: bool,
+        snapshot: &VmSnapshot,
+    ) -> Self {
+        let img = snapshot.image();
+        let recording = config.record_trace;
+        let mut trace = Trace::new();
+        // Resumed recording continues the prefix's interned location table,
+        // so ids stay identical to a cold run's first-touch order.
+        if recording {
+            trace.locations = img.locations.clone();
+        }
+        // A resumed trace can only contain resumed steps: its base starts at
+        // the fork point, or at the scope window if that opens later.
+        trace.base_step = match config.trace_scope {
+            TraceScope::Full => img.step,
+            TraceScope::Window { start, .. } => start.max(img.step),
+        };
+        let frames = img
+            .frames
+            .iter()
+            .map(|f| {
+                let mut f = f.clone();
+                if !recording {
+                    f.reg_ids = Vec::new();
+                } else if f.reg_ids.is_empty() {
+                    f.reg_ids = vec![NO_ID; module.function(f.func).num_insts()];
+                }
+                f
+            })
+            .collect();
+        Interp {
+            module,
+            config: *config,
+            memory: img.memory.clone(),
+            outputs: img.outputs.clone(),
+            trace,
+            mem_ids: if recording { img.mem_ids.clone() } else { Vec::new() },
+            frames,
+            steps: img.step,
+            next_frame_id: img.next_frame_id,
+            streaming,
+        }
+    }
+
     fn run(self, entry: FunctionId, args: Vec<Value>) -> RunResult {
         self.run_core(entry, args, None)
     }
@@ -467,11 +637,22 @@ impl<'m> Interp<'m> {
         mut self,
         entry: FunctionId,
         args: Vec<Value>,
-        mut visitors: Option<&mut [&mut dyn TraceVisitor]>,
+        visitors: Option<&mut [&mut dyn TraceVisitor]>,
     ) -> RunResult {
         let frame = self.make_frame(entry, args, Vec::new(), None);
         self.frames.push(frame);
-        let mut emitted = 0usize;
+        self.run_loop(visitors, 0)
+    }
+
+    /// The interpreter main loop, shared by cold runs (`emitted_start == 0`)
+    /// and snapshot-resumed runs (`emitted_start` = the fork point's streamed
+    /// event cursor, so visitor indices continue absolutely).
+    fn run_loop(
+        mut self,
+        mut visitors: Option<&mut [&mut dyn TraceVisitor]>,
+        emitted_start: usize,
+    ) -> RunResult {
+        let mut emitted = emitted_start;
         // Per-operand delivery is opt-in and constant per visitor: query it
         // once instead of once per dynamic instruction.
         let wants_reads: Vec<bool> = visitors
@@ -1505,6 +1686,181 @@ mod tests {
         // The trapping instruction itself records no event (constants are
         // operands, so the division is the very first instruction).
         assert_eq!(rebuild.events.len(), 0);
+    }
+
+    // -- snapshot/restore --------------------------------------------------
+
+    /// The call module of `function_calls_return_values_and_release_allocas`:
+    /// steps 1..=5 execute inside the `square` frame.
+    fn call_module() -> Module {
+        let mut m = Module::new("m");
+        let mut callee = FunctionBuilder::with_args("square", 1);
+        let x = callee.arg(0);
+        let sq = callee.fmul(x, x);
+        let tmp = callee.alloca("tmp", 16);
+        callee.store(tmp, sq);
+        let back = callee.load(tmp);
+        callee.ret(Some(back));
+        m.add_function(callee.finish());
+        let mut main = FunctionBuilder::new("main");
+        let three = main.const_f64(3.0);
+        let nine = main.call("square", vec![three]);
+        main.output(nine, OutputFormat::Full);
+        main.ret(None);
+        m.add_function(main.finish());
+        m
+    }
+
+    #[test]
+    fn snapshot_at_step_zero_resumes_the_whole_run() {
+        let module = sum_module();
+        let vm = Vm::new(VmConfig::default());
+        let cold = vm.run(&module).unwrap();
+        let snap = vm.snapshot_at(&module, 0).unwrap().expect("step 0 exists");
+        assert_eq!(snap.step(), 0);
+        assert_eq!(snap.events_emitted(), 0);
+        assert_eq!(snap.frame_depth(), 1, "entry frame is pushed");
+        let resumed = vm.resume_from(&module, &snap).unwrap();
+        assert_eq!(resumed, cold);
+    }
+
+    #[test]
+    fn snapshot_at_the_final_step_executes_one_instruction() {
+        let module = sum_module();
+        let vm = Vm::new(VmConfig::default());
+        let cold = vm.run(&module).unwrap();
+        let last = cold.steps - 1;
+        let snap = vm
+            .snapshot_at(&module, last)
+            .unwrap()
+            .expect("final step exists");
+        assert_eq!(snap.step(), last);
+        let resumed = vm.resume_from(&module, &snap).unwrap();
+        assert_eq!(resumed, cold);
+        // One past the final step: the program completes first.
+        assert!(vm.snapshot_at(&module, cold.steps).unwrap().is_none());
+        assert!(vm.snapshot_at(&module, u64::MAX).unwrap().is_none());
+    }
+
+    #[test]
+    fn snapshot_inside_a_callee_frame_restores_the_frame_stack() {
+        let module = call_module();
+        let vm = Vm::new(VmConfig::default());
+        let cold = vm.run(&module).unwrap();
+        // Step 3 is the callee's store: two live frames, one live alloca.
+        let snap = vm.snapshot_at(&module, 3).unwrap().expect("mid-run step");
+        assert_eq!(snap.frame_depth(), 2, "snapshot taken inside the callee");
+        assert!(
+            snap.memory_cells() > 0,
+            "the callee's alloca is live at the fork point"
+        );
+        let resumed = vm.resume_from(&module, &snap).unwrap();
+        assert_eq!(resumed, cold);
+        // The callee's alloca was released on return, as in the cold run.
+        assert_eq!(resumed.memory.valid_len(), resumed.memory.globals_len());
+    }
+
+    #[test]
+    fn snapshot_with_skip_markers_streams_the_identical_suffix() {
+        let module = sum_module();
+        let config = VmConfig::default().without_markers();
+        let vm = Vm::new(config);
+
+        let mut cold = Rebuild::default();
+        let cold_run = vm.run_with_visitors(&module, &mut [&mut cold]).unwrap();
+
+        let fork = cold_run.steps / 2;
+        let snap = vm.snapshot_at(&module, fork).unwrap().expect("mid-run step");
+        // Markers are elided from the stream, so the event cursor lags the
+        // step counter.
+        assert!(snap.events_emitted() < snap.step());
+
+        let mut resumed = Rebuild::default();
+        let resumed_run = vm
+            .resume_with_visitors(&module, &snap, &mut [&mut resumed])
+            .unwrap();
+        assert_eq!(resumed_run.outcome, cold_run.outcome);
+        assert_eq!(resumed_run.steps, cold_run.steps);
+        assert_eq!(resumed_run.outputs, cold_run.outputs);
+        assert_eq!(resumed_run.memory, cold_run.memory);
+
+        let skip = snap.events_emitted() as usize;
+        assert_eq!(resumed.events, cold.events[skip..]);
+        assert_eq!(resumed.steps, cold.steps[skip..]);
+    }
+
+    #[test]
+    fn resumed_tracing_records_exactly_the_trace_tail() {
+        let module = sum_module();
+        let full = Vm::new(VmConfig::tracing())
+            .run(&module)
+            .unwrap()
+            .trace
+            .unwrap();
+        let fork = 17u64;
+        let snap = Vm::new(VmConfig::default())
+            .snapshot_at(&module, fork)
+            .unwrap()
+            .expect("mid-run step");
+        let resumed = Vm::new(VmConfig::tracing())
+            .resume_from(&module, &snap)
+            .unwrap()
+            .trace
+            .unwrap();
+        assert_eq!(resumed.base_step(), fork);
+        assert_eq!(resumed.len() as u64, full.len() as u64 - fork);
+        for i in 0..resumed.len() {
+            assert_eq!(
+                resumed.resolved(i),
+                full.resolved(fork as usize + i),
+                "resumed event {i} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn double_restore_from_one_snapshot_does_not_leak_state() {
+        let module = sum_module();
+        let plain = Vm::new(VmConfig::default());
+        let cold = plain.run(&module).unwrap();
+        let snap = plain.snapshot_at(&module, 10).unwrap().expect("mid-run");
+
+        // First restore runs with a fault that corrupts the accumulator…
+        let fault = FaultSpec::in_memory(12, 0, 40);
+        let faulty1 = Vm::new(VmConfig::with_fault(fault))
+            .resume_from(&module, &snap)
+            .unwrap();
+        // …the second, fault-free restore must still equal the cold run: the
+        // faulty resume must not have mutated the shared snapshot image.
+        let clean = plain.resume_from(&module, &snap).unwrap();
+        assert_eq!(clean, cold);
+        // And a repeated faulty restore reproduces the first bit-for-bit.
+        let faulty2 = Vm::new(VmConfig::with_fault(fault))
+            .resume_from(&module, &snap)
+            .unwrap();
+        assert_eq!(faulty1, faulty2);
+    }
+
+    #[test]
+    fn fault_at_the_fork_step_strikes_identically_to_a_cold_run() {
+        let module = sum_module();
+        let fork = 20u64;
+        let snap = Vm::new(VmConfig::default())
+            .snapshot_at(&module, fork)
+            .unwrap()
+            .expect("mid-run step");
+        // Both fault targets, striking exactly at the fork step: a memory
+        // fault fires before the first resumed instruction, a result fault
+        // applies to it.
+        for fault in [
+            FaultSpec::in_result(fork, 5),
+            FaultSpec::in_memory(fork, 0, 3),
+        ] {
+            let vm = Vm::new(VmConfig::with_fault(fault));
+            let cold = vm.run(&module).unwrap();
+            let forked = vm.resume_from(&module, &snap).unwrap();
+            assert_eq!(forked, cold, "fault {fault:?}");
+        }
     }
 
     #[test]

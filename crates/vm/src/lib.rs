@@ -35,6 +35,7 @@ pub mod interp;
 pub mod location;
 pub mod memory;
 pub mod output;
+pub mod snapshot;
 pub mod trace;
 pub mod value;
 pub mod visitor;
@@ -44,6 +45,7 @@ pub use interp::{RunOutcome, RunResult, TraceOpts, TraceScope, TrapKind, Vm, VmC
 pub use location::Location;
 pub use memory::Memory;
 pub use output::{OutputRecord, ProgramOutput};
+pub use snapshot::VmSnapshot;
 pub use trace::{
     EventView, EventKind, LocationId, MarkerKind, MarkerRecord, ReadSpan, ResolvedEvent, Trace,
     TraceBuilder, TraceEvent, TraceSlice,

@@ -22,7 +22,7 @@ pub enum MemError {
 }
 
 /// Flat memory with a global segment and a stack segment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Memory {
     cells: Vec<Value>,
     globals_len: u64,

@@ -546,6 +546,83 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Fork-point restoration is invisible, over random `(app, region, fork
+    /// step, seed, shard split)` draws: snapshotting the fault-free run at an
+    /// arbitrary step inside a region's dynamic window and resuming yields a
+    /// `RunResult` identical to the uninterrupted run; a fault injected after
+    /// the fork manifests exactly as in a cold faulty run (outputs, memory,
+    /// trap kind, final step count); and a seeded region campaign forked from
+    /// the checkpoint, split into random shards and merged, reproduces the
+    /// cold campaign byte-for-byte.
+    #[test]
+    fn fork_point_restoration_is_equivalent_to_cold_execution(
+        app_pick in 0usize..10,
+        region_pick in 0usize..4096,
+        step_pick in any::<u64>(),
+        seed in any::<u64>(),
+        k in 1usize..4,
+        bit in 0u8..64,
+    ) {
+        use ftkr_inject::{CampaignTarget, TargetClass};
+
+        let apps = ftkr_apps::all_apps();
+        let n_apps = apps.len();
+        let app = apps.into_iter().nth(app_pick % n_apps).unwrap();
+        let session = fliptracker::Session::new(app);
+        let regions = session.app().regions.clone();
+        let region = regions[region_pick % regions.len()].clone();
+        let target = CampaignTarget::Region { name: region };
+        let (start, end) = session.target_window(&target).expect("region resolves");
+
+        let module = &session.app().module;
+        let cold = Vm::new(VmConfig::default()).run(module).unwrap();
+        // An arbitrary fork step inside the region's window (clamped to stay
+        // strictly mid-run so a snapshot exists there).
+        let lo = start.max(1);
+        let fork = (lo + step_pick % (end - lo).max(1)).min(cold.steps - 1);
+        let snap = Vm::new(VmConfig::default())
+            .snapshot_at(module, fork)
+            .unwrap()
+            .expect("fork step is mid-run");
+        prop_assert_eq!(snap.step(), fork);
+
+        // Clean resume reproduces the uninterrupted run exactly.
+        let resumed = Vm::new(VmConfig::default()).resume_from(module, &snap).unwrap();
+        prop_assert_eq!(&resumed, &cold);
+
+        // A post-restore fault manifests exactly as in a cold faulty run.
+        // (Debug-format comparison: faulty outputs can contain NaN, which
+        // `PartialEq` would treat as unequal even when bit-identical.)
+        let fault_step = fork + step_pick % (cold.steps - fork);
+        let fault = FaultSpec::in_result(fault_step, bit);
+        let faulty_config = || VmConfig {
+            fault: Some(fault),
+            max_steps: cold.steps * 10 + 10_000,
+            ..VmConfig::default()
+        };
+        let faulty_cold = Vm::new(faulty_config()).run(module).unwrap();
+        let faulty_forked = Vm::new(faulty_config()).resume_from(module, &snap).unwrap();
+        prop_assert_eq!(format!("{faulty_forked:?}"), format!("{faulty_cold:?}"));
+
+        // Campaign-level equivalence under a random seed and shard split.
+        let plan = session
+            .plan(target, TargetClass::Internal, 8)
+            .expect("plan resolves")
+            .with_seed(seed);
+        let reference = session.run_plan_cold(&plan).expect("cold plan executes");
+        let merged = plan
+            .shards(k)
+            .iter()
+            .map(|shard| session.run_plan(shard).expect("forked shard executes"))
+            .reduce(|a, b| a.merge(&b))
+            .expect("at least one shard");
+        prop_assert_eq!(merged.to_json(), reference.to_json());
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// Seed determinism of the campaign machinery, for one promoted (LU)
