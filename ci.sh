@@ -26,6 +26,9 @@ if [[ "${1:-}" == "bench" ]]; then
     cargo run --release -q -p ftkr-bench --bin campaign_shard -- speedup LU region:lu_blts "$medians"
     cargo run --release -q -p ftkr-bench --bin campaign_shard -- speedup MG region:mg_a "$medians"
     cargo run --release -q -p ftkr-bench --bin campaign_shard -- speedup LU iter:last "$medians"
+    # Robustness-machinery overhead: catch_unwind perimeter and the atomic
+    # checksum report write vs their unguarded counterparts.
+    cargo run --release -q -p ftkr-bench --bin campaign_shard -- overhead IS "$medians"
     cargo run --release -q -p ftkr-bench --bin bench_report -- \
         "$medians" crates/bench/baseline_seed.jsonl BENCH_fliptracker.json
     exit 0
@@ -61,8 +64,11 @@ cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
     run "$sharddir/plan_shard_0.json" "$sharddir/report_0.json"
 cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
     run "$sharddir/plan_shard_1.json" "$sharddir/report_1.json"
+# Monolithic reference captured from stdout (bare JSON): shard report
+# *files* carry the crash-consistency checksum footer, stdout documents do
+# not, so every diffed artifact below is plain JSON.
 cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
-    run "$sharddir/plan.json" "$sharddir/report_monolithic.json"
+    run "$sharddir/plan.json" > "$sharddir/report_monolithic.json"
 cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
     merge "$sharddir/report_0.json" "$sharddir/report_1.json" \
     > "$sharddir/report_merged.json"
@@ -75,6 +81,18 @@ cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
     resume "$sharddir" > "$sharddir/report_resumed.json"
 diff "$sharddir/report_monolithic.json" "$sharddir/report_resumed.json"
 echo "    resumed manifest tally is bit-identical to the monolithic run"
+
+echo "==> trap taxonomy: hangs/memory/arithmetic buckets, bit-identical shard merges"
+cargo test --release -q --test trap_taxonomy
+
+echo "==> chaos drill: campaign under injected harness faults converges after resume"
+chaosdir="target/shard-chaos"
+rm -rf "$chaosdir"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    chaos LU region:lu_blts internal 24 7 3 "$chaosdir" 99
+
+echo "==> chaos convergence property suite (random fail-point schedules)"
+cargo test --release -q -p ftkr-bench --test chaos_convergence
 
 echo "==> benches + examples compile"
 cargo build --release --benches --examples

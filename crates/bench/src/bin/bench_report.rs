@@ -88,6 +88,15 @@ struct Report {
     /// Snapshot footprint on the LU last-iteration target: live memory cells
     /// captured in the image.
     campaign_checkpoint_snapshot_cells_lu_last_iteration: Option<u64>,
+    /// Cost of the per-test panic-isolation perimeter: one faulty-run
+    /// execution inside `catch_unwind` over the raw run (IS).  ~1.0 means
+    /// the robustness layer is free on the campaign hot path.
+    campaign_catch_unwind_overhead_ratio: Option<f64>,
+    /// Cost of crash-consistent report persistence: an atomic temp-file +
+    /// checksum-footer write over a plain `fs::write` of the same payload
+    /// (IS).  Reports are written once per shard, so even a few × is noise
+    /// next to the campaign itself.
+    campaign_report_checksum_write_overhead_ratio: Option<f64>,
 }
 
 /// Parse one `{"name":...,"median_ns":...}` timing line or one
@@ -235,6 +244,14 @@ fn main() {
         campaign_checkpoint_snapshot_cells_lu_last_iteration: fresh_counts
             .get("campaign_checkpoint/snapshot_cells/LU@iter_last")
             .copied(),
+        campaign_catch_unwind_overhead_ratio: ratio(
+            fresh.get("campaign_robustness/vm_run_caught/IS"),
+            fresh.get("campaign_robustness/vm_run_raw/IS"),
+        ),
+        campaign_report_checksum_write_overhead_ratio: ratio(
+            fresh.get("campaign_robustness/report_write_atomic/IS"),
+            fresh.get("campaign_robustness/report_write_plain/IS"),
+        ),
         benchmarks,
     };
 
@@ -300,5 +317,11 @@ fn main() {
             "bench_report: checkpoint capture {c} ns once, restore {r} ns per test \
              (LU last iteration)"
         );
+    }
+    if let Some(r) = report.campaign_catch_unwind_overhead_ratio {
+        println!("bench_report: catch_unwind perimeter on a faulty run (IS): {r:.3}x");
+    }
+    if let Some(r) = report.campaign_report_checksum_write_overhead_ratio {
+        println!("bench_report: crash-consistent report write vs plain (IS): {r:.2}x");
     }
 }

@@ -11,8 +11,10 @@
 //! campaign_shard run     <plan.json> [report.json]
 //! campaign_shard merge   <report.json> <report.json>...
 //! campaign_shard resume  <manifest-dir>
+//! campaign_shard chaos   <app> <target> <class> <n_tests> <seed> <k> <dir> <chaos-seed>
 //! campaign_shard stats   <app> <region> [out.jsonl]
 //! campaign_shard speedup <app> <region:NAME|iter:N|iter:last> [out.jsonl]
+//! campaign_shard overhead <app> [out.jsonl]
 //! ```
 //!
 //! * `plan` resolves the target's dynamic window in a session and writes
@@ -32,6 +34,11 @@
 //!   reference trace, plus the streaming campaign path's resident-event
 //!   footprint, as JSON lines that `bench_report` folds into
 //!   `BENCH_fliptracker.json`.
+//! * `chaos` is the self-directed fault-injection drill: it writes a shard
+//!   manifest, executes every shard under a seeded [`FailPlan`] (restore
+//!   failures, verifier panics, mid-write crashes, on-disk corruption,
+//!   transient I/O), then resumes the battered manifest and asserts the
+//!   merged report is **byte-identical** to an undisturbed run.
 //! * `speedup` measures the fork-point checkpoint executor against the
 //!   cold-start executor on one campaign target (wall time of
 //!   `Session::run_plan` vs `Session::run_plan_cold`, plus one-time capture
@@ -39,11 +46,19 @@
 //!   same JSONL shape.  `iter:last` resolves to the final main-loop
 //!   iteration — the latest window the registry offers, i.e. the longest
 //!   clean prefix the fork path can skip.
+//! * `overhead` times the robustness machinery itself: one faulty-run
+//!   execution inside vs outside the `catch_unwind` perimeter, and a report
+//!   write through the atomic temp-file + checksum protocol vs a plain
+//!   `fs::write` — the numbers `bench_report` folds into the
+//!   `campaign_*_overhead_ratio` fields to show the hot path is unaffected.
 
 use std::process::exit;
 
 use fliptracker::{execute_plan, Session};
-use ftkr_inject::{CampaignPlan, CampaignReport, CampaignTarget, TargetClass};
+use ftkr_bench::shard::{
+    resume_manifest, shard_report_path, write_report, write_report_chaos,
+};
+use ftkr_inject::{CampaignPlan, CampaignReport, CampaignTarget, FailPlan, TargetClass};
 use ftkr_vm::{Vm, VmConfig};
 
 fn usage() -> ! {
@@ -52,8 +67,11 @@ fn usage() -> ! {
          <n_tests> <seed> <k> <dir>\n  campaign_shard run    <plan.json> [report.json]\n  \
          campaign_shard merge  <report.json> <report.json>...\n  \
          campaign_shard resume <manifest-dir>\n  \
+         campaign_shard chaos  <app> <whole|region:NAME|iter:N> <internal|input> \
+         <n_tests> <seed> <k> <dir> <chaos-seed>\n  \
          campaign_shard stats  <app> <region> [out.jsonl]\n  \
-         campaign_shard speedup <app> <region:NAME|iter:N|iter:last> [out.jsonl]"
+         campaign_shard speedup <app> <region:NAME|iter:N|iter:last> [out.jsonl]\n  \
+         campaign_shard overhead <app> [out.jsonl]"
     );
     exit(2);
 }
@@ -92,6 +110,25 @@ fn read(path: &str) -> String {
         eprintln!("campaign_shard: cannot read {path}: {e}");
         exit(1);
     })
+}
+
+/// Read a report file, accepting both crash-consistent files (checksum
+/// footer, written by `run`/`resume`) and bare JSON documents (stdout
+/// captures).  A file that *has* a footer must verify: a torn or rotted
+/// report is an error here, not silently parsed.
+fn read_report(path: &str) -> String {
+    let text = read(path);
+    if text.contains(ftkr_bench::shard::CHECKSUM_PREFIX) {
+        match ftkr_bench::shard::verify_checksum(&text) {
+            Some(payload) => payload.to_string(),
+            None => {
+                eprintln!("campaign_shard: {path}: checksum footer does not match — torn write?");
+                exit(1);
+            }
+        }
+    } else {
+        text
+    }
 }
 
 /// Write a JSON document with a trailing newline (so files written by `run`
@@ -155,7 +192,12 @@ fn cmd_run(args: &[String]) {
     });
     let json = report.to_json();
     match out {
-        Some(path) => write(path, &json),
+        // File output goes through the crash-consistent protocol (atomic
+        // rename + checksum footer); stdout stays bare JSON.
+        Some(path) => write_report(std::path::Path::new(path), &json).unwrap_or_else(|e| {
+            eprintln!("campaign_shard: cannot write {path}: {e}");
+            exit(1);
+        }),
         None => println!("{json}"),
     }
 }
@@ -167,7 +209,7 @@ fn cmd_merge(args: &[String]) {
     let reports: Vec<(String, CampaignReport)> = args
         .iter()
         .map(|path| {
-            let report = CampaignReport::from_json(&read(path)).unwrap_or_else(|e| {
+            let report = CampaignReport::from_json(&read_report(path)).unwrap_or_else(|e| {
                 eprintln!("campaign_shard: {path} is not a report: {e}");
                 exit(1);
             });
@@ -197,7 +239,7 @@ fn cmd_resume(args: &[String]) {
     let [dir] = args else {
         usage();
     };
-    match ftkr_bench::shard::resume_manifest(std::path::Path::new(dir)) {
+    match resume_manifest(std::path::Path::new(dir)) {
         Ok(summary) => {
             eprintln!(
                 "campaign_shard: {} shard(s) intact, re-executed {:?}",
@@ -210,6 +252,119 @@ fn cmd_resume(args: &[String]) {
             eprintln!("campaign_shard: {e}");
             exit(1);
         }
+    }
+}
+
+/// The chaos drill: run a sharded campaign with every harness fail point
+/// armed, batter the manifest, resume it, and demand byte-identical
+/// convergence with an undisturbed run.
+fn cmd_chaos(args: &[String]) {
+    let [app, target, class, n_tests, seed, k, dir, chaos_seed] = args else {
+        usage();
+    };
+    let target = parse_target(target);
+    let class = parse_class(class);
+    let n_tests: u64 = n_tests.parse().unwrap_or_else(|_| usage());
+    let seed: u64 = seed.parse().unwrap_or_else(|_| usage());
+    let k: usize = k.parse().unwrap_or_else(|_| usage());
+    let chaos_seed: u64 = chaos_seed.parse().unwrap_or_else(|_| usage());
+
+    let session = Session::by_name(app).unwrap_or_else(|| {
+        eprintln!("campaign_shard: unknown application {app:?}");
+        exit(1);
+    });
+    let plan = session
+        .plan(target, class, n_tests)
+        .unwrap_or_else(|e| {
+            eprintln!("campaign_shard: {e}");
+            exit(1);
+        })
+        .with_seed(seed);
+
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+        eprintln!("campaign_shard: cannot create {dir}: {e}");
+        exit(1);
+    });
+    let dir_path = std::path::Path::new(dir);
+    write(&format!("{dir}/plan.json"), &plan.to_json());
+    let shards = plan.shards(k);
+    for (i, shard) in shards.iter().enumerate() {
+        write(&format!("{dir}/plan_shard_{i}.json"), &shard.to_json());
+    }
+
+    // The undisturbed truth the battered manifest must converge to.
+    let reference = session.run_plan(&plan).unwrap_or_else(|e| {
+        eprintln!("campaign_shard: {e}");
+        exit(1);
+    });
+
+    // Every fail site armed at ~20 %: restores fail, verifiers panic,
+    // writes crash mid-flight, reports rot on disk, I/O flakes.
+    let chaos = FailPlan::uniform(chaos_seed, 200);
+
+    // Dozens of injected panics are *expected* here; silence their default
+    // backtraces so the drill's progress stays readable.  Anything not
+    // carrying the chaos tag is a real bug and still prints in full.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with(FailPlan::PANIC_TAG));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let mut tainted = 0usize;
+    let mut dead_writes = 0usize;
+    for (i, shard) in shards.iter().enumerate() {
+        let report = session.run_plan_chaos(shard, chaos).unwrap_or_else(|e| {
+            eprintln!("campaign_shard: {e}");
+            exit(1);
+        });
+        if report.is_tainted() {
+            tainted += 1;
+        }
+        if write_report_chaos(
+            &shard_report_path(dir_path, i),
+            &report.to_json(),
+            chaos,
+            i as u64,
+        )
+        .is_err()
+        {
+            // The "worker" died mid-write; whatever the crash left (an old
+            // report, a stray .tmp, nothing) stays for resume to deal with.
+            dead_writes += 1;
+        }
+    }
+    eprintln!(
+        "campaign_shard: chaos pass over {} shard(s): {tainted} tainted, \
+         {dead_writes} died mid-write",
+        shards.len()
+    );
+
+    let summary = resume_manifest(dir_path).unwrap_or_else(|e| {
+        eprintln!("campaign_shard: resume after chaos failed: {e}");
+        exit(1);
+    });
+    eprintln!(
+        "campaign_shard: resume kept {} shard(s), re-executed {:?}",
+        summary.intact.len(),
+        summary.executed
+    );
+    if summary.merged.to_json() == reference.to_json() {
+        println!(
+            "chaos converged: {} tests, report byte-identical to the undisturbed run",
+            summary.merged.n_tests
+        );
+    } else {
+        eprintln!(
+            "campaign_shard: CHAOS DIVERGED\n-- undisturbed --\n{}\n-- resumed --\n{}",
+            reference.to_json(),
+            summary.merged.to_json()
+        );
+        exit(1);
     }
 }
 
@@ -437,6 +592,96 @@ fn cmd_speedup(args: &[String]) {
     }
 }
 
+/// Time the robustness machinery against its unguarded counterparts: the
+/// `catch_unwind` perimeter around one faulty-run execution, and the atomic
+/// temp-file + checksum report write against a plain `fs::write`.
+fn cmd_overhead(args: &[String]) {
+    let (app, out) = match args {
+        [app] => (app, None),
+        [app, out] => (app, Some(out)),
+        _ => usage(),
+    };
+    let session = Session::by_name(app).unwrap_or_else(|| {
+        eprintln!("campaign_shard: unknown application {app:?}");
+        exit(1);
+    });
+    let module = &session.app().module;
+
+    let repeats = 7;
+    let raw_ns = median_ns(repeats, || {
+        let _ = Vm::new(VmConfig::default())
+            .run(module)
+            .expect("module verifies");
+    });
+    let caught_ns = median_ns(repeats, || {
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Vm::new(VmConfig::default())
+                .run(module)
+                .expect("module verifies")
+        }))
+        .expect("clean run does not panic");
+    });
+
+    // A representative report payload for the write comparison.
+    let plan = session
+        .plan(CampaignTarget::WholeProgram, TargetClass::Internal, 8)
+        .unwrap_or_else(|e| {
+            eprintln!("campaign_shard: {e}");
+            exit(1);
+        });
+    let payload = session
+        .run_plan(&plan)
+        .unwrap_or_else(|e| {
+            eprintln!("campaign_shard: {e}");
+            exit(1);
+        })
+        .to_json();
+    let dir = std::env::temp_dir().join("ftkr_overhead");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let plain_path = dir.join("plain.json");
+    let atomic_path = dir.join("atomic.json");
+    let write_repeats = 41;
+    let plain_ns = median_ns(write_repeats, || {
+        std::fs::write(&plain_path, payload.as_bytes()).expect("plain write");
+    });
+    let atomic_ns = median_ns(write_repeats, || {
+        write_report(&atomic_path, &payload).expect("atomic write");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let records = [
+        (format!("campaign_robustness/vm_run_raw/{app}"), raw_ns),
+        (format!("campaign_robustness/vm_run_caught/{app}"), caught_ns),
+        (format!("campaign_robustness/report_write_plain/{app}"), plain_ns),
+        (format!("campaign_robustness/report_write_atomic/{app}"), atomic_ns),
+    ];
+    let mut lines = String::new();
+    for (name, value) in records {
+        lines.push_str(&format!("{{\"name\":\"{name}\",\"median_ns\":{value}}}\n"));
+    }
+    eprintln!(
+        "campaign_shard: {app}: run {raw_ns} ns raw vs {caught_ns} ns caught ({:.3}x), \
+         report write {plain_ns} ns plain vs {atomic_ns} ns atomic ({:.2}x)",
+        caught_ns as f64 / raw_ns.max(1) as f64,
+        atomic_ns as f64 / plain_ns.max(1) as f64
+    );
+    match out {
+        Some(path) => {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| {
+                    eprintln!("campaign_shard: cannot open {path}: {e}");
+                    exit(1);
+                });
+            f.write_all(lines.as_bytes()).expect("append overhead records");
+        }
+        None => print!("{lines}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -445,8 +690,10 @@ fn main() {
             "run" => cmd_run(rest),
             "merge" => cmd_merge(rest),
             "resume" => cmd_resume(rest),
+            "chaos" => cmd_chaos(rest),
             "stats" => cmd_stats(rest),
             "speedup" => cmd_speedup(rest),
+            "overhead" => cmd_overhead(rest),
             _ => usage(),
         },
         None => usage(),

@@ -14,12 +14,16 @@
 //! plan — property-tested — and analyzed shard reports merge exactly like
 //! plain ones.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use ftkr_inject::{CampaignPlan, CampaignReport, IndexRange};
+use ftkr_inject::{
+    CampaignCounts, CampaignPlan, CampaignReport, FailPlan, FailSite, IndexRange, Outcome,
+};
 use ftkr_patterns::{PatternKind, StreamingDetector};
-use ftkr_vm::{Vm, VmConfig, VmSnapshot};
+use ftkr_vm::{RunOutcome, RunResult, Vm, VmConfig, VmSnapshot};
 
 use crate::session::{PlanError, Session};
 
@@ -131,11 +135,25 @@ impl Session {
         &self,
         plan: &CampaignPlan,
     ) -> Result<AnalyzedCampaignReport, PlanError> {
+        self.run_plan_analyzed_chaos(plan, FailPlan::none())
+    }
+
+    /// [`Session::run_plan_analyzed`] with a fail-point schedule armed — the
+    /// analyzed twin of [`Session::run_plan_chaos`].  A failed checkpoint
+    /// restore degrades that test to the cold path with a fresh detector
+    /// (bit-identical patterns, by the fork/cold equivalence), and a
+    /// panicking verifier records [`Outcome::HarnessError`] and contributes
+    /// no pattern instances.
+    pub fn run_plan_analyzed_chaos(
+        &self,
+        plan: &CampaignPlan,
+        chaos: FailPlan,
+    ) -> Result<AnalyzedCampaignReport, PlanError> {
         self.check_plan(plan)?;
         let sites = self.sites(&plan.target, plan.class)?;
         let fork = Session::fork_step(&sites);
         let snapshot = if fork > 0 { self.checkpoint_at(fork) } else { None };
-        self.run_plan_analyzed_with(plan, snapshot.as_ref())
+        self.run_plan_analyzed_with(plan, snapshot.as_ref(), chaos)
     }
 
     /// The cold-start reference executor of [`Session::run_plan_analyzed`]:
@@ -148,13 +166,14 @@ impl Session {
         plan: &CampaignPlan,
     ) -> Result<AnalyzedCampaignReport, PlanError> {
         self.check_plan(plan)?;
-        self.run_plan_analyzed_with(plan, None)
+        self.run_plan_analyzed_with(plan, None, FailPlan::none())
     }
 
     fn run_plan_analyzed_with(
         &self,
         plan: &CampaignPlan,
         forked: Option<&VmSnapshot>,
+        chaos: FailPlan,
     ) -> Result<AnalyzedCampaignReport, PlanError> {
         let sites = self.sites(&plan.target, plan.class)?;
         let sites: &[ftkr_inject::FaultSite] = sites.as_slice();
@@ -183,40 +202,83 @@ impl Session {
                 .into_par_iter()
                 .map(|index| {
                     let fault = campaign.fault_for_index(sites, index);
-                    let config = VmConfig {
+                    let config = || VmConfig {
                         fault: Some(fault),
                         max_steps,
                         ..VmConfig::default()
                     };
-                    let mut detector = match &primed {
-                        Some(p) => p.fork(fault),
-                        None => StreamingDetector::new(clean, fault),
+                    // Phase 1 — execute the streamed faulty run inside the
+                    // panic perimeter.  `None` means the harness failed.
+                    let cold_exec = || -> Option<(RunResult, StreamingDetector)> {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            let mut detector = StreamingDetector::new(clean, fault);
+                            let result = Vm::new(config())
+                                .run_with_visitors(module, &mut [&mut detector])
+                                .expect("module verifies");
+                            (result, detector)
+                        }))
+                        .ok()
                     };
-                    let vm = Vm::new(config);
-                    let result = match forked {
-                        Some(snap) => {
-                            vm.resume_with_visitors(module, snap, &mut [&mut detector])
+                    let (executed, degraded) = match (&primed, forked) {
+                        (Some(p), Some(snap)) => {
+                            let from_fork = catch_unwind(AssertUnwindSafe(|| {
+                                chaos.trip(FailSite::RestoreCheckpoint, index);
+                                let mut detector = p.fork(fault);
+                                let result = Vm::new(config())
+                                    .resume_with_visitors(module, snap, &mut [&mut detector])
+                                    .expect("module verifies");
+                                (result, detector)
+                            }))
+                            .ok();
+                            match from_fork {
+                                Some(x) => (Some(x), false),
+                                // Restore failed: degrade to the cold path
+                                // with a fresh detector — bit-identical
+                                // patterns by the fork/cold equivalence.
+                                None => (cold_exec(), true),
+                            }
                         }
-                        None => vm.run_with_visitors(module, &mut [&mut detector]),
-                    }
-                    .expect("module verifies");
-                    let mut counts = ftkr_inject::CampaignCounts::default();
-                    counts.record(if !result.outcome.is_completed() {
-                        ftkr_inject::Outcome::Crashed
-                    } else if app.verify(&result) {
-                        ftkr_inject::Outcome::VerificationSuccess
-                    } else {
-                        ftkr_inject::Outcome::VerificationFailed
-                    });
+                        _ => (cold_exec(), false),
+                    };
+                    // Phase 2 — classify (the verifier gets its own
+                    // perimeter) and tally patterns.  A harness-errored test
+                    // contributes no pattern instances: its analysis cannot
+                    // be trusted, and the taint marks it for re-execution.
+                    let mut counts = CampaignCounts::default();
                     let mut tally = PatternTally::default();
-                    let found = detector.into_patterns();
-                    for p in &found {
-                        tally.record(p.kind, 1);
+                    let mut with_patterns = 0u64;
+                    match executed {
+                        None => counts.record(Outcome::HarnessError),
+                        Some((result, detector)) => {
+                            let outcome = match result.outcome {
+                                RunOutcome::Trapped(trap) => Outcome::crashed(trap),
+                                RunOutcome::Completed => catch_unwind(AssertUnwindSafe(|| {
+                                    chaos.trip(FailSite::Verifier, index);
+                                    if app.verify(&result) {
+                                        Outcome::VerificationSuccess
+                                    } else {
+                                        Outcome::VerificationFailed
+                                    }
+                                }))
+                                .unwrap_or(Outcome::HarnessError),
+                            };
+                            counts.record(outcome);
+                            if outcome != Outcome::HarnessError {
+                                let found = detector.into_patterns();
+                                for p in &found {
+                                    tally.record(p.kind, 1);
+                                }
+                                with_patterns = u64::from(!found.is_empty());
+                            }
+                        }
                     }
-                    (counts, tally, u64::from(!found.is_empty()))
+                    if degraded {
+                        counts.degraded += 1;
+                    }
+                    (counts, tally, with_patterns)
                 })
                 .reduce(
-                    || (ftkr_inject::CampaignCounts::default(), PatternTally::default(), 0),
+                    || (CampaignCounts::default(), PatternTally::default(), 0),
                     |a, b| (a.0.merge(b.0), a.1.merge(b.1), a.2 + b.2),
                 )
         };
@@ -279,6 +341,69 @@ mod tests {
         let cold = session.run_plan_analyzed_cold(&plan).unwrap();
         let forked = session.run_plan_analyzed(&plan).unwrap();
         assert_eq!(forked.to_json(), cold.to_json());
+    }
+
+    #[test]
+    fn analyzed_chaos_restore_failures_degrade_without_changing_the_analysis() {
+        let session = Session::by_name("IS").unwrap();
+        let plan = session
+            .plan(
+                CampaignTarget::Region {
+                    name: session.app().regions.last().unwrap().clone(),
+                },
+                TargetClass::Internal,
+                16,
+            )
+            .unwrap()
+            .with_seed(404);
+        let undisturbed = session.run_plan_analyzed(&plan).unwrap();
+        let chaos = FailPlan {
+            restore_fail: 512,
+            ..FailPlan::uniform(8, 0)
+        };
+        let shaken = session.run_plan_analyzed_chaos(&plan, chaos).unwrap();
+        assert!(shaken.report.counts.degraded > 0, "{:?}", shaken.report.counts);
+        assert!(shaken.report.is_tainted());
+        // Degraded tests fall back to the cold executor with a fresh
+        // detector: outcome tallies AND pattern tallies are unchanged.
+        let mut cleaned = shaken.clone();
+        cleaned.report.counts.degraded = 0;
+        assert_eq!(cleaned, undisturbed);
+    }
+
+    #[test]
+    fn analyzed_verifier_panics_are_isolated_and_contribute_no_patterns() {
+        let session = Session::by_name("IS").unwrap();
+        let plan = session
+            .plan(
+                CampaignTarget::Region {
+                    name: session.app().regions[0].clone(),
+                },
+                TargetClass::Internal,
+                16,
+            )
+            .unwrap()
+            .with_seed(505);
+        let undisturbed = session.run_plan_analyzed(&plan).unwrap();
+        let chaos = FailPlan {
+            verifier_panic: 1024,
+            ..FailPlan::uniform(1, 0)
+        };
+        let poisoned = session.run_plan_analyzed_chaos(&plan, chaos).unwrap();
+        // Every completed run's verdict is poisoned; trapped runs keep their
+        // crash kind, and no poisoned test contributes pattern instances.
+        assert_eq!(poisoned.report.counts.success, 0);
+        assert_eq!(poisoned.report.counts.failed, 0);
+        assert_eq!(
+            poisoned.report.counts.harness_errors + poisoned.report.counts.crashed(),
+            undisturbed.report.counts.total()
+        );
+        assert!(poisoned.report.is_tainted());
+        // The schedule replays bit-identically.
+        assert_eq!(
+            poisoned,
+            session.run_plan_analyzed_chaos(&plan, chaos).unwrap()
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ use ftkr_apps::{app_by_name, App};
 use ftkr_dddg::Dddg;
 use ftkr_inject::{
     input_sites, internal_sites, Campaign, CampaignPlan, CampaignReport, CampaignTarget,
-    FaultSite, IndexRange, Outcome, TargetClass,
+    FailPlan, FaultSite, IndexRange, Outcome, TargetClass,
 };
 use ftkr_patterns::{assign_to_regions, PatternRates, RegionPatternSummary};
 use ftkr_trace::{instance_slice, partition_iterations, partition_regions, RegionInstance,
@@ -234,15 +234,19 @@ impl Session {
     }
 
     /// Classify a completed faulty run by the paper's three manifestations:
-    /// trapped/hung runs crash, completed runs are judged by the
+    /// trapped/hung runs crash — carrying the crash kind their trap folds to
+    /// ([`ftkr_inject::CrashKind`]) — and completed runs are judged by the
     /// application's verification phase.
     pub fn classify(&self, result: &RunResult) -> Outcome {
-        if !result.outcome.is_completed() {
-            Outcome::Crashed
-        } else if self.app.verify(result) {
-            Outcome::VerificationSuccess
-        } else {
-            Outcome::VerificationFailed
+        match result.outcome {
+            ftkr_vm::RunOutcome::Trapped(trap) => Outcome::crashed(trap),
+            ftkr_vm::RunOutcome::Completed => {
+                if self.app.verify(result) {
+                    Outcome::VerificationSuccess
+                } else {
+                    Outcome::VerificationFailed
+                }
+            }
         }
     }
 
@@ -498,6 +502,20 @@ impl Session {
     /// `checkpoint_equivalence` integration suite holds over the whole
     /// application registry.
     pub fn run_plan(&self, plan: &CampaignPlan) -> Result<CampaignReport, PlanError> {
+        self.run_plan_chaos(plan, FailPlan::none())
+    }
+
+    /// [`Session::run_plan`] with a fail-point schedule armed: restore
+    /// failures and verifier panics fire deterministically per test index
+    /// ([`FailPlan::fires`]), exercising the per-test degradation
+    /// (checkpoint-fork → cold executor, tallied in
+    /// `CampaignCounts::degraded`) and panic-isolation (`HarnessError`)
+    /// paths.  With [`FailPlan::none`] this *is* `run_plan`.
+    pub fn run_plan_chaos(
+        &self,
+        plan: &CampaignPlan,
+        chaos: FailPlan,
+    ) -> Result<CampaignReport, PlanError> {
         self.check_plan(plan)?;
         let sites = self.plan_sites(plan)?;
         let shard = plan.shard.intersect(IndexRange::full(plan.n_tests));
@@ -506,10 +524,14 @@ impl Session {
             if let Some(snapshot) = self.checkpoint_at(fork) {
                 return Ok(self
                     .campaign(plan.seed)
+                    .with_chaos(chaos)
                     .run_range_from(&sites, shard, &snapshot));
             }
         }
-        Ok(self.campaign(plan.seed).run_range(&sites, shard))
+        Ok(self
+            .campaign(plan.seed)
+            .with_chaos(chaos)
+            .run_range(&sites, shard))
     }
 
     /// Execute a campaign plan with every faulty run cold-started from
@@ -931,6 +953,30 @@ mod tests {
         let again = session.run_plan(&plan).unwrap();
         assert_eq!(again, cold);
         assert_eq!(session.checkpoints.borrow().len(), captured);
+    }
+
+    #[test]
+    fn chaos_restore_failures_degrade_per_test_without_changing_outcomes() {
+        let session = Session::by_name("IS").unwrap();
+        let region = session.app().regions.last().unwrap().clone();
+        let plan = session
+            .plan(CampaignTarget::Region { name: region }, TargetClass::Internal, 16)
+            .unwrap()
+            .with_seed(21);
+        let undisturbed = session.run_plan(&plan).unwrap();
+        assert!(!undisturbed.is_tainted());
+        let chaos = FailPlan {
+            restore_fail: 512,
+            ..FailPlan::uniform(13, 0)
+        };
+        let shaken = session.run_plan_chaos(&plan, chaos).unwrap();
+        // Restores failed for ~half the tests, each fell back to the cold
+        // executor: the report is tainted but the outcome tallies match.
+        assert!(shaken.counts.degraded > 0, "{:?}", shaken.counts);
+        assert!(shaken.is_tainted());
+        let mut cleaned = shaken.counts;
+        cleaned.degraded = 0;
+        assert_eq!(cleaned, undisturbed.counts);
     }
 
     #[test]

@@ -1,4 +1,15 @@
 //! Parallel fault-injection campaigns.
+//!
+//! Every test runs inside a panic-isolation perimeter: a worker that
+//! panics — a poisoned verifier, a harness bug — records an
+//! [`Outcome::HarnessError`] instead of tearing down the whole rayon shard,
+//! and a forked test whose checkpoint restore fails degrades to the cold
+//! (from-entry) executor, recorded in [`CampaignCounts::degraded`].  Both
+//! failure modes are injectable on purpose via a seeded
+//! [`FailPlan`], which is how the chaos suite proves
+//! the recovery paths actually work.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -6,8 +17,9 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use ftkr_ir::Module;
-use ftkr_vm::{FaultSpec, RunResult, Vm, VmConfig, VmSnapshot};
+use ftkr_vm::{FaultSpec, RunOutcome, RunResult, Vm, VmConfig, VmSnapshot};
 
+use crate::chaos::{FailPlan, FailSite};
 use crate::outcome::{CampaignCounts, Outcome};
 use crate::plan::IndexRange;
 use crate::sites::FaultSite;
@@ -15,6 +27,34 @@ use crate::stats::{sample_size, Confidence};
 
 /// The seed campaigns sample with unless the caller overrides it.
 pub const DEFAULT_SEED: u64 = 0xF11B_7EAC;
+
+/// The dynamic step budget for a faulty run over a clean execution of
+/// `clean_steps` dynamic instructions: ten times the fault-free length plus
+/// slack for short programs.  A run that exhausts it traps with
+/// `TrapKind::StepLimit` and classifies as a hang
+/// ([`CrashKind::Hang`](crate::CrashKind::Hang)).
+pub fn hang_budget(clean_steps: u64) -> u64 {
+    clean_steps * 10 + 1000
+}
+
+/// The classification of one injection test plus harness-level bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestOutcome {
+    /// How the faulty run manifested.
+    pub outcome: Outcome,
+    /// True when the test was meant to fork from a checkpoint but the
+    /// restore failed and it fell back to the cold executor.
+    pub degraded: bool,
+}
+
+impl From<Outcome> for TestOutcome {
+    fn from(outcome: Outcome) -> Self {
+        TestOutcome {
+            outcome,
+            degraded: false,
+        }
+    }
+}
 
 /// Result of a campaign (or of one index-range shard of it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,6 +82,13 @@ impl CampaignReport {
     /// (same seed, same site population).
     pub fn same_campaign(&self, other: &CampaignReport) -> bool {
         self.population == other.population && self.seed == other.seed
+    }
+
+    /// True when this report records harness-level trouble (lost tests or
+    /// degraded executions) and should be re-executed rather than trusted
+    /// as final — see [`CampaignCounts::is_tainted`].
+    pub fn is_tainted(&self) -> bool {
+        self.counts.is_tainted()
     }
 
     /// Combine the report of another shard of the same campaign.  Because
@@ -83,7 +130,8 @@ impl CampaignReport {
 /// The verifier closure plays the role of the application's verification
 /// phase: given the run result of a *completed* faulty run it decides whether
 /// the output is acceptable.  Trapped runs are classified as
-/// [`Outcome::Crashed`] before the verifier is consulted.
+/// [`Outcome::Crashed`] (carrying their [`CrashKind`](crate::CrashKind))
+/// before the verifier is consulted.
 pub struct Campaign<'m, F>
 where
     F: Fn(&RunResult) -> bool + Sync,
@@ -92,6 +140,7 @@ where
     verify: F,
     max_steps: u64,
     seed: u64,
+    chaos: FailPlan,
 }
 
 impl<'m, F> Campaign<'m, F>
@@ -105,11 +154,12 @@ where
             verify,
             max_steps: VmConfig::default().max_steps,
             seed: DEFAULT_SEED,
+            chaos: FailPlan::none(),
         }
     }
 
     /// Set the dynamic step limit used for faulty runs (hang detection).
-    /// A sensible value is a small multiple of the fault-free step count.
+    /// A sensible value is [`hang_budget`] of the fault-free step count.
     pub fn with_max_steps(mut self, max_steps: u64) -> Self {
         self.max_steps = max_steps;
         self
@@ -121,23 +171,122 @@ where
         self
     }
 
-    /// Run a single faulty run and classify it.
-    pub fn run_one(&self, fault: FaultSpec) -> Outcome {
-        let config = VmConfig {
+    /// Arm a fail-point schedule: restore failures and verifier panics fire
+    /// deterministically per test index, exercising the degradation and
+    /// panic-isolation paths.  The default is [`FailPlan::none`].
+    pub fn with_chaos(mut self, chaos: FailPlan) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    fn config(&self, fault: FaultSpec) -> VmConfig {
+        VmConfig {
             fault: Some(fault),
             max_steps: self.max_steps,
             ..VmConfig::default()
-        };
-        let result = Vm::new(config)
-            .run(self.module)
-            .expect("campaign module must verify");
-        if !result.outcome.is_completed() {
-            return Outcome::Crashed;
         }
-        if (self.verify)(&result) {
-            Outcome::VerificationSuccess
-        } else {
-            Outcome::VerificationFailed
+    }
+
+    /// Execute a cold (from-entry) faulty run inside the panic perimeter.
+    /// `None` means the harness failed, not the program.
+    fn cold_result(&self, fault: FaultSpec) -> Option<RunResult> {
+        catch_unwind(AssertUnwindSafe(|| {
+            Vm::new(self.config(fault))
+                .run(self.module)
+                .expect("campaign module must verify")
+        }))
+        .ok()
+    }
+
+    /// Restore `snapshot` and execute the faulty suffix inside the panic
+    /// perimeter.  `None` means the restore (or the resumed execution)
+    /// failed at the harness level; the caller degrades to the cold path.
+    fn forked_result(
+        &self,
+        snapshot: &VmSnapshot,
+        fault: FaultSpec,
+        ordinal: Option<u64>,
+    ) -> Option<RunResult> {
+        catch_unwind(AssertUnwindSafe(|| {
+            if let Some(i) = ordinal {
+                self.chaos.trip(FailSite::RestoreCheckpoint, i);
+            }
+            Vm::new(self.config(fault))
+                .resume_from(self.module, snapshot)
+                .expect("campaign module must verify")
+        }))
+        .ok()
+    }
+
+    /// Classify a finished run: traps map to their [`CrashKind`]
+    /// (`TrapKind::StepLimit` is the hang bucket), completed runs are judged
+    /// by the verifier — itself inside the panic perimeter, so a poisoned
+    /// verifier yields [`Outcome::HarnessError`] instead of killing the
+    /// worker.
+    fn classify(&self, result: RunResult, ordinal: Option<u64>) -> Outcome {
+        match result.outcome {
+            RunOutcome::Trapped(trap) => Outcome::crashed(trap),
+            RunOutcome::Completed => catch_unwind(AssertUnwindSafe(|| {
+                if let Some(i) = ordinal {
+                    self.chaos.trip(FailSite::Verifier, i);
+                }
+                if (self.verify)(&result) {
+                    Outcome::VerificationSuccess
+                } else {
+                    Outcome::VerificationFailed
+                }
+            }))
+            .unwrap_or(Outcome::HarnessError),
+        }
+    }
+
+    /// One cold test at a campaign index (chaos fires per index).
+    fn test_cold(&self, index: u64, fault: FaultSpec) -> TestOutcome {
+        match self.cold_result(fault) {
+            Some(result) => self.classify(result, Some(index)).into(),
+            None => Outcome::HarnessError.into(),
+        }
+    }
+
+    /// One forked test: restore-or-degrade, then classify.
+    fn test_forked(
+        &self,
+        ordinal: Option<u64>,
+        snapshot: &VmSnapshot,
+        fault: FaultSpec,
+    ) -> TestOutcome {
+        assert!(
+            fault.at_step >= snapshot.step(),
+            "fault at step {} precedes the checkpoint at step {}: \
+             it cannot strike in a forked run",
+            fault.at_step,
+            snapshot.step()
+        );
+        match self.forked_result(snapshot, fault, ordinal) {
+            Some(result) => self.classify(result, ordinal).into(),
+            // The fork path failed at the harness level: fall back to the
+            // cold executor (bit-identical classification, just slower) and
+            // record the degradation.
+            None => {
+                let outcome = match self.cold_result(fault) {
+                    Some(result) => self.classify(result, ordinal),
+                    None => Outcome::HarnessError,
+                };
+                TestOutcome {
+                    outcome,
+                    degraded: true,
+                }
+            }
+        }
+    }
+
+    /// Run a single faulty run and classify it.  Worker panics (a poisoned
+    /// verifier, a harness bug) are isolated and classify as
+    /// [`Outcome::HarnessError`].
+    pub fn run_one(&self, fault: FaultSpec) -> Outcome {
+        match self.cold_result(fault) {
+            Some(result) => self.classify(result, None),
+            None => Outcome::HarnessError,
         }
     }
 
@@ -146,7 +295,9 @@ where
     /// re-executing the clean prefix `[0, snapshot.step())`, the run resumes
     /// from the captured state.  Deterministic prefixes make the
     /// classification bit-identical to [`Campaign::run_one`] for any fault
-    /// at or after the fork point.
+    /// at or after the fork point.  When the restore fails, the test
+    /// degrades to the cold executor and says so in
+    /// [`TestOutcome::degraded`].
     ///
     /// # Panics
     /// Panics when `fault.at_step` precedes the checkpoint: such a fault
@@ -155,30 +306,8 @@ where
     /// a memory fault, at the wrong step).  Rejecting it loudly keeps
     /// fork-point campaigns honest; callers must fork only from checkpoints
     /// at or before their site window.
-    pub fn run_one_from(&self, snapshot: &VmSnapshot, fault: FaultSpec) -> Outcome {
-        assert!(
-            fault.at_step >= snapshot.step(),
-            "fault at step {} precedes the checkpoint at step {}: \
-             it cannot strike in a forked run",
-            fault.at_step,
-            snapshot.step()
-        );
-        let config = VmConfig {
-            fault: Some(fault),
-            max_steps: self.max_steps,
-            ..VmConfig::default()
-        };
-        let result = Vm::new(config)
-            .resume_from(self.module, snapshot)
-            .expect("campaign module must verify");
-        if !result.outcome.is_completed() {
-            return Outcome::Crashed;
-        }
-        if (self.verify)(&result) {
-            Outcome::VerificationSuccess
-        } else {
-            Outcome::VerificationFailed
-        }
+    pub fn run_one_from(&self, snapshot: &VmSnapshot, fault: FaultSpec) -> TestOutcome {
+        self.test_forked(None, snapshot, fault)
     }
 
     /// The fault injected by test `index` of a campaign: sampled uniformly
@@ -214,7 +343,7 @@ where
     /// Merging the reports of any partition of `[0, n_tests)` with
     /// [`CampaignReport::merge`] is bit-identical to [`Campaign::run`].
     pub fn run_range(&self, sites: &[FaultSite], range: IndexRange) -> CampaignReport {
-        self.run_range_by(sites, range, |fault| self.run_one(fault))
+        self.run_range_by(sites, range, |index, fault| self.test_cold(index, fault))
     }
 
     /// Run one index-range shard of a campaign with every test forked from
@@ -222,7 +351,9 @@ where
     /// fault sequence is the same pure function of `(seed, index)`, so as
     /// long as every sampled site lies at or after the checkpoint step the
     /// report is bit-identical to [`Campaign::run_range`] — at the cost of
-    /// executing only the suffix of each faulty run.
+    /// executing only the suffix of each faulty run.  Tests whose restore
+    /// fails degrade to the cold executor per test and are tallied in
+    /// [`CampaignCounts::degraded`].
     ///
     /// # Panics
     /// Panics (per test) when a sampled fault precedes the checkpoint; see
@@ -233,20 +364,24 @@ where
         range: IndexRange,
         snapshot: &VmSnapshot,
     ) -> CampaignReport {
-        self.run_range_by(sites, range, |fault| self.run_one_from(snapshot, fault))
+        self.run_range_by(sites, range, |index, fault| {
+            self.test_forked(Some(index), snapshot, fault)
+        })
     }
 
     /// Like [`Campaign::run_range`], but each test is executed and classified
     /// by `runner` instead of the built-in untraced run — the hook campaign
     /// executors use to ride analyses (e.g. streaming pattern detection)
-    /// along the exact fault sequence of the campaign.  Sampling, sharding
+    /// along the exact fault sequence of the campaign.  The runner receives
+    /// the campaign index of each test (fail-point schedules key on it) and
+    /// reports harness bookkeeping via [`TestOutcome`].  Sampling, sharding
     /// and report assembly are identical, so a `runner` that classifies like
     /// [`Campaign::run_one`] produces a bit-identical [`CampaignReport`].
     pub fn run_range_by(
         &self,
         sites: &[FaultSite],
         range: IndexRange,
-        runner: impl Fn(FaultSpec) -> Outcome + Sync,
+        runner: impl Fn(u64, FaultSpec) -> TestOutcome + Sync,
     ) -> CampaignReport {
         let population = sites.len() as u64 * 64;
         if sites.is_empty() || range.is_empty() {
@@ -261,7 +396,11 @@ where
             .into_par_iter()
             .map(|index| {
                 let mut c = CampaignCounts::default();
-                c.record(runner(self.fault_for_index(sites, index)));
+                let test = runner(index, self.fault_for_index(sites, index));
+                c.record(test.outcome);
+                if test.degraded {
+                    c.degraded += 1;
+                }
                 c
             })
             .reduce(CampaignCounts::default, CampaignCounts::merge);
@@ -346,10 +485,23 @@ mod tests {
         let trace = clean_trace(&m);
         let sites = internal_sites(&trace, 0, trace.len());
         assert!(!sites.is_empty());
-        let campaign = Campaign::new(&m, verify).with_max_steps(trace.len() as u64 * 10 + 1000);
+        let campaign =
+            Campaign::new(&m, verify).with_max_steps(hang_budget(trace.len() as u64));
         let report = campaign.run(&sites, 200);
         assert_eq!(report.counts.total(), 200);
         assert_eq!(report.population, sites.len() as u64 * 64);
+        // No chaos armed: nothing may be lost or degraded.
+        assert!(!report.is_tainted());
+        assert_eq!(report.counts.harness_errors, 0);
+        // The legacy three-way crashed bucket is the sum of the per-kind
+        // tallies by construction.
+        assert_eq!(
+            report.counts.crashed(),
+            crate::CrashKind::ALL
+                .iter()
+                .map(|&k| report.counts.crashes.count(k))
+                .sum::<u64>()
+        );
         // Low-order mantissa flips are tolerated, so some runs succeed; flips
         // in the loop counter or addresses crash or corrupt, so not all do.
         assert!(report.success_rate() > 0.05, "rate {}", report.success_rate());
@@ -361,7 +513,7 @@ mod tests {
         let m = module();
         let trace = clean_trace(&m);
         let sites = internal_sites(&trace, 0, trace.len());
-        let max_steps = trace.len() as u64 * 10 + 1000;
+        let max_steps = hang_budget(trace.len() as u64);
         let c1 = Campaign::new(&m, verify)
             .with_seed(7)
             .with_max_steps(max_steps)
@@ -387,7 +539,8 @@ mod tests {
         // The accumulator cell is overwritten by the first loop iteration, so
         // input faults at step 0 are frequently masked (Data Overwriting).
         let sites = input_sites(0, &[(ftkr_vm::Location::mem(0), ftkr_vm::Value::F(0.0))]);
-        let campaign = Campaign::new(&m, verify).with_max_steps(trace.len() as u64 * 10 + 1000);
+        let campaign =
+            Campaign::new(&m, verify).with_max_steps(hang_budget(trace.len() as u64));
         let report = campaign.run(&sites, 64);
         assert!(report.success_rate() > 0.9, "rate {}", report.success_rate());
     }
@@ -397,7 +550,7 @@ mod tests {
         let m = module();
         let trace = clean_trace(&m);
         let sites = internal_sites(&trace, 0, trace.len());
-        let max_steps = trace.len() as u64 * 10 + 1000;
+        let max_steps = hang_budget(trace.len() as u64);
         let campaign = Campaign::new(&m, verify).with_seed(42).with_max_steps(max_steps);
         // The fault of test i is a pure function of (seed, i).
         for i in [0u64, 1, 7, 63] {
@@ -444,7 +597,7 @@ mod tests {
         let expected = sample_size(population, Confidence::C95, 0.03);
         assert_eq!(expected, 115);
         let campaign =
-            Campaign::new(&m, verify).with_max_steps(trace.len() as u64 * 10 + 1000);
+            Campaign::new(&m, verify).with_max_steps(hang_budget(trace.len() as u64));
         let report = campaign.run_sized(&sites, Confidence::C95, 0.03);
         assert_eq!(report.population, population);
         assert_eq!(report.n_tests, expected);
@@ -458,7 +611,7 @@ mod tests {
         let sites = internal_sites(&trace, 0, trace.len());
         let campaign = Campaign::new(&m, verify)
             .with_seed(1234)
-            .with_max_steps(trace.len() as u64 * 10 + 1000);
+            .with_max_steps(hang_budget(trace.len() as u64));
         let monolithic = campaign.run(&sites, 60);
         // Three deliberately uneven shards covering [0, 60).
         let shards = [
@@ -493,10 +646,11 @@ mod tests {
             .expect("fork step is mid-run");
         let campaign = Campaign::new(&m, verify)
             .with_seed(99)
-            .with_max_steps(trace.len() as u64 * 10 + 1000);
+            .with_max_steps(hang_budget(trace.len() as u64));
         let cold = campaign.run_range(&sites, IndexRange::full(120));
         let forked = campaign.run_range_from(&sites, IndexRange::full(120), &snapshot);
         assert_eq!(forked, cold);
+        assert_eq!(forked.counts.degraded, 0, "no chaos: no degradation");
         // Sharded fork-point ranges merge exactly like cold ones.
         let merged = [IndexRange::new(0, 37), IndexRange::new(37, 120)]
             .iter()
@@ -518,6 +672,86 @@ mod tests {
         let campaign = Campaign::new(&m, verify);
         // A fault in the restored prefix must trap loudly, not vanish.
         let _ = campaign.run_one_from(&snapshot, FaultSpec::in_result(0, 1));
+    }
+
+    #[test]
+    fn panicking_verifier_is_isolated_as_a_harness_error() {
+        let m = module();
+        let trace = clean_trace(&m);
+        let sites = internal_sites(&trace, 0, trace.len());
+        let poisoned = Campaign::new(&m, |_r: &RunResult| -> bool {
+            panic!("verifier bug")
+        })
+        .with_max_steps(hang_budget(trace.len() as u64));
+        // The shard survives; every completed run classifies as a harness
+        // error, and trapped runs still classify by their crash kind.
+        let report = poisoned.run(&sites, 32);
+        assert_eq!(report.counts.total(), 32);
+        assert_eq!(report.counts.success, 0);
+        assert_eq!(report.counts.failed, 0);
+        assert!(report.counts.harness_errors > 0, "{:?}", report.counts);
+        assert!(report.is_tainted());
+        assert_eq!(
+            report.counts.harness_errors + report.counts.crashed(),
+            32,
+            "completed runs become harness errors, trapped runs keep their kind"
+        );
+    }
+
+    #[test]
+    fn chaos_verifier_panics_taint_exactly_the_scheduled_tests() {
+        let m = module();
+        let trace = clean_trace(&m);
+        let sites = internal_sites(&trace, 0, trace.len());
+        let chaos = FailPlan {
+            verifier_panic: 512,
+            ..FailPlan::uniform(77, 0)
+        };
+        let campaign = Campaign::new(&m, verify)
+            .with_seed(5)
+            .with_max_steps(hang_budget(trace.len() as u64))
+            .with_chaos(chaos);
+        let report = campaign.run(&sites, 64);
+        assert!(report.counts.harness_errors > 0, "~half the verdicts are poisoned");
+        assert!(report.is_tainted());
+        // The schedule is a pure function of (seed, index): re-running
+        // reproduces the tainted tally bit-identically.
+        let again = campaign.run(&sites, 64);
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn chaos_restore_failures_degrade_to_the_cold_path_with_identical_outcomes() {
+        let m = module();
+        let trace = clean_trace(&m);
+        let window_start = trace.len() / 2;
+        let sites = internal_sites(&trace, window_start, trace.len());
+        let fork = sites.iter().map(|s| s.at_step).min().unwrap();
+        let snapshot = Vm::new(VmConfig::default())
+            .snapshot_at(&m, fork)
+            .unwrap()
+            .expect("fork step is mid-run");
+        let max_steps = hang_budget(trace.len() as u64);
+        let reference = Campaign::new(&m, verify)
+            .with_seed(11)
+            .with_max_steps(max_steps)
+            .run_range(&sites, IndexRange::full(48));
+        let chaos = FailPlan {
+            restore_fail: 512,
+            ..FailPlan::uniform(3, 0)
+        };
+        let degraded = Campaign::new(&m, verify)
+            .with_seed(11)
+            .with_max_steps(max_steps)
+            .with_chaos(chaos)
+            .run_range_from(&sites, IndexRange::full(48), &snapshot);
+        // Roughly half the restores failed — but every degraded test fell
+        // back to the cold executor, so the outcome tallies are identical.
+        assert!(degraded.counts.degraded > 0, "{:?}", degraded.counts);
+        assert!(degraded.is_tainted());
+        let mut cleaned = degraded.counts;
+        cleaned.degraded = 0;
+        assert_eq!(cleaned, reference.counts);
     }
 
     #[test]

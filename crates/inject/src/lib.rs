@@ -15,15 +15,23 @@
 //!   Eq. (1).
 //!
 //! Faulty runs are independent, so campaigns fan out across cores with rayon.
+//! Each worker runs inside a panic-isolation perimeter (`catch_unwind`), so a
+//! poisoned test records [`Outcome::HarnessError`] instead of losing the
+//! shard, and abnormal ends carry their crash kind ([`CrashKind`]) so hangs,
+//! memory traps, arithmetic traps and OOM are distinguishable while the
+//! paper's three-way crashed rate stays derivable.  The [`chaos`] module
+//! turns the harness's own failure modes into seeded, replayable faults.
 
 pub mod campaign;
+pub mod chaos;
 pub mod outcome;
 pub mod plan;
 pub mod sites;
 pub mod stats;
 
-pub use campaign::{Campaign, CampaignReport, DEFAULT_SEED};
-pub use outcome::{CampaignCounts, Outcome};
+pub use campaign::{hang_budget, Campaign, CampaignReport, TestOutcome, DEFAULT_SEED};
+pub use chaos::{FailPlan, FailSite};
+pub use outcome::{CampaignCounts, CrashCounts, CrashKind, Outcome};
 pub use plan::{CampaignPlan, CampaignTarget, IndexRange};
 pub use sites::{input_sites, internal_sites, FaultSite, TargetClass};
 pub use stats::{sample_size, Confidence};

@@ -521,7 +521,7 @@ proptest! {
         };
         let campaign = Campaign::new(&module, verify)
             .with_seed(seed)
-            .with_max_steps(clean.steps * 10 + 1000);
+            .with_max_steps(ftkr_inject::hang_budget(clean.steps));
         let monolithic = campaign.run(&sites, n_tests);
         prop_assert_eq!(monolithic.counts.total(), n_tests);
 
