@@ -29,6 +29,9 @@ if [[ "${1:-}" == "bench" ]]; then
     # Robustness-machinery overhead: catch_unwind perimeter and the atomic
     # checksum report write vs their unguarded counterparts.
     cargo run --release -q -p ftkr-bench --bin campaign_shard -- overhead IS "$medians"
+    # Campaign-server session-cache payoff: cold vs warm submit→final
+    # latency of the same LU plan against an in-process daemon.
+    cargo run --release -q -p ftkr-bench --bin campaign_shard -- serve-bench LU "$medians"
     cargo run --release -q -p ftkr-bench --bin bench_report -- \
         "$medians" crates/bench/baseline_seed.jsonl BENCH_fliptracker.json
     exit 0
@@ -81,6 +84,28 @@ cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
     resume "$sharddir" > "$sharddir/report_resumed.json"
 diff "$sharddir/report_monolithic.json" "$sharddir/report_resumed.json"
 echo "    resumed manifest tally is bit-identical to the monolithic run"
+
+echo "==> campaign server: daemon on an ephemeral port == offline run, byte for byte"
+servedir="target/serve-smoke"
+rm -rf "$servedir"
+mkdir -p "$servedir"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    plan LU region:lu_rhs internal 16 7 3 "$servedir" > /dev/null
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    serve 127.0.0.1:0 2 256 "$servedir/port.txt" &
+serve_pid=$!
+for _ in $(seq 100); do [[ -s "$servedir/port.txt" ]] && break; sleep 0.1; done
+serve_addr="$(cat "$servedir/port.txt")"
+job="$(cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    submit "$serve_addr" "$servedir/plan.json" 3)"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    watch "$serve_addr" "$job" > "$servedir/report_served.json"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    run --analyzed "$servedir/plan.json" > "$servedir/report_offline.json"
+diff "$servedir/report_served.json" "$servedir/report_offline.json"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- shutdown "$serve_addr"
+wait "$serve_pid"
+echo "    served report is byte-identical to the offline run"
 
 echo "==> trap taxonomy: hangs/memory/arithmetic buckets, bit-identical shard merges"
 cargo test --release -q --test trap_taxonomy

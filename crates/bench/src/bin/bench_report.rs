@@ -97,6 +97,17 @@ struct Report {
     /// (IS).  Reports are written once per shard, so even a few × is noise
     /// next to the campaign itself.
     campaign_report_checksum_write_overhead_ratio: Option<f64>,
+    /// Campaign-server submit→final latency against a cold daemon (LU): the
+    /// first submission pays the clean run, site derivation, and checkpoint
+    /// capture of a fresh session.
+    serve_submit_latency_cold_ns_lu: Option<u64>,
+    /// Campaign-server submit→final latency once the daemon's session cache
+    /// is hot (LU): the expensive artifacts are shared, so the job is
+    /// injection work only.
+    serve_submit_latency_warm_ns_lu: Option<u64>,
+    /// Cold over warm submit→final latency (LU) — what keeping sessions
+    /// resident buys every submission after the first.
+    serve_cache_hit_speedup_lu: Option<f64>,
 }
 
 /// Parse one `{"name":...,"median_ns":...}` timing line or one
@@ -251,6 +262,12 @@ fn main() {
         campaign_report_checksum_write_overhead_ratio: ratio(
             fresh.get("campaign_robustness/report_write_atomic/IS"),
             fresh.get("campaign_robustness/report_write_plain/IS"),
+        ),
+        serve_submit_latency_cold_ns_lu: fresh.get("campaign_serve/submit_cold/LU").copied(),
+        serve_submit_latency_warm_ns_lu: fresh.get("campaign_serve/submit_warm/LU").copied(),
+        serve_cache_hit_speedup_lu: ratio(
+            fresh.get("campaign_serve/submit_cold/LU"),
+            fresh.get("campaign_serve/submit_warm/LU"),
         ),
         benchmarks,
     };

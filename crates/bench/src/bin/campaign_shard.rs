@@ -15,6 +15,12 @@
 //! campaign_shard stats   <app> <region> [out.jsonl]
 //! campaign_shard speedup <app> <region:NAME|iter:N|iter:last> [out.jsonl]
 //! campaign_shard overhead <app> [out.jsonl]
+//! campaign_shard serve   <addr> [workers] [budget-mb] [port-file]
+//! campaign_shard submit  <addr> <plan.json> [k]
+//! campaign_shard watch   <addr> <job>
+//! campaign_shard stats   <addr>
+//! campaign_shard shutdown <addr>
+//! campaign_shard serve-bench <app> [out.jsonl]
 //! ```
 //!
 //! * `plan` resolves the target's dynamic window in a session and writes
@@ -51,10 +57,28 @@
 //!   write through the atomic temp-file + checksum protocol vs a plain
 //!   `fs::write` — the numbers `bench_report` folds into the
 //!   `campaign_*_overhead_ratio` fields to show the hot path is unaffected.
+//! * `serve` runs the resident campaign daemon (`ftkr_serve`): plans arrive
+//!   over a framed socket protocol, execute as shard jobs on a worker pool
+//!   through a shared hot-session cache, and stream per-shard deltas to
+//!   watchers.  `[port-file]` receives the bound address — how `ci.sh`
+//!   discovers an ephemeral port.
+//! * `submit` sends a plan file to a daemon and prints the job id; `watch`
+//!   streams the job's deltas to stderr and prints the final merged
+//!   `AnalyzedCampaignReport` JSON to stdout — byte-identical to
+//!   `run --analyzed` of the same plan.  `stats <addr>` (an address has a
+//!   `:`; an application name never does) prints the daemon's counters;
+//!   `shutdown` drains it.
+//! * `serve-bench` measures the cache's reason to exist: an in-process
+//!   daemon serves the same plan twice, and the cold (first, cache-miss)
+//!   and warm (hot-session) submit→final latencies land in the JSONL that
+//!   `bench_report` folds into `serve_submit_latency_*` /
+//!   `serve_cache_hit_speedup_*`.
 
 use std::process::exit;
+use std::time::{Duration, Instant};
 
 use fliptracker::{execute_plan, Session};
+use ftkr_serve::{Client, Server, ServerConfig};
 use ftkr_bench::shard::{
     resume_manifest, shard_report_path, write_report, write_report_chaos,
 };
@@ -71,7 +95,14 @@ fn usage() -> ! {
          <n_tests> <seed> <k> <dir> <chaos-seed>\n  \
          campaign_shard stats  <app> <region> [out.jsonl]\n  \
          campaign_shard speedup <app> <region:NAME|iter:N|iter:last> [out.jsonl]\n  \
-         campaign_shard overhead <app> [out.jsonl]"
+         campaign_shard overhead <app> [out.jsonl]\n  \
+         campaign_shard serve  <addr> [workers] [budget-mb] [port-file]\n  \
+         campaign_shard submit <addr> <plan.json> [k]\n  \
+         campaign_shard watch  <addr> <job>\n  \
+         campaign_shard stats  <addr>\n  \
+         campaign_shard shutdown <addr>\n  \
+         campaign_shard serve-bench <app> [out.jsonl]\n  \
+         (run also accepts --analyzed for the pattern-enriched report)"
     );
     exit(2);
 }
@@ -177,6 +208,13 @@ fn cmd_plan(args: &[String]) {
 }
 
 fn cmd_run(args: &[String]) {
+    // `--analyzed` switches to the pattern-enriched report — the flavor the
+    // campaign server streams, so `watch` output can be diffed against an
+    // offline `run --analyzed` of the same plan.
+    let (analyzed, args) = match args.split_first() {
+        Some((flag, rest)) if flag == "--analyzed" => (true, rest),
+        _ => (false, args),
+    };
     let (plan_path, out) = match args {
         [plan] => (plan, None),
         [plan, out] => (plan, Some(out)),
@@ -186,11 +224,26 @@ fn cmd_run(args: &[String]) {
         eprintln!("campaign_shard: {plan_path} is not a plan: {e}");
         exit(1);
     });
-    let report = execute_plan(&plan).unwrap_or_else(|e| {
-        eprintln!("campaign_shard: {e}");
-        exit(1);
-    });
-    let json = report.to_json();
+    let json = if analyzed {
+        Session::by_name(&plan.app)
+            .unwrap_or_else(|| {
+                eprintln!("campaign_shard: unknown application {:?}", plan.app);
+                exit(1);
+            })
+            .run_plan_analyzed(&plan)
+            .unwrap_or_else(|e| {
+                eprintln!("campaign_shard: {e}");
+                exit(1);
+            })
+            .to_json()
+    } else {
+        execute_plan(&plan)
+            .unwrap_or_else(|e| {
+                eprintln!("campaign_shard: {e}");
+                exit(1);
+            })
+            .to_json()
+    };
     match out {
         // File output goes through the crash-consistent protocol (atomic
         // rename + checksum footer); stdout stays bare JSON.
@@ -682,6 +735,206 @@ fn cmd_overhead(args: &[String]) {
     }
 }
 
+/// Exit with the client-side rendering of a serve failure.
+fn serve_fail(context: &str, e: ftkr_serve::ServeError) -> ! {
+    eprintln!("campaign_shard: {context}: {e}");
+    exit(1);
+}
+
+fn cmd_serve(args: &[String]) {
+    let (addr, rest) = match args.split_first() {
+        Some((addr, rest)) if rest.len() <= 3 => (addr, rest),
+        _ => usage(),
+    };
+    let mut config = ServerConfig::default();
+    if let Some(workers) = rest.first() {
+        config.workers = workers.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(budget_mb) = rest.get(1) {
+        let mb: u64 = budget_mb.parse().unwrap_or_else(|_| usage());
+        config.cache_budget = mb << 20;
+    }
+    let server = Server::bind(addr, config).unwrap_or_else(|e| {
+        eprintln!("campaign_shard: cannot bind {addr}: {e}");
+        exit(1);
+    });
+    let bound = server.local_addr();
+    // The port file is how scripts discover an ephemeral (`:0`) port.
+    if let Some(port_file) = rest.get(2) {
+        std::fs::write(port_file, bound.to_string()).unwrap_or_else(|e| {
+            eprintln!("campaign_shard: cannot write {port_file}: {e}");
+            exit(1);
+        });
+    }
+    eprintln!("campaign_shard: serving campaigns on {bound}");
+    let stats = server.run();
+    eprintln!(
+        "campaign_shard: drained: {} job(s) over {} shard(s) ({} lost, {} worker panic(s)), \
+         cache {} hit(s) / {} miss(es)",
+        stats.jobs_completed,
+        stats.shards_executed + stats.shards_lost,
+        stats.shards_lost,
+        stats.worker_panics,
+        stats.cache.hits,
+        stats.cache.misses
+    );
+}
+
+fn cmd_submit(args: &[String]) {
+    let (addr, plan_path, k) = match args {
+        [addr, plan] => (addr, plan, 0),
+        [addr, plan, k] => (addr, plan, k.parse().unwrap_or_else(|_| usage())),
+        _ => usage(),
+    };
+    let plan = CampaignPlan::from_json(&read(plan_path)).unwrap_or_else(|e| {
+        eprintln!("campaign_shard: {plan_path} is not a plan: {e}");
+        exit(1);
+    });
+    // Default shard count: one job per worker the default config would run.
+    let k = if k == 0 { ServerConfig::default().workers as u64 } else { k };
+    let mut client =
+        Client::connect(addr.as_str()).unwrap_or_else(|e| serve_fail("cannot connect", e));
+    let job = client
+        .submit(&plan, k, FailPlan::none())
+        .unwrap_or_else(|e| serve_fail("submit refused", e));
+    println!("{job}");
+}
+
+fn cmd_watch(args: &[String]) {
+    let [addr, job] = args else {
+        usage();
+    };
+    let job: u64 = job.parse().unwrap_or_else(|_| usage());
+    let mut client =
+        Client::connect(addr.as_str()).unwrap_or_else(|e| serve_fail("cannot connect", e));
+    let report = client
+        .watch(job, |shard, done, total, _| {
+            eprintln!("campaign_shard: job {job}: shard {shard} done ({done}/{total})");
+        })
+        .unwrap_or_else(|e| serve_fail("watch failed", e));
+    println!("{report}");
+}
+
+fn cmd_server_stats(args: &[String]) {
+    let [addr] = args else {
+        usage();
+    };
+    let mut client =
+        Client::connect(addr.as_str()).unwrap_or_else(|e| serve_fail("cannot connect", e));
+    let stats = client.stats().unwrap_or_else(|e| serve_fail("stats refused", e));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&stats).expect("stats serialize")
+    );
+}
+
+fn cmd_shutdown(args: &[String]) {
+    let [addr] = args else {
+        usage();
+    };
+    let mut client =
+        Client::connect(addr.as_str()).unwrap_or_else(|e| serve_fail("cannot connect", e));
+    client
+        .shutdown()
+        .unwrap_or_else(|e| serve_fail("shutdown refused", e));
+    eprintln!("campaign_shard: {addr} acknowledged shutdown and is draining");
+}
+
+/// Measure the session cache's payoff: submit→final latency of the same
+/// plan against a cold daemon and against its now-hot session.
+fn cmd_serve_bench(args: &[String]) {
+    let (app, out) = match args {
+        [app] => (app, None),
+        [app, out] => (app, Some(out)),
+        _ => usage(),
+    };
+    let session = Session::by_name(app).unwrap_or_else(|| {
+        eprintln!("campaign_shard: unknown application {app:?}");
+        exit(1);
+    });
+    // Few tests on purpose: the cold/warm gap is the *fixed* session
+    // warm-up (clean run, sites, checkpoint), and a long injection tail
+    // would drown the thing being measured.
+    let region = session.app().regions[0].clone();
+    let plan = session
+        .plan(
+            CampaignTarget::Region { name: region },
+            TargetClass::Internal,
+            4,
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("campaign_shard: {e}");
+            exit(1);
+        })
+        .with_seed(0xC0DE);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            cache_budget: u64::MAX,
+            idle_timeout: Duration::from_secs(30),
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("campaign_shard: cannot bind an ephemeral port: {e}");
+        exit(1);
+    });
+    let bound = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let mut client =
+        Client::connect(bound.as_str()).unwrap_or_else(|e| serve_fail("cannot connect", e));
+    let round_trip = |client: &mut Client| -> u64 {
+        let t0 = Instant::now();
+        let job = client
+            .submit(&plan, 2, FailPlan::none())
+            .unwrap_or_else(|e| serve_fail("submit refused", e));
+        let _ = client
+            .watch(job, |_, _, _, _| {})
+            .unwrap_or_else(|e| serve_fail("watch failed", e));
+        t0.elapsed().as_nanos() as u64
+    };
+    // The cold number is inherently one-shot — the first submission pays
+    // the clean run, site derivation, and checkpoint capture exactly once.
+    let cold_ns = round_trip(&mut client);
+    let mut warm_samples: Vec<u64> = (0..5).map(|_| round_trip(&mut client)).collect();
+    warm_samples.sort_unstable();
+    let warm_ns = warm_samples[warm_samples.len() / 2];
+    client
+        .shutdown()
+        .unwrap_or_else(|e| serve_fail("shutdown refused", e));
+    daemon.join().expect("daemon thread");
+
+    let mut lines = String::new();
+    for (name, value) in [
+        (format!("campaign_serve/submit_cold/{app}"), cold_ns),
+        (format!("campaign_serve/submit_warm/{app}"), warm_ns),
+    ] {
+        lines.push_str(&format!("{{\"name\":\"{name}\",\"median_ns\":{value}}}\n"));
+    }
+    eprintln!(
+        "campaign_shard: {app}: submit→final {cold_ns} ns cold vs {warm_ns} ns warm \
+         ({:.2}x cache-hit speedup)",
+        cold_ns as f64 / warm_ns.max(1) as f64
+    );
+    match out {
+        Some(path) => {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| {
+                    eprintln!("campaign_shard: cannot open {path}: {e}");
+                    exit(1);
+                });
+            f.write_all(lines.as_bytes()).expect("append serve records");
+        }
+        None => print!("{lines}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -691,9 +944,18 @@ fn main() {
             "merge" => cmd_merge(rest),
             "resume" => cmd_resume(rest),
             "chaos" => cmd_chaos(rest),
+            // `stats <addr>` asks a daemon; `stats <app> <region>` records
+            // footprint counters.  An address always carries a `:`, an
+            // application name never does.
+            "stats" if rest.first().is_some_and(|a| a.contains(':')) => cmd_server_stats(rest),
             "stats" => cmd_stats(rest),
             "speedup" => cmd_speedup(rest),
             "overhead" => cmd_overhead(rest),
+            "serve" => cmd_serve(rest),
+            "submit" => cmd_submit(rest),
+            "watch" => cmd_watch(rest),
+            "shutdown" => cmd_shutdown(rest),
+            "serve-bench" => cmd_serve_bench(rest),
             _ => usage(),
         },
         None => usage(),

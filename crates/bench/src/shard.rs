@@ -30,7 +30,14 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use fliptracker::{execute_plan, PlanError};
-use ftkr_inject::{CampaignPlan, CampaignReport, FailPlan, FailSite};
+use ftkr_inject::{CampaignPlan, CampaignReport, FailPlan};
+
+// The checksum/atomic-write primitives live in `fliptracker::integrity` so
+// the shard manifests and the `ftkr_serve` wire protocol share one
+// implementation; re-exported here to keep this module's historical API.
+pub use fliptracker::integrity::{
+    verify_checksum, with_checksum, write_report, write_report_chaos, CHECKSUM_PREFIX, IO_RETRIES,
+};
 
 /// Why a manifest operation failed, preserving the failing shard index and
 /// the underlying cause (replaces the old stringly `Result<_, String>`).
@@ -159,118 +166,6 @@ pub fn manifest_shards(dir: &Path) -> Vec<usize> {
 }
 
 // -- crash-consistent report files ----------------------------------------
-
-/// The footer line prefix that frames a report's checksum.
-pub const CHECKSUM_PREFIX: &str = "#ftkr-checksum:";
-
-/// Attempts the bounded retry loop makes before giving up on an I/O
-/// operation.
-pub const IO_RETRIES: u32 = 4;
-
-/// FNV-1a over the payload bytes — cheap, dependency-free, and plenty to
-/// catch torn writes and bit rot (this is an integrity check, not crypto).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xCBF2_9CE4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
-}
-
-/// Frame a payload with its checksum footer (the exact bytes
-/// [`write_report`] persists).
-pub fn with_checksum(payload: &str) -> String {
-    format!(
-        "{payload}\n{CHECKSUM_PREFIX}{:016x}\n",
-        fnv1a(payload.as_bytes())
-    )
-}
-
-/// Verify a framed report and return its payload, or `None` when the footer
-/// is missing, malformed, or does not match the payload bytes.
-pub fn verify_checksum(text: &str) -> Option<&str> {
-    let body = text.strip_suffix('\n').unwrap_or(text);
-    let (payload, footer) = body.rsplit_once('\n')?;
-    let hex = footer.strip_prefix(CHECKSUM_PREFIX)?;
-    let want = u64::from_str_radix(hex, 16).ok()?;
-    (fnv1a(payload.as_bytes()) == want).then_some(payload)
-}
-
-/// Run an I/O operation up to [`IO_RETRIES`] times with deterministic spin
-/// backoff between attempts (no wall clock: chaos schedules and tests must
-/// replay identically).  Returns the last error if every attempt fails.
-fn with_retry<T>(mut op: impl FnMut(u32) -> io::Result<T>) -> io::Result<T> {
-    let mut last: Option<io::Error> = None;
-    for attempt in 0..IO_RETRIES {
-        match op(attempt) {
-            Ok(v) => return Ok(v),
-            Err(e) => {
-                last = Some(e);
-                for _ in 0..(64u64 << attempt.min(10)) {
-                    std::hint::spin_loop();
-                }
-            }
-        }
-    }
-    Err(last.expect("IO_RETRIES > 0"))
-}
-
-/// Write `payload` to `path` crash-consistently: checksum footer appended,
-/// bytes written to a temp file in the same directory, temp file atomically
-/// renamed over the destination.  A crash between any two steps leaves
-/// either the previous intact file or a stray `.tmp` — never a torn report.
-pub fn write_report(path: &Path, payload: &str) -> io::Result<()> {
-    write_report_chaos(path, payload, FailPlan::none(), 0)
-}
-
-/// [`write_report`] with a fail-point schedule armed, keyed by `ordinal`
-/// (shard index, typically):
-///
-/// * [`FailSite::TransientIo`] makes individual write attempts fail — the
-///   retry loop absorbs them unless the rate starves all [`IO_RETRIES`];
-/// * [`FailSite::ReportWrite`] simulates the process dying after the temp
-///   file is written but before the rename: the destination is untouched
-///   and the stray `.tmp` is left behind, exactly like a real crash;
-/// * [`FailSite::ReportCorrupt`] flips a payload byte *after* a successful
-///   rename, simulating silent on-disk corruption for the checksum to catch.
-pub fn write_report_chaos(
-    path: &Path,
-    payload: &str,
-    chaos: FailPlan,
-    ordinal: u64,
-) -> io::Result<()> {
-    let framed = with_checksum(payload);
-    let tmp = path.with_extension("json.tmp");
-    with_retry(|attempt| {
-        if chaos.fires(
-            FailSite::TransientIo,
-            ordinal.wrapping_mul(IO_RETRIES as u64).wrapping_add(attempt as u64),
-        ) {
-            return Err(io::Error::new(
-                io::ErrorKind::Interrupted,
-                "chaos: transient I/O failure",
-            ));
-        }
-        std::fs::write(&tmp, framed.as_bytes())
-    })?;
-    if chaos.fires(FailSite::ReportWrite, ordinal) {
-        // The "process" dies between write and rename: leave the temp file
-        // stranded and the destination untouched.
-        return Err(io::Error::new(
-            io::ErrorKind::Interrupted,
-            "chaos: crashed before rename",
-        ));
-    }
-    with_retry(|_| std::fs::rename(&tmp, path))?;
-    if chaos.fires(FailSite::ReportCorrupt, ordinal) {
-        let mut bytes = std::fs::read(path)?;
-        let victim = bytes.len() / 3;
-        bytes[victim] ^= 0x20;
-        std::fs::write(path, &bytes)?;
-    }
-    Ok(())
-}
 
 /// Read a shard report back, demanding the full crash-consistency contract:
 /// present, checksummed, parseable, and untainted.  Anything less returns

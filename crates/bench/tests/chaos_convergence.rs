@@ -128,6 +128,7 @@ proptest! {
     ) {
         assert_manifest_converges("IS", FailPlan {
             seed, restore_fail, verifier_panic, write_crash, corrupt_report, transient_io,
+            worker_job: 0,
         });
     }
 
@@ -142,6 +143,7 @@ proptest! {
     ) {
         assert_manifest_converges("LU", FailPlan {
             seed, restore_fail, verifier_panic, write_crash, corrupt_report, transient_io,
+            worker_job: 0,
         });
     }
 
@@ -156,6 +158,7 @@ proptest! {
     ) {
         assert_manifest_converges("MG", FailPlan {
             seed, restore_fail, verifier_panic, write_crash, corrupt_report, transient_io,
+            worker_job: 0,
         });
     }
 
@@ -169,7 +172,7 @@ proptest! {
         let app = ["IS", "LU", "MG"][app_idx];
         assert_analyzed_reconverges(app, FailPlan {
             seed, restore_fail, verifier_panic,
-            write_crash: 0, corrupt_report: 0, transient_io: 0,
+            write_crash: 0, corrupt_report: 0, transient_io: 0, worker_job: 0,
         });
     }
 }

@@ -16,6 +16,9 @@
 //! * [`campaign`] — campaigns with streaming per-injection pattern analysis
 //!   ([`session::Session::run_plan_analyzed`]);
 //! * [`regions`] — region-level views of an application;
+//! * [`integrity`] — the shared FNV-1a checksum / atomic-write primitives
+//!   used by both the crash-consistent shard manifests and the `ftkr_serve`
+//!   wire protocol;
 //! * [`experiments`] — regenerates every table and figure of the paper's
 //!   evaluation (Table I/II, Figures 4–7);
 //! * [`use_cases`] — Use Case 1 (Table III) and Use Case 2 (Table IV);
@@ -32,6 +35,7 @@
 pub mod campaign;
 pub mod effort;
 pub mod experiments;
+pub mod integrity;
 pub mod pipeline;
 pub mod regions;
 pub mod session;

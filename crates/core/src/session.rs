@@ -18,10 +18,15 @@
 //! the target's dynamic window, against a region-scoped
 //! [`TraceScope::Window`] trace that never records the full run) and replays
 //! exactly the plan's index-range shard.
+//!
+//! A `Session` is `Send + Sync`: its lazy caches are `OnceLock`s and
+//! mutex-guarded maps handing out `Arc`s, so a resident server
+//! (`ftkr_serve`) can keep one hot session per application and share it
+//! across worker threads — clean runs, DDDGs, site lists, and fork-point
+//! checkpoints are computed once and reused by every concurrent campaign.
 
-use std::cell::{OnceCell, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use ftkr_apps::{app_by_name, App};
 use ftkr_dddg::Dddg;
@@ -40,7 +45,7 @@ use crate::pipeline::{InjectionAnalysis, InjectionAnalysisBuilder};
 use crate::regions::{region_views as region_views_from, RegionView};
 
 /// Cache of fault-site lists, keyed by campaign target and class.
-type SiteCache = RefCell<HashMap<(CampaignTarget, TargetClass), Rc<Vec<FaultSite>>>>;
+type SiteCache = Mutex<HashMap<(CampaignTarget, TargetClass), Arc<Vec<FaultSite>>>>;
 
 /// Why a [`CampaignPlan`] could not be executed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,21 +136,21 @@ pub const WHOLE_PROGRAM_SEED: u64 = 0xAB5C155A;
 pub struct Session {
     app: App,
     /// Fault-free traced run (the reference for every comparison).
-    clean: OnceCell<RunResult>,
+    clean: OnceLock<RunResult>,
     /// Dynamic step count of the fault-free run (knowable without tracing).
-    steps: OnceCell<u64>,
+    steps: OnceLock<u64>,
     /// First-level-inner code-region instances of the clean trace.
-    regions: OnceCell<Vec<RegionInstance>>,
+    regions: OnceLock<Vec<RegionInstance>>,
     /// Representative per-region views (Table I rows).
-    views: OnceCell<Vec<RegionView>>,
+    views: OnceLock<Vec<RegionView>>,
     /// Main-loop iteration instances (Figure 6 targets).
-    iterations: OnceCell<Vec<RegionInstance>>,
+    iterations: OnceLock<Vec<RegionInstance>>,
     /// Per-instance DDDGs, keyed by event range in the clean trace.
-    dddgs: RefCell<HashMap<(usize, usize), Rc<Dddg>>>,
+    dddgs: Mutex<HashMap<(usize, usize), Arc<Dddg>>>,
     /// Fault-site lists, keyed by campaign target and class.
     sites: SiteCache,
     /// Fork-point checkpoints of the fault-free run, keyed by capture step.
-    checkpoints: RefCell<HashMap<u64, VmSnapshot>>,
+    checkpoints: Mutex<HashMap<u64, VmSnapshot>>,
 }
 
 impl Session {
@@ -153,14 +158,14 @@ impl Session {
     pub fn new(app: App) -> Self {
         Session {
             app,
-            clean: OnceCell::new(),
-            steps: OnceCell::new(),
-            regions: OnceCell::new(),
-            views: OnceCell::new(),
-            iterations: OnceCell::new(),
-            dddgs: RefCell::new(HashMap::new()),
-            sites: RefCell::new(HashMap::new()),
-            checkpoints: RefCell::new(HashMap::new()),
+            clean: OnceLock::new(),
+            steps: OnceLock::new(),
+            regions: OnceLock::new(),
+            views: OnceLock::new(),
+            iterations: OnceLock::new(),
+            dddgs: Mutex::new(HashMap::new()),
+            sites: Mutex::new(HashMap::new()),
+            checkpoints: Mutex::new(HashMap::new()),
         }
     }
 
@@ -299,16 +304,23 @@ impl Session {
     }
 
     /// The DDDG of one region instance of the clean trace (cached per event
-    /// range).
-    pub fn dddg(&self, instance: &RegionInstance) -> Rc<Dddg> {
-        if let Some(g) = self.dddgs.borrow().get(&(instance.start, instance.end)) {
-            return Rc::clone(g);
+    /// range, shared as an `Arc` across threads).
+    pub fn dddg(&self, instance: &RegionInstance) -> Arc<Dddg> {
+        let key = (instance.start, instance.end);
+        if let Some(g) = self.dddgs.lock().expect("dddg cache poisoned").get(&key) {
+            return Arc::clone(g);
         }
-        let g = Rc::new(Dddg::from_slice(instance_slice(self.clean_trace(), instance)));
-        self.dddgs
-            .borrow_mut()
-            .insert((instance.start, instance.end), Rc::clone(&g));
-        g
+        // Build outside the lock (construction replays the clean trace); a
+        // racing builder's graph is identical, and the first insert wins so
+        // every caller converges on one canonical Arc.
+        let g = Arc::new(Dddg::from_slice(instance_slice(self.clean_trace(), instance)));
+        Arc::clone(
+            self.dddgs
+                .lock()
+                .expect("dddg cache poisoned")
+                .entry(key)
+                .or_insert(g),
+        )
     }
 
     // -- campaign targets --------------------------------------------------
@@ -344,10 +356,10 @@ impl Session {
         &self,
         target: &CampaignTarget,
         class: TargetClass,
-    ) -> Result<Rc<Vec<FaultSite>>, PlanError> {
+    ) -> Result<Arc<Vec<FaultSite>>, PlanError> {
         let key = (target.clone(), class);
-        if let Some(s) = self.sites.borrow().get(&key) {
-            return Ok(Rc::clone(s));
+        if let Some(s) = self.sites.lock().expect("site cache poisoned").get(&key) {
+            return Ok(Arc::clone(s));
         }
         let (start, end) = self.target_window(target)?;
         let list = match (target, class) {
@@ -361,9 +373,14 @@ impl Session {
                 input_sites(start as usize, &dddg.inputs())
             }
         };
-        let list = Rc::new(list);
-        self.sites.borrow_mut().insert(key, Rc::clone(&list));
-        Ok(list)
+        let list = Arc::new(list);
+        Ok(Arc::clone(
+            self.sites
+                .lock()
+                .expect("site cache poisoned")
+                .entry(key)
+                .or_insert(list),
+        ))
     }
 
     /// Find the partitioned instance covering exactly `[start, end)`.
@@ -389,10 +406,10 @@ impl Session {
         target: &CampaignTarget,
         class: TargetClass,
         window: (u64, u64),
-    ) -> Rc<Vec<FaultSite>> {
+    ) -> Arc<Vec<FaultSite>> {
         let key = (target.clone(), class);
-        if let Some(s) = self.sites.borrow().get(&key) {
-            return Rc::clone(s);
+        if let Some(s) = self.sites.lock().expect("site cache poisoned").get(&key) {
+            return Arc::clone(s);
         }
         let (start, end) = window;
         let config = VmConfig {
@@ -413,9 +430,14 @@ impl Session {
                 input_sites(start as usize, &dddg.inputs())
             }
         };
-        let list = Rc::new(list);
-        self.sites.borrow_mut().insert(key, Rc::clone(&list));
-        list
+        let list = Arc::new(list);
+        Arc::clone(
+            self.sites
+                .lock()
+                .expect("site cache poisoned")
+                .entry(key)
+                .or_insert(list),
+        )
     }
 
     // -- fork-point checkpoints -------------------------------------------
@@ -428,14 +450,25 @@ impl Session {
     /// touches the session's cached clean run, so shard executors that fork
     /// campaigns from a checkpoint still avoid full-trace materialization.
     pub fn checkpoint_at(&self, step: u64) -> Option<VmSnapshot> {
-        if let Some(snap) = self.checkpoints.borrow().get(&step) {
+        if let Some(snap) = self
+            .checkpoints
+            .lock()
+            .expect("checkpoint cache poisoned")
+            .get(&step)
+        {
             return Some(snap.clone());
         }
         let snap = Vm::new(VmConfig::default())
             .snapshot_at(&self.app.module, step)
             .expect("benchmark module must verify")?;
-        self.checkpoints.borrow_mut().insert(step, snap.clone());
-        Some(snap)
+        Some(
+            self.checkpoints
+                .lock()
+                .expect("checkpoint cache poisoned")
+                .entry(step)
+                .or_insert(snap)
+                .clone(),
+        )
     }
 
     /// The fork step of a site list: the earliest dynamic step any of its
@@ -443,6 +476,46 @@ impl Session {
     /// test of the campaign, and as late as possible (maximum prefix saved).
     pub(crate) fn fork_step(sites: &[FaultSite]) -> u64 {
         sites.iter().map(|s| s.at_step).min().unwrap_or(0)
+    }
+
+    // -- cache accounting --------------------------------------------------
+
+    /// Approximate heap footprint of every cached artifact, in bytes: the
+    /// clean traced run, partitions, DDDGs, site lists, and fork-point
+    /// checkpoints.  An estimate over inline struct sizes (not
+    /// allocator-exact) — the currency of the `ftkr_serve` session cache's
+    /// LRU byte budget.  Grows monotonically as lazy caches fill.
+    pub fn resident_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Session>() as u64;
+        if let Some(run) = self.clean.get() {
+            if let Some(trace) = &run.trace {
+                bytes += trace.resident_bytes() as u64;
+            }
+            bytes += run.memory.resident_bytes() as u64;
+        }
+        for instances in [self.regions.get(), self.iterations.get()].into_iter().flatten() {
+            bytes += (instances.len() * size_of::<RegionInstance>()) as u64;
+        }
+        if let Some(views) = self.views.get() {
+            bytes += (views.len() * size_of::<RegionView>()) as u64;
+        }
+        for g in self.dddgs.lock().expect("dddg cache poisoned").values() {
+            bytes += (g.num_nodes() * size_of::<ftkr_dddg::DddgNode>()
+                + g.num_edges() * size_of::<ftkr_dddg::DddgEdge>()) as u64;
+        }
+        for s in self.sites.lock().expect("site cache poisoned").values() {
+            bytes += (s.len() * size_of::<FaultSite>()) as u64;
+        }
+        for snap in self
+            .checkpoints
+            .lock()
+            .expect("checkpoint cache poisoned")
+            .values()
+        {
+            bytes += snap.resident_bytes() as u64;
+        }
+        bytes
     }
 
     // -- campaigns ---------------------------------------------------------
@@ -582,7 +655,7 @@ impl Session {
     /// belong to this application's fault-free run (empty, or past the clean
     /// step count), catching stale plans before they sample the wrong
     /// population.
-    fn plan_sites(&self, plan: &CampaignPlan) -> Result<Rc<Vec<FaultSite>>, PlanError> {
+    fn plan_sites(&self, plan: &CampaignPlan) -> Result<Arc<Vec<FaultSite>>, PlanError> {
         if self.clean.get().is_none() {
             if let Some(window) = plan.window {
                 if !matches!(plan.target, CampaignTarget::WholeProgram) {
@@ -807,6 +880,25 @@ mod tests {
     }
 
     #[test]
+    fn session_is_shareable_across_worker_threads() {
+        // The ftkr_serve session cache hands one hot Session to every worker
+        // thread; the compiler must agree that is sound.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Session>();
+
+        // Lazy caches grow the resident-byte estimate monotonically.
+        let session = Session::by_name("IS").unwrap();
+        let empty = session.resident_bytes();
+        let _ = session.clean_trace();
+        let traced = session.resident_bytes();
+        assert!(traced > empty, "{traced} !> {empty}");
+        let _ = session
+            .sites(&CampaignTarget::WholeProgram, TargetClass::Internal)
+            .unwrap();
+        assert!(session.resident_bytes() > traced);
+    }
+
+    #[test]
     fn session_caches_one_clean_run_and_shares_partitions() {
         let session = Session::by_name("IS").expect("IS exists");
         // The step count is knowable without a trace…
@@ -830,9 +922,9 @@ mod tests {
         };
         let internal = session.sites(&target, TargetClass::Internal).unwrap();
         let again = session.sites(&target, TargetClass::Internal).unwrap();
-        assert!(Rc::ptr_eq(&internal, &again));
+        assert!(Arc::ptr_eq(&internal, &again));
         let input = session.sites(&target, TargetClass::Input).unwrap();
-        assert!(!Rc::ptr_eq(&internal, &input));
+        assert!(!Arc::ptr_eq(&internal, &input));
         assert!(internal.iter().all(|s| s.class == TargetClass::Internal));
         assert!(input.iter().all(|s| s.class == TargetClass::Input));
     }
@@ -939,20 +1031,20 @@ mod tests {
             .with_seed(5);
         let cold = session.run_plan_cold(&plan).unwrap();
         assert!(
-            session.checkpoints.borrow().is_empty(),
+            session.checkpoints.lock().unwrap().is_empty(),
             "the cold path must not capture checkpoints"
         );
         let forked = session.run_plan(&plan).unwrap();
         assert!(
-            !session.checkpoints.borrow().is_empty(),
+            !session.checkpoints.lock().unwrap().is_empty(),
             "a mid-run fault population must fork from a checkpoint"
         );
         assert_eq!(forked, cold);
         // The checkpoint is captured once and reused across executions.
-        let captured = session.checkpoints.borrow().len();
+        let captured = session.checkpoints.lock().unwrap().len();
         let again = session.run_plan(&plan).unwrap();
         assert_eq!(again, cold);
-        assert_eq!(session.checkpoints.borrow().len(), captured);
+        assert_eq!(session.checkpoints.lock().unwrap().len(), captured);
     }
 
     #[test]

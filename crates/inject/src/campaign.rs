@@ -91,6 +91,24 @@ impl CampaignReport {
         self.counts.is_tainted()
     }
 
+    /// The report of a shard whose executor was lost entirely (a campaign
+    /// server worker that died and exhausted its retries): every test is
+    /// tallied as a harness error, so the loss is visible — and taints the
+    /// merged report — instead of silently shrinking `n_tests`.  Mergeable
+    /// with the sibling shards of the same campaign (same population and
+    /// seed).
+    pub fn harness_lost(n_tests: u64, population: u64, seed: u64) -> CampaignReport {
+        CampaignReport {
+            counts: CampaignCounts {
+                harness_errors: n_tests,
+                ..CampaignCounts::default()
+            },
+            n_tests,
+            population,
+            seed,
+        }
+    }
+
     /// Combine the report of another shard of the same campaign.  Because
     /// each test's fault is a pure function of `(seed, index)`, merging the
     /// shard reports of any partition of `[0, n_tests)` is bit-identical to

@@ -22,6 +22,9 @@
 //!   (torn sector, bit rot); the checksum footer must catch it on read.
 //! * [`FailSite::TransientIo`] — an I/O operation fails transiently; the
 //!   bounded-retry loop must absorb it.
+//! * [`FailSite::WorkerJob`] — a campaign-server worker dies mid-shard; the
+//!   daemon must retry the job or degrade it to harness-error tallies
+//!   instead of crashing.
 //!
 //! Rates are expressed per 1024 invocations.  [`FailPlan::none`] never
 //! fires, which is the production configuration: every chaos check compiles
@@ -42,6 +45,9 @@ pub enum FailSite {
     ReportCorrupt,
     /// A transient I/O failure (absorbable by retry).
     TransientIo,
+    /// A campaign-server worker thread dying mid-shard-job (per job
+    /// attempt ordinal).
+    WorkerJob,
 }
 
 impl FailSite {
@@ -52,6 +58,7 @@ impl FailSite {
             FailSite::ReportWrite => 0x3217_EC4A,
             FailSite::ReportCorrupt => 0xC0FF_B17E,
             FailSite::TransientIo => 0x10E4_4047,
+            FailSite::WorkerJob => 0x9088_30B5,
         }
     }
 }
@@ -74,6 +81,9 @@ pub struct FailPlan {
     pub corrupt_report: u16,
     /// Per-1024 rate of transient I/O failures (per attempt ordinal).
     pub transient_io: u16,
+    /// Per-1024 rate of campaign-server workers dying mid-shard-job (per
+    /// job attempt ordinal).
+    pub worker_job: u16,
 }
 
 impl FailPlan {
@@ -86,6 +96,7 @@ impl FailPlan {
             write_crash: 0,
             corrupt_report: 0,
             transient_io: 0,
+            worker_job: 0,
         }
     }
 
@@ -98,6 +109,7 @@ impl FailPlan {
             write_crash: rate,
             corrupt_report: rate,
             transient_io: rate,
+            worker_job: rate,
         }
     }
 
@@ -108,6 +120,7 @@ impl FailPlan {
             && self.write_crash == 0
             && self.corrupt_report == 0
             && self.transient_io == 0
+            && self.worker_job == 0
     }
 
     fn rate(&self, site: FailSite) -> u16 {
@@ -117,6 +130,7 @@ impl FailPlan {
             FailSite::ReportWrite => self.write_crash,
             FailSite::ReportCorrupt => self.corrupt_report,
             FailSite::TransientIo => self.transient_io,
+            FailSite::WorkerJob => self.worker_job,
         }
     }
 

@@ -67,6 +67,19 @@ impl Memory {
         self.globals_len + self.stack_top
     }
 
+    /// Approximate heap footprint of the memory image in bytes (cell slab +
+    /// global map).  An estimate over inline struct sizes, for cache
+    /// byte-budget accounting.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.cells.len() * size_of::<Value>()
+            + self
+                .global_map
+                .iter()
+                .map(|(name, _, _)| name.len() + size_of::<(String, u64, u64)>())
+                .sum::<usize>()
+    }
+
     /// Base address and length of a global by name.
     pub fn global_extent(&self, name: &str) -> Option<(u64, u64)> {
         self.global_map

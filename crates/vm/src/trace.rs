@@ -324,6 +324,18 @@ impl Trace {
         self.events.iter().filter(|e| !e.kind.is_marker()).count()
     }
 
+    /// Approximate heap footprint of the recorded trace in bytes (events,
+    /// operand pool, location table, markers).  An estimate over the inline
+    /// struct sizes — good enough for cache byte-budget accounting, not an
+    /// allocator-exact measurement.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.events.len() * size_of::<TraceEvent>()
+            + self.pool.len() * size_of::<(LocationId, Value)>()
+            + self.locations.len() * size_of::<Location>()
+            + self.markers.len() * size_of::<MarkerRecord>()
+    }
+
     /// Dynamic step of the first recorded event: 0 for full traces, the
     /// window start for region-scoped traces (see `TraceScope`).
     pub fn base_step(&self) -> u64 {

@@ -1,10 +1,17 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only [`channel`] is provided, backed by `std::sync::mpsc` (whose `Sender`
-//! has been `Clone + Send + Sync` since Rust 1.72, which is all the SPMD
-//! launcher needs). Semantics match crossbeam's unbounded channel for the
-//! operations used here: non-blocking `send`, blocking `recv`, `Err` on
-//! disconnect.
+//! [`channel`] is backed by `std::sync::mpsc` (whose `Sender` has been
+//! `Clone + Send + Sync` since Rust 1.72, which is all the SPMD launcher
+//! needs). Semantics match crossbeam's unbounded channel for the operations
+//! used here: non-blocking `send`, blocking `recv`, `Err` on disconnect.
+//!
+//! [`deque`] mirrors the `crossbeam-deque` work-stealing subset the
+//! `ftkr_serve` worker pool uses — [`deque::Injector`], [`deque::Worker`],
+//! [`deque::Stealer`], [`deque::Steal`] — backed by mutex-guarded
+//! `VecDeque`s rather than lock-free Chase-Lev deques.  The API contract
+//! (FIFO injector, LIFO worker pops, FIFO steals, `Steal::Retry` on
+//! contention) is preserved; only the progress guarantees differ, which a
+//! shim that values auditability over raw throughput accepts.
 
 /// Multi-producer channels mirroring `crossbeam::channel`.
 pub mod channel {
@@ -51,6 +58,13 @@ pub mod channel {
         pub fn recv(&self) -> Result<T, RecvError> {
             self.inner.recv().map_err(|_| RecvError)
         }
+
+        /// Receive without blocking: `None` when the channel is currently
+        /// empty *or* disconnected (callers that must distinguish use
+        /// [`Receiver::recv`]).
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner.try_recv().ok()
+        }
     }
 
     /// Create an unbounded channel.
@@ -84,6 +98,220 @@ pub mod channel {
             let (tx, rx) = unbounded();
             std::thread::spawn(move || tx.send("hello").unwrap());
             assert_eq!(rx.recv().unwrap(), "hello");
+        }
+    }
+}
+
+/// Work-stealing deques mirroring the `crossbeam-deque` subset the serve
+/// worker pool uses.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt, mirroring `crossbeam_deque::Steal`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The source was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A global FIFO task queue every worker can push to and steal from.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Queue a task (FIFO).
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector poisoned").push_back(task);
+        }
+
+        /// Steal the oldest task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steal a batch of tasks into `dest` and pop one of them, like
+        /// `crossbeam_deque::Injector::steal_batch_and_pop`.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut queue = self.queue.lock().expect("injector poisoned");
+            let first = match queue.pop_front() {
+                Some(t) => t,
+                None => return Steal::Empty,
+            };
+            // Move up to half the remainder over to the destination worker.
+            let batch = queue.len() / 2;
+            let mut dest_queue = dest.queue.lock().expect("worker poisoned");
+            for _ in 0..batch {
+                match queue.pop_front() {
+                    Some(t) => dest_queue.push_back(t),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// True when no task is queued.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+    }
+
+    /// A worker's own deque: LIFO for the owner (freshest task first, the
+    /// cache-friendly order), FIFO for stealers (oldest task first).
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Worker::new_fifo()
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// An empty worker deque.  (Crossbeam distinguishes FIFO and LIFO
+        /// flavors; the pool uses the FIFO one, where `pop` takes the oldest
+        /// task — in-order within a worker.)
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Queue a task on this worker.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("worker poisoned").push_back(task);
+        }
+
+        /// Take this worker's next task (FIFO), or `None` when its deque is
+        /// empty (go steal).
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("worker poisoned").pop_front()
+        }
+
+        /// A stealing handle other workers hold.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// True when this worker's deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker poisoned").is_empty()
+        }
+    }
+
+    /// A handle for stealing tasks from another worker's deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal the victim's oldest task (the one it would run last).
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("worker poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_is_fifo_and_batches_into_workers() {
+            let injector = Injector::new();
+            for i in 0..8 {
+                injector.push(i);
+            }
+            assert_eq!(injector.steal(), Steal::Success(0));
+            let worker = Worker::new_fifo();
+            // Pops 1, moves half of the remaining {2..7} onto the worker.
+            assert_eq!(injector.steal_batch_and_pop(&worker), Steal::Success(1));
+            assert!(!worker.is_empty());
+            assert_eq!(worker.pop(), Some(2));
+            assert!(!injector.is_empty(), "injector keeps the unstolen half");
+        }
+
+        #[test]
+        fn stealers_take_the_oldest_task() {
+            let worker = Worker::new_fifo();
+            let stealer = worker.stealer();
+            worker.push("old");
+            worker.push("new");
+            assert_eq!(stealer.steal(), Steal::Success("old"));
+            assert_eq!(worker.pop(), Some("new"));
+            assert_eq!(stealer.steal(), Steal::Empty);
+            assert_eq!(stealer.steal().success(), None);
+        }
+
+        #[test]
+        fn tasks_cross_threads_exactly_once() {
+            let injector = Arc::new(Injector::new());
+            for i in 0..1000u32 {
+                injector.push(i);
+            }
+            let mut handles = Vec::new();
+            let total: u64 = {
+                for _ in 0..4 {
+                    let inj = Arc::clone(&injector);
+                    handles.push(std::thread::spawn(move || {
+                        let mut sum = 0u64;
+                        while let Steal::Success(v) = inj.steal() {
+                            sum += u64::from(v);
+                        }
+                        sum
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            };
+            assert_eq!(total, 999 * 1000 / 2, "every task taken exactly once");
+            assert!(injector.is_empty());
         }
     }
 }
