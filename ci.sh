@@ -32,6 +32,10 @@ if [[ "${1:-}" == "bench" ]]; then
     # Campaign-server session-cache payoff: cold vs warm submit→final
     # latency of the same LU plan against an in-process daemon.
     cargo run --release -q -p ftkr-bench --bin campaign_shard -- serve-bench LU "$medians"
+    # Serial vs 4-rank SPMD campaigns on the same MG fault population:
+    # exchange-protocol overhead and the containment rate of divergent
+    # injections (campaign_spmd_overhead_ratio_mg, spmd_containment_rate_mg).
+    cargo run --release -q -p ftkr-bench --bin campaign_shard -- serial-vs-parallel MG 24 7 "$medians"
     cargo run --release -q -p ftkr-bench --bin bench_report -- \
         "$medians" crates/bench/baseline_seed.jsonl BENCH_fliptracker.json
     exit 0
@@ -106,6 +110,32 @@ diff "$servedir/report_served.json" "$servedir/report_offline.json"
 cargo run --release -q -p ftkr-bench --bin campaign_shard -- shutdown "$serve_addr"
 wait "$serve_pid"
 echo "    served report is byte-identical to the offline run"
+
+echo "==> SPMD campaigns: 4-rank MG shards == monolithic, plus a message-fault run"
+spmddir="target/spmd-smoke"
+rm -rf "$spmddir"
+# Computation faults, rank-swept across a 4-rank job, split into two shards.
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    spmd-plan MG region:mg_a internal 16 7 4 sweep 2 "$spmddir" > /dev/null
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    spmd-run "$spmddir/plan_shard_0.json" "$spmddir/report_0.json"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    spmd-run "$spmddir/plan_shard_1.json" "$spmddir/report_1.json"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    spmd-run "$spmddir/plan.json" > "$spmddir/report_monolithic.json"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    spmd-merge "$spmddir/report_0.json" "$spmddir/report_1.json" \
+    > "$spmddir/report_merged.json"
+diff "$spmddir/report_monolithic.json" "$spmddir/report_merged.json"
+echo "    merged SPMD shard tally is bit-identical to the monolithic run"
+# Message-payload faults: corrupt one payload bit at a send boundary per test.
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    spmd-plan MG messages internal 12 7 4 sweep 1 "$spmddir/msg" > /dev/null
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    spmd-run "$spmddir/msg/plan.json" > /dev/null
+echo "    message-fault campaign executed"
+# The Wu-et-al.-style comparison table: same fault population, nranks 1 vs 4.
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- serial-vs-parallel MG 16 7
 
 echo "==> trap taxonomy: hangs/memory/arithmetic buckets, bit-identical shard merges"
 cargo test --release -q --test trap_taxonomy

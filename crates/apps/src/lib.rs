@@ -28,6 +28,7 @@
 pub mod apps;
 pub mod common;
 pub mod spec;
+pub mod spmd;
 
 pub use apps::{
     all_apps, all_apps_sized, app_by_name, app_by_name_sized, bt, bt_sized, cg, cg_with, dc,
@@ -35,3 +36,4 @@ pub use apps::{
 };
 pub use apps::cg::CgVariant;
 pub use spec::{App, AppSize, Verifier};
+pub use spmd::{spmd_decomposition, SpmdDecomposition};

@@ -108,6 +108,15 @@ struct Report {
     /// Cold over warm submit→final latency (LU) — what keeping sessions
     /// resident buys every submission after the first.
     serve_cache_hit_speedup_lu: Option<f64>,
+    /// Wall time of a 4-rank SPMD campaign over the same campaign executed
+    /// as one-rank jobs (MG, identical computation-fault population): what
+    /// the per-test exchange protocol and divergence comparison cost.
+    campaign_spmd_overhead_ratio_mg: Option<f64>,
+    /// Of the 4-rank MG tests whose corruption became observable
+    /// (computation and message populations combined), the fraction that
+    /// stayed inside the injected rank instead of crossing a communicator
+    /// boundary.
+    spmd_containment_rate_mg: Option<f64>,
 }
 
 /// Parse one `{"name":...,"median_ns":...}` timing line or one
@@ -269,6 +278,14 @@ fn main() {
             fresh.get("campaign_serve/submit_cold/LU"),
             fresh.get("campaign_serve/submit_warm/LU"),
         ),
+        campaign_spmd_overhead_ratio_mg: ratio(
+            fresh.get("campaign_spmd/spmd4/MG"),
+            fresh.get("campaign_spmd/serial/MG"),
+        ),
+        spmd_containment_rate_mg: ratio(
+            fresh_counts.get("campaign_spmd/contained4/MG"),
+            fresh_counts.get("campaign_spmd/divergent4/MG"),
+        ),
         benchmarks,
     };
 
@@ -340,5 +357,14 @@ fn main() {
     }
     if let Some(r) = report.campaign_report_checksum_write_overhead_ratio {
         println!("bench_report: crash-consistent report write vs plain (IS): {r:.2}x");
+    }
+    if let Some(r) = report.campaign_spmd_overhead_ratio_mg {
+        println!("bench_report: 4-rank SPMD campaign vs serial, same population (MG): {r:.2}x");
+    }
+    if let Some(r) = report.spmd_containment_rate_mg {
+        println!(
+            "bench_report: divergent 4-rank MG injections contained in their rank: {:.0}%",
+            r * 100.0
+        );
     }
 }

@@ -21,6 +21,10 @@
 //! campaign_shard stats   <addr>
 //! campaign_shard shutdown <addr>
 //! campaign_shard serve-bench <app> [out.jsonl]
+//! campaign_shard spmd-plan <app> <target|messages> <class> <n_tests> <seed> <ranks> <sweep|rank:N> <k> <dir>
+//! campaign_shard spmd-run <plan.json> [report.json]
+//! campaign_shard spmd-merge <report.json> <report.json>...
+//! campaign_shard serial-vs-parallel <app> <n_tests> <seed> [out.jsonl]
 //! ```
 //!
 //! * `plan` resolves the target's dynamic window in a session and writes
@@ -73,16 +77,32 @@
 //!   and warm (hot-session) submit→final latencies land in the JSONL that
 //!   `bench_report` folds into `serve_submit_latency_*` /
 //!   `serve_cache_hit_speedup_*`.
+//! * `spmd-plan` / `spmd-run` / `spmd-merge` are the multi-rank counterparts
+//!   of `plan` / `run` / `merge`: each test runs as an `ranks`-way SPMD job
+//!   with the fault in exactly one rank's VM (or, for the `messages` target,
+//!   in one message payload), and the merged `SpmdCampaignReport` carries
+//!   per-rank tallies plus masked/contained/spread divergence counts —
+//!   byte-identical to the monolithic run for any shard split.
+//! * `serial-vs-parallel` reproduces the Wu-et-al.-style comparison: the
+//!   same application and the same computation-fault population executed at
+//!   `nranks = 1` and `nranks = 4` (plus the message-payload population at
+//!   both rank counts), printed as a table distinguishing contained from
+//!   spread corruption, with timing and containment records for
+//!   `bench_report` (`campaign_spmd_overhead_ratio_*`,
+//!   `spmd_containment_rate_*`).
 
 use std::process::exit;
 use std::time::{Duration, Instant};
 
-use fliptracker::{execute_plan, Session};
+use fliptracker::{execute_plan, execute_plan_spmd, Session};
 use ftkr_serve::{Client, Server, ServerConfig};
 use ftkr_bench::shard::{
     resume_manifest, shard_report_path, write_report, write_report_chaos,
 };
-use ftkr_inject::{CampaignPlan, CampaignReport, CampaignTarget, FailPlan, TargetClass};
+use ftkr_inject::{
+    CampaignPlan, CampaignReport, CampaignTarget, FailPlan, RankTarget, SpmdCampaignReport,
+    TargetClass,
+};
 use ftkr_vm::{Vm, VmConfig};
 
 fn usage() -> ! {
@@ -102,6 +122,11 @@ fn usage() -> ! {
          campaign_shard stats  <addr>\n  \
          campaign_shard shutdown <addr>\n  \
          campaign_shard serve-bench <app> [out.jsonl]\n  \
+         campaign_shard spmd-plan <app> <whole|region:NAME|iter:N|messages> <internal|input> \
+         <n_tests> <seed> <ranks> <sweep|rank:N> <k> <dir>\n  \
+         campaign_shard spmd-run <plan.json> [report.json]\n  \
+         campaign_shard spmd-merge <report.json> <report.json>...\n  \
+         campaign_shard serial-vs-parallel <app> <n_tests> <seed> [out.jsonl]\n  \
          (run also accepts --analyzed for the pattern-enriched report)"
     );
     exit(2);
@@ -110,6 +135,9 @@ fn usage() -> ! {
 fn parse_target(text: &str) -> CampaignTarget {
     if text == "whole" {
         return CampaignTarget::WholeProgram;
+    }
+    if text == "messages" {
+        return CampaignTarget::Messages;
     }
     if let Some(name) = text.strip_prefix("region:") {
         return CampaignTarget::Region {
@@ -540,8 +568,11 @@ fn cmd_speedup(args: &[String]) {
         let label = match &t {
             CampaignTarget::Region { name } => name.clone(),
             CampaignTarget::Iteration { index } => format!("iter_{index}"),
-            CampaignTarget::WholeProgram => {
-                eprintln!("campaign_shard: speedup needs a mid-run target, not `whole`");
+            CampaignTarget::WholeProgram | CampaignTarget::Messages => {
+                eprintln!(
+                    "campaign_shard: speedup needs a mid-run computation target, \
+                     not `whole` or `messages`"
+                );
                 exit(1);
             }
         };
@@ -935,6 +966,245 @@ fn cmd_serve_bench(args: &[String]) {
     }
 }
 
+/// Append JSONL records to `out`, or print them to stdout when no file was
+/// given (the shared tail of the bench-record commands).
+fn append_records(out: Option<&String>, lines: &str) {
+    match out {
+        Some(path) => {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| {
+                    eprintln!("campaign_shard: cannot open {path}: {e}");
+                    exit(1);
+                });
+            f.write_all(lines.as_bytes()).expect("append records");
+        }
+        None => print!("{lines}"),
+    }
+}
+
+fn parse_rank_target(text: &str) -> RankTarget {
+    if text == "sweep" {
+        return RankTarget::Sweep;
+    }
+    if let Some(rank) = text.strip_prefix("rank:") {
+        if let Ok(rank) = rank.parse() {
+            return RankTarget::Rank(rank);
+        }
+    }
+    eprintln!("campaign_shard: unknown rank target {text:?} (sweep or rank:N)");
+    usage();
+}
+
+fn cmd_spmd_plan(args: &[String]) {
+    let [app, target, class, n_tests, seed, ranks, rank_target, k, dir] = args else {
+        usage();
+    };
+    let target = parse_target(target);
+    let class = parse_class(class);
+    let n_tests: u64 = n_tests.parse().unwrap_or_else(|_| usage());
+    let seed: u64 = seed.parse().unwrap_or_else(|_| usage());
+    let ranks: u32 = ranks.parse().unwrap_or_else(|_| usage());
+    let rank_target = parse_rank_target(rank_target);
+    let k: usize = k.parse().unwrap_or_else(|_| usage());
+
+    let session = Session::by_name(app).unwrap_or_else(|| {
+        eprintln!("campaign_shard: unknown application {app:?}");
+        exit(1);
+    });
+    let plan = session
+        .plan_spmd(target, class, n_tests, ranks, rank_target)
+        .unwrap_or_else(|e| {
+            eprintln!("campaign_shard: {e}");
+            exit(1);
+        })
+        .with_seed(seed);
+
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+        eprintln!("campaign_shard: cannot create {dir}: {e}");
+        exit(1);
+    });
+    let mono_path = format!("{dir}/plan.json");
+    write(&mono_path, &plan.to_json());
+    println!("{mono_path}");
+    for (i, shard) in plan.shards(k).iter().enumerate() {
+        let path = format!("{dir}/plan_shard_{i}.json");
+        write(&path, &shard.to_json());
+        println!("{path}");
+    }
+}
+
+fn cmd_spmd_run(args: &[String]) {
+    let (plan_path, out) = match args {
+        [plan] => (plan, None),
+        [plan, out] => (plan, Some(out)),
+        _ => usage(),
+    };
+    let plan = CampaignPlan::from_json(&read(plan_path)).unwrap_or_else(|e| {
+        eprintln!("campaign_shard: {plan_path} is not a plan: {e}");
+        exit(1);
+    });
+    let json = execute_plan_spmd(&plan)
+        .unwrap_or_else(|e| {
+            eprintln!("campaign_shard: {e}");
+            exit(1);
+        })
+        .to_json();
+    match out {
+        Some(path) => write_report(std::path::Path::new(path), &json).unwrap_or_else(|e| {
+            eprintln!("campaign_shard: cannot write {path}: {e}");
+            exit(1);
+        }),
+        None => println!("{json}"),
+    }
+}
+
+fn cmd_spmd_merge(args: &[String]) {
+    if args.is_empty() {
+        usage();
+    }
+    let reports: Vec<(String, SpmdCampaignReport)> = args
+        .iter()
+        .map(|path| {
+            let report = SpmdCampaignReport::from_json(&read_report(path)).unwrap_or_else(|e| {
+                eprintln!("campaign_shard: {path} is not an SPMD report: {e}");
+                exit(1);
+            });
+            (path.clone(), report)
+        })
+        .collect();
+    let (first_path, first) = &reports[0];
+    for (path, report) in &reports[1..] {
+        if report.ranks != first.ranks || !first.report.same_campaign(&report.report) {
+            eprintln!(
+                "campaign_shard: {path} ({} ranks, population {}, seed {}) is not a shard \
+                 of the same campaign as {first_path} ({} ranks, population {}, seed {})",
+                report.ranks,
+                report.report.population,
+                report.report.seed,
+                first.ranks,
+                first.report.population,
+                first.report.seed
+            );
+            exit(1);
+        }
+    }
+    let merged = reports
+        .into_iter()
+        .map(|(_, report)| report)
+        .reduce(|a, b| a.merge(&b))
+        .expect("at least one report");
+    println!("{}", merged.to_json());
+}
+
+fn cmd_serial_vs_parallel(args: &[String]) {
+    let (app, n_tests, seed, out) = match args {
+        [app, n, seed] => (app, n, seed, None),
+        [app, n, seed, out] => (app, n, seed, Some(out)),
+        _ => usage(),
+    };
+    let n_tests: u64 = n_tests.parse().unwrap_or_else(|_| usage());
+    let seed: u64 = seed.parse().unwrap_or_else(|_| usage());
+    let session = Session::by_name(app).unwrap_or_else(|| {
+        eprintln!("campaign_shard: unknown application {app:?}");
+        exit(1);
+    });
+
+    let plan_for = |target: CampaignTarget, ranks: u32| {
+        session
+            .plan_spmd(target, TargetClass::Internal, n_tests, ranks, RankTarget::Sweep)
+            .unwrap_or_else(|e| {
+                eprintln!("campaign_shard: {e}");
+                exit(1);
+            })
+            .with_seed(seed)
+    };
+    let comp1 = plan_for(CampaignTarget::WholeProgram, 1);
+    let comp4 = plan_for(CampaignTarget::WholeProgram, 4);
+    let msg1 = plan_for(CampaignTarget::Messages, 1);
+    let msg4 = plan_for(CampaignTarget::Messages, 4);
+
+    let run = |plan: &CampaignPlan| {
+        session.run_plan_spmd(plan).unwrap_or_else(|e| {
+            eprintln!("campaign_shard: {e}");
+            exit(1);
+        })
+    };
+    // Reports first: this also warms the clean SPMD states and the site
+    // list, so the timed runs below measure campaign execution only.
+    let comp1_report = run(&comp1);
+    let comp4_report = run(&comp4);
+    let msg1_report = run(&msg1);
+    let msg4_report = run(&msg4);
+
+    let serial_ns = median_ns(3, || {
+        run(&comp1);
+    });
+    let spmd_ns = median_ns(3, || {
+        run(&comp4);
+    });
+
+    // The Wu-et-al.-style comparison table: the computation-fault population
+    // (`sites × 64`) is identical in both columns — the serial column is the
+    // same campaign executed as one-rank jobs — while the message population
+    // is each rank count's own clean census.
+    println!(
+        "serial-vs-parallel {app}: n_tests {n_tests}, seed {seed}, \
+         computation population {} (identical across columns)",
+        comp1_report.report.population
+    );
+    println!("  {:<30} {:>10} {:>10}", "", "nranks=1", "nranks=4");
+    let row = |label: &str, a: u64, b: u64| {
+        println!("  {label:<30} {a:>10} {b:>10}");
+    };
+    println!("  computation faults (whole program)");
+    let (c1, c4) = (&comp1_report, &comp4_report);
+    row("    success", c1.report.counts.success, c4.report.counts.success);
+    row("    failed", c1.report.counts.failed, c4.report.counts.failed);
+    row("    crashed", c1.report.counts.crashed(), c4.report.counts.crashed());
+    row("    masked", c1.divergence.masked, c4.divergence.masked);
+    row("    contained", c1.divergence.contained, c4.divergence.contained);
+    row("    spread", c1.divergence.spread, c4.divergence.spread);
+    println!(
+        "  message faults (census {} vs {} messages)",
+        msg1_report.report.population / 64,
+        msg4_report.report.population / 64
+    );
+    let (m1, m4) = (&msg1_report, &msg4_report);
+    row("    success", m1.report.counts.success, m4.report.counts.success);
+    row("    failed", m1.report.counts.failed, m4.report.counts.failed);
+    row("    masked", m1.divergence.masked, m4.divergence.masked);
+    row("    contained", m1.divergence.contained, m4.divergence.contained);
+    row("    spread", m1.divergence.spread, m4.divergence.spread);
+
+    let contained4 = c4.divergence.contained + m4.divergence.contained;
+    let divergent4 =
+        contained4 + c4.divergence.spread + m4.divergence.spread;
+    eprintln!(
+        "campaign_shard: {app}: serial {serial_ns} ns vs 4-rank {spmd_ns} ns per campaign \
+         ({:.2}x overhead); {contained4}/{divergent4} divergent tests contained",
+        spmd_ns as f64 / serial_ns.max(1) as f64
+    );
+
+    let mut lines = String::new();
+    for (name, value) in [
+        (format!("campaign_spmd/serial/{app}"), serial_ns),
+        (format!("campaign_spmd/spmd4/{app}"), spmd_ns),
+    ] {
+        lines.push_str(&format!("{{\"name\":\"{name}\",\"median_ns\":{value}}}\n"));
+    }
+    for (name, value) in [
+        (format!("campaign_spmd/contained4/{app}"), contained4),
+        (format!("campaign_spmd/divergent4/{app}"), divergent4),
+    ] {
+        lines.push_str(&format!("{{\"name\":\"{name}\",\"count\":{value}}}\n"));
+    }
+    append_records(out, &lines);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.split_first() {
@@ -956,6 +1226,10 @@ fn main() {
             "watch" => cmd_watch(rest),
             "shutdown" => cmd_shutdown(rest),
             "serve-bench" => cmd_serve_bench(rest),
+            "spmd-plan" => cmd_spmd_plan(rest),
+            "spmd-run" => cmd_spmd_run(rest),
+            "spmd-merge" => cmd_spmd_merge(rest),
+            "serial-vs-parallel" => cmd_serial_vs_parallel(rest),
             _ => usage(),
         },
         None => usage(),

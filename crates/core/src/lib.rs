@@ -47,7 +47,7 @@ pub use pipeline::{
     analyze_injection, InjectionAnalysis, InjectionAnalysisBuilder, InjectionReport,
 };
 pub use regions::{region_table, RegionView};
-pub use session::{execute_plan, PlanError, Session};
+pub use session::{execute_plan, execute_plan_spmd, PlanError, Session};
 
 /// Common imports for examples and the experiment harness.
 pub mod prelude {
@@ -55,9 +55,9 @@ pub mod prelude {
     pub use crate::experiments;
     pub use crate::pipeline::{analyze_injection, InjectionAnalysis};
     pub use crate::regions::{region_table, RegionView};
-    pub use crate::session::{execute_plan, PlanError, Session};
+    pub use crate::session::{execute_plan, execute_plan_spmd, PlanError, Session};
     pub use crate::use_cases;
     pub use ftkr_apps::{all_apps, all_apps_sized, app_by_name, app_by_name_sized, App, AppSize};
-    pub use ftkr_inject::{CampaignPlan, CampaignTarget, IndexRange, TargetClass};
+    pub use ftkr_inject::{CampaignPlan, CampaignTarget, IndexRange, RankTarget, TargetClass};
     pub use ftkr_patterns::PatternKind;
 }

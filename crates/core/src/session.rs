@@ -28,13 +28,14 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use ftkr_apps::{app_by_name, App};
+use ftkr_apps::{app_by_name, spmd_decomposition, App};
 use ftkr_dddg::Dddg;
 use ftkr_inject::{
     input_sites, internal_sites, Campaign, CampaignPlan, CampaignReport, CampaignTarget,
-    FailPlan, FaultSite, IndexRange, Outcome, TargetClass,
+    FailPlan, FaultSite, IndexRange, Outcome, RankTarget, SpmdCampaignReport, SpmdCleanState,
+    SpmdFaults, SpmdHarness, TargetClass,
 };
-use ftkr_patterns::{assign_to_regions, PatternRates, RegionPatternSummary};
+use ftkr_patterns::{assign_to_regions, state_fnv, PatternRates, RegionPatternSummary};
 use ftkr_trace::{instance_slice, partition_iterations, partition_regions, RegionInstance,
     RegionSelector};
 use ftkr_vm::{FaultSpec, RunResult, Trace, TraceScope, Vm, VmConfig, VmSnapshot};
@@ -82,6 +83,16 @@ pub enum PlanError {
         /// The size the session's build was constructed at.
         size: ftkr_apps::AppSize,
     },
+    /// The plan requires the multi-rank executor (`ranks != 1`, or a
+    /// message-fault population) but was handed to a single-VM entry point.
+    /// Use [`Session::run_plan_spmd`].
+    SpmdPlan {
+        /// Ranks the plan asks for.
+        ranks: u32,
+    },
+    /// The plan's application has no SPMD decomposition in the registry
+    /// (`ftkr_apps::spmd_decomposition`), so it cannot run multi-rank.
+    NoSpmdDecomposition(String),
 }
 
 impl std::fmt::Display for PlanError {
@@ -110,6 +121,16 @@ impl std::fmt::Display for PlanError {
                 f,
                 "application {app:?} was built at {size:?}; campaign plans only \
                  resolve against the quick-size registry (Session::by_name)"
+            ),
+            PlanError::SpmdPlan { ranks } => write!(
+                f,
+                "plan requires the multi-rank executor ({ranks} ranks or a \
+                 message-fault population); use Session::run_plan_spmd"
+            ),
+            PlanError::NoSpmdDecomposition(app) => write!(
+                f,
+                "application {app:?} has no SPMD decomposition; multi-rank \
+                 campaigns need one (ftkr_apps::spmd_decomposition)"
             ),
         }
     }
@@ -151,6 +172,9 @@ pub struct Session {
     sites: SiteCache,
     /// Fork-point checkpoints of the fault-free run, keyed by capture step.
     checkpoints: Mutex<HashMap<u64, VmSnapshot>>,
+    /// Fault-free SPMD executions (per-rank digests, combined value, message
+    /// census), keyed by rank count.
+    spmd_clean: Mutex<HashMap<u32, Arc<SpmdCleanState>>>,
 }
 
 impl Session {
@@ -166,6 +190,7 @@ impl Session {
             dddgs: Mutex::new(HashMap::new()),
             sites: Mutex::new(HashMap::new()),
             checkpoints: Mutex::new(HashMap::new()),
+            spmd_clean: Mutex::new(HashMap::new()),
         }
     }
 
@@ -346,6 +371,11 @@ impl Session {
                 })?;
                 Ok((inst.start as u64, inst.end as u64))
             }
+            // Message payloads are not dynamic instructions: their population
+            // is the clean communication census, not a trace window.
+            CampaignTarget::Messages => Err(PlanError::UnknownTarget(
+                "message payloads (no dynamic window; SPMD executor only)".to_string(),
+            )),
         }
     }
 
@@ -590,6 +620,7 @@ impl Session {
         chaos: FailPlan,
     ) -> Result<CampaignReport, PlanError> {
         self.check_plan(plan)?;
+        self.reject_spmd(plan)?;
         let sites = self.plan_sites(plan)?;
         let shard = plan.shard.intersect(IndexRange::full(plan.n_tests));
         let fork = Self::fork_step(&sites);
@@ -614,9 +645,129 @@ impl Session {
     /// first principles.
     pub fn run_plan_cold(&self, plan: &CampaignPlan) -> Result<CampaignReport, PlanError> {
         self.check_plan(plan)?;
+        self.reject_spmd(plan)?;
         let sites = self.plan_sites(plan)?;
         let shard = plan.shard.intersect(IndexRange::full(plan.n_tests));
         Ok(self.campaign(plan.seed).run_range(&sites, shard))
+    }
+
+    /// The single-VM executors cannot honour multi-rank or message-fault
+    /// plans; refuse with a typed error instead of silently running the
+    /// wrong campaign at `ranks = 1`.
+    fn reject_spmd(&self, plan: &CampaignPlan) -> Result<(), PlanError> {
+        if plan.is_spmd() {
+            return Err(PlanError::SpmdPlan { ranks: plan.ranks });
+        }
+        Ok(())
+    }
+
+    // -- multi-rank (SPMD) campaigns --------------------------------------
+
+    /// Build the SPMD harness of this session's application: the registry
+    /// decomposition supplies the boundary/coupling/state semantics, the
+    /// verifier's reduction scalar plays the per-rank allreduce partial, and
+    /// the hang budget matches the single-VM campaigns.
+    fn spmd_harness(&self, nranks: u32) -> Result<SpmdHarness<'_>, PlanError> {
+        let decomp = spmd_decomposition(self.app.name)
+            .ok_or_else(|| PlanError::NoSpmdDecomposition(self.app.name.to_string()))?;
+        let app = &self.app;
+        Ok(SpmdHarness {
+            module: &self.app.module,
+            nranks: nranks.max(1) as usize,
+            coupling: decomp.coupling,
+            max_steps: self.max_steps(),
+            combine_rel_tol: decomp.combine_rel_tol,
+            partial: Box::new(move |r| app.reduction_scalar(r)),
+            boundary: Box::new(move |r| {
+                r.global_f64(decomp.boundary_global)
+                    .and_then(|v| v.get(decomp.boundary_index).copied())
+                    .unwrap_or(0.0)
+            }),
+            state_digest: Box::new(move |r| state_fnv(r, decomp.state_globals)),
+        })
+    }
+
+    /// The fault-free SPMD execution at `nranks` ranks (computed once per
+    /// rank count and shared): per-rank clean digests, the clean combined
+    /// value, and the message census message-fault campaigns sample from.
+    pub fn spmd_clean_state(&self, nranks: u32) -> Result<Arc<SpmdCleanState>, PlanError> {
+        if let Some(state) = self
+            .spmd_clean
+            .lock()
+            .expect("SPMD clean cache poisoned")
+            .get(&nranks)
+        {
+            return Ok(Arc::clone(state));
+        }
+        let state = Arc::new(self.spmd_harness(nranks)?.clean_state());
+        Ok(Arc::clone(
+            self.spmd_clean
+                .lock()
+                .expect("SPMD clean cache poisoned")
+                .entry(nranks)
+                .or_insert(state),
+        ))
+    }
+
+    /// Build a multi-rank campaign plan.  Like [`Session::plan`] but with a
+    /// rank count and rank-targeting spec; [`CampaignTarget::Messages`]
+    /// plans carry no dynamic window (their population is the clean
+    /// communication census, sized at execution time).
+    pub fn plan_spmd(
+        &self,
+        target: CampaignTarget,
+        class: TargetClass,
+        n_tests: u64,
+        ranks: u32,
+        rank_target: RankTarget,
+    ) -> Result<CampaignPlan, PlanError> {
+        self.require_registry_size()?;
+        if spmd_decomposition(self.app.name).is_none() {
+            return Err(PlanError::NoSpmdDecomposition(self.app.name.to_string()));
+        }
+        let plan = match target {
+            CampaignTarget::Messages => {
+                let seed = figure_seed(&target.label(), class);
+                CampaignPlan::new(self.app.name, target, class, n_tests).with_seed(seed)
+            }
+            _ => self.plan(target, class, n_tests)?,
+        };
+        Ok(plan.with_ranks(ranks, rank_target))
+    }
+
+    /// Execute a multi-rank campaign plan (or one shard of it): each test is
+    /// an `ranks`-way [`ftkr_mpi::run_spmd`] job with the fault landing in
+    /// exactly one rank's VM (computation targets) or one message payload
+    /// (the [`CampaignTarget::Messages`] population), and every completed
+    /// test is classified by the rank-divergence detector.  Pure per
+    /// `(seed, index)` like the single-VM executors, so shard reports merge
+    /// bit-identically.
+    ///
+    /// Serial plans (`ranks = 1`, computation targets) are accepted — they
+    /// run as one-rank SPMD jobs, which is how the serial column of the
+    /// serial-vs-parallel comparison is produced with identical machinery.
+    /// The faulty VM runs cold (from program entry): SPMD jobs interleave
+    /// execution with the exchange protocol, so the checkpoint-fork fast
+    /// path of [`Session::run_plan`] does not apply (see `ROADMAP.md`).
+    pub fn run_plan_spmd(&self, plan: &CampaignPlan) -> Result<SpmdCampaignReport, PlanError> {
+        self.check_plan(plan)?;
+        let harness = self.spmd_harness(plan.ranks)?;
+        let clean = self.spmd_clean_state(plan.ranks)?;
+        let shard = plan.shard.intersect(IndexRange::full(plan.n_tests));
+        let report = match plan.target {
+            CampaignTarget::Messages => {
+                harness.run_range(&clean, &SpmdFaults::Messages, plan.seed, shard)
+            }
+            _ => {
+                let sites = self.plan_sites(plan)?;
+                let faults = SpmdFaults::Computation {
+                    sites: &sites,
+                    rank_target: plan.rank_target,
+                };
+                harness.run_range(&clean, &faults, plan.seed, shard)
+            }
+        };
+        Ok(report)
     }
 
     /// Shared validation of [`Session::run_plan`]-family entry points.
@@ -869,6 +1020,17 @@ pub fn execute_plan(plan: &CampaignPlan) -> Result<CampaignReport, PlanError> {
         .run_plan(plan)
 }
 
+/// Execute a multi-rank campaign plan in a fresh session — the SPMD
+/// counterpart of [`execute_plan`], used by shard processes after parsing a
+/// plan whose `ranks`/`rank_target`/message-target fields make it an SPMD
+/// plan ([`CampaignPlan::is_spmd`] — though serial plans run here too, as
+/// one-rank SPMD jobs).
+pub fn execute_plan_spmd(plan: &CampaignPlan) -> Result<SpmdCampaignReport, PlanError> {
+    Session::by_name(&plan.app)
+        .ok_or_else(|| PlanError::UnknownApp(plan.app.clone()))?
+        .run_plan_spmd(plan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -963,6 +1125,87 @@ mod tests {
         assert!(matches!(
             execute_plan(&stale),
             Err(PlanError::InvalidWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn spmd_plans_route_to_the_spmd_executor_only() {
+        let session = Session::by_name("MG").unwrap();
+        let target = CampaignTarget::Region {
+            name: session.app().regions[0].clone(),
+        };
+        let plan = session
+            .plan_spmd(target, TargetClass::Internal, 6, 4, RankTarget::Sweep)
+            .unwrap();
+        assert!(plan.is_spmd());
+        // The single-VM executors refuse with a typed error...
+        assert!(matches!(
+            session.run_plan(&plan),
+            Err(PlanError::SpmdPlan { ranks: 4 })
+        ));
+        assert!(matches!(
+            session.run_plan_cold(&plan),
+            Err(PlanError::SpmdPlan { ranks: 4 })
+        ));
+        // ...and the SPMD executor runs it: every test is a 4-rank job.
+        let report = session.run_plan_spmd(&plan).unwrap();
+        assert_eq!(report.ranks, 4);
+        assert_eq!(report.report.n_tests, 6);
+        assert_eq!(report.per_rank.len(), 4);
+        assert_eq!(
+            report.per_rank.iter().map(|c| c.total()).sum::<u64>(),
+            6 * 4
+        );
+        // Fresh-session entry point matches the session path bit-for-bit.
+        let again = execute_plan_spmd(&plan).unwrap();
+        assert_eq!(again.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn message_fault_plans_sample_the_communication_census() {
+        let session = Session::by_name("MG").unwrap();
+        let plan = session
+            .plan_spmd(
+                CampaignTarget::Messages,
+                TargetClass::Internal,
+                5,
+                4,
+                RankTarget::Sweep,
+            )
+            .unwrap();
+        assert!(plan.window.is_none(), "message plans carry no trace window");
+        let report = session.run_plan_spmd(&plan).unwrap();
+        assert_eq!(report.report.n_tests, 5);
+        // Population is the census size × 64 bits: 4 halo + 3 gather +
+        // 3 result messages at 4 ranks.
+        assert_eq!(report.report.population, 10 * 64);
+        // No VM runs in a message campaign, so nothing can crash.
+        assert_eq!(report.report.counts.crashed(), 0);
+        assert_eq!(report.divergence.classified(), 5);
+        // But a single-VM executor cannot sample messages at all — even a
+        // one-rank message plan must be refused.
+        let serial = plan.clone().with_ranks(1, RankTarget::Sweep);
+        assert!(matches!(
+            session.run_plan(&serial),
+            Err(PlanError::SpmdPlan { ranks: 1 })
+        ));
+    }
+
+    #[test]
+    fn apps_without_a_decomposition_refuse_spmd_plans() {
+        let session = Session::by_name("LU").unwrap();
+        let target = CampaignTarget::Region {
+            name: session.app().regions[0].clone(),
+        };
+        assert!(matches!(
+            session.plan_spmd(target.clone(), TargetClass::Internal, 4, 4, RankTarget::Sweep),
+            Err(PlanError::NoSpmdDecomposition(_))
+        ));
+        let plan = CampaignPlan::new("LU", target, TargetClass::Internal, 4)
+            .with_ranks(4, RankTarget::Sweep);
+        assert!(matches!(
+            session.run_plan_spmd(&plan),
+            Err(PlanError::NoSpmdDecomposition(_))
         ));
     }
 

@@ -143,6 +143,28 @@ impl CampaignReport {
     }
 }
 
+/// SplitMix64-style mixing of a campaign seed and a test index: the root of
+/// every per-test derivation (fault sampling, rank sweeps), decorrelating
+/// streams drawn from sequential indices under one seed.
+pub(crate) fn mix_index(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The fault injected by test `index` of a campaign with `seed`: sampled
+/// uniformly from `sites × 64 bits` by an RNG derived from `(seed, index)`.
+/// Shared by the single-VM and SPMD executors, which is what makes a serial
+/// and a parallel campaign over the same site list draw the *same fault
+/// population* — the property the serial-vs-parallel comparison relies on.
+pub fn sample_site_fault(seed: u64, sites: &[FaultSite], index: u64) -> FaultSpec {
+    let mut rng = StdRng::seed_from_u64(mix_index(seed, index));
+    let site = sites[rng.random_range(0..sites.len())];
+    let bit = rng.random_range(0..64u32) as u8;
+    site.with_bit(bit)
+}
+
 /// A fault-injection campaign against one program.
 ///
 /// The verifier closure plays the role of the application's verification
@@ -334,17 +356,7 @@ where
     /// without materializing the full fault vector up front, and any shard
     /// of the index space can be replayed independently.
     pub fn fault_for_index(&self, sites: &[FaultSite], index: u64) -> FaultSpec {
-        // SplitMix64-style mixing decorrelates per-index streams drawn from
-        // sequential indices under one seed.
-        let mut z = self
-            .seed
-            .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        let mut rng = StdRng::seed_from_u64(z ^ (z >> 31));
-        let site = sites[rng.random_range(0..sites.len())];
-        let bit = rng.random_range(0..64u32) as u8;
-        site.with_bit(bit)
+        sample_site_fault(self.seed, sites, index)
     }
 
     /// Run `n_tests` injections sampled uniformly from `sites × 64 bits`.

@@ -21,17 +21,25 @@
 //! memory traps, arithmetic traps and OOM are distinguishable while the
 //! paper's three-way crashed rate stays derivable.  The [`chaos`] module
 //! turns the harness's own failure modes into seeded, replayable faults.
+//!
+//! The [`spmd`] module extends campaigns to multi-rank SPMD jobs: each test
+//! runs the application `nranks`-way with the fault landing in exactly one
+//! rank's VM (or, for [`plan::CampaignTarget::Messages`] campaigns, in one
+//! message payload at a communicator boundary), and a rank-divergence
+//! detector classifies every completed test as masked, contained, or spread.
 
 pub mod campaign;
 pub mod chaos;
 pub mod outcome;
 pub mod plan;
 pub mod sites;
+pub mod spmd;
 pub mod stats;
 
 pub use campaign::{hang_budget, Campaign, CampaignReport, TestOutcome, DEFAULT_SEED};
 pub use chaos::{FailPlan, FailSite};
 pub use outcome::{CampaignCounts, CrashCounts, CrashKind, Outcome};
-pub use plan::{CampaignPlan, CampaignTarget, IndexRange};
+pub use plan::{CampaignPlan, CampaignTarget, IndexRange, RankTarget};
+pub use spmd::{DivergenceCounts, SpmdCampaignReport, SpmdCleanState, SpmdFaults, SpmdHarness};
 pub use sites::{input_sites, internal_sites, FaultSite, TargetClass};
 pub use stats::{sample_size, Confidence};

@@ -107,6 +107,10 @@ pub enum CampaignTarget {
         /// Zero-based main-loop iteration index.
         index: usize,
     },
+    /// Message payloads at the SPMD communicator boundaries, instead of a
+    /// computation-site population.  Only the multi-rank executor accepts
+    /// this target; the single-VM executors reject it with a typed error.
+    Messages,
 }
 
 impl CampaignTarget {
@@ -116,8 +120,21 @@ impl CampaignTarget {
             CampaignTarget::WholeProgram => "whole".to_string(),
             CampaignTarget::Region { name } => name.clone(),
             CampaignTarget::Iteration { index } => format!("iter{}", index + 1),
+            CampaignTarget::Messages => "messages".to_string(),
         }
     }
+}
+
+/// Which rank of an SPMD job a computation-fault campaign injects into.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RankTarget {
+    /// Sweep the fault population across ranks: test `index` lands in rank
+    /// `mix(seed, index) % ranks` — a pure function of `(seed, index)`, so
+    /// shards agree without coordination.
+    #[default]
+    Sweep,
+    /// Every test injects into the one named rank.
+    Rank(u32),
 }
 
 /// A serializable fault-injection campaign (or one shard of it) that any
@@ -143,6 +160,21 @@ pub struct CampaignPlan {
     /// a region-scoped clean trace (`TraceScope::Window`) instead of a full
     /// one when deriving the site list.
     pub window: Option<(u64, u64)>,
+    /// Number of SPMD ranks each test runs with.  Defaults to `1` (the
+    /// single-VM campaigns of PRs 1–8), so plan JSON written before the
+    /// multi-rank executor existed keeps parsing and executing unchanged.
+    #[serde(default = "default_ranks")]
+    pub ranks: u32,
+    /// Which rank computation faults land in (ignored by single-rank plans
+    /// and by [`CampaignTarget::Messages`] plans, whose faulty rank is the
+    /// corrupted message's sender).
+    #[serde(default)]
+    pub rank_target: RankTarget,
+}
+
+/// Serde default for [`CampaignPlan::ranks`]: pre-PR-9 plans are single-rank.
+fn default_ranks() -> u32 {
+    1
 }
 
 impl CampaignPlan {
@@ -161,6 +193,8 @@ impl CampaignPlan {
             n_tests,
             shard: IndexRange::full(n_tests),
             window: None,
+            ranks: 1,
+            rank_target: RankTarget::Sweep,
         }
     }
 
@@ -174,6 +208,20 @@ impl CampaignPlan {
     pub fn with_window(mut self, start: u64, end: u64) -> Self {
         self.window = Some((start, end));
         self
+    }
+
+    /// Run every test as an `ranks`-way SPMD job (see `crate::spmd`).
+    pub fn with_ranks(mut self, ranks: u32, rank_target: RankTarget) -> Self {
+        self.ranks = ranks.max(1);
+        self.rank_target = rank_target;
+        self
+    }
+
+    /// True when this plan needs the multi-rank executor: it either runs
+    /// more than one rank or targets message payloads (which exist only at
+    /// SPMD communicator boundaries).
+    pub fn is_spmd(&self) -> bool {
+        self.ranks != 1 || matches!(self.target, CampaignTarget::Messages)
     }
 
     /// The shard manifest: `k` plans whose index ranges partition this
@@ -267,6 +315,70 @@ mod tests {
             CampaignPlan::from_json(&whole.to_json()).unwrap(),
             whole
         );
+    }
+
+    #[test]
+    fn pre_pr9_plan_json_without_ranks_still_parses_and_shards() {
+        // Plan JSON written before the multi-rank executor existed has no
+        // `ranks` / `rank_target` keys.  It must keep parsing as a
+        // single-rank sweep plan, and sharding it must preserve that.
+        let legacy = r#"{
+            "app": "MG",
+            "target": {"Region": {"name": "mg_a"}},
+            "class": "Internal",
+            "seed": 12648430,
+            "n_tests": 1067,
+            "shard": {"start": 0, "end": 534},
+            "window": [1200, 3400]
+        }"#;
+        let plan = CampaignPlan::from_json(legacy).expect("legacy plan parses");
+        assert_eq!(plan.ranks, 1);
+        assert_eq!(plan.rank_target, RankTarget::Sweep);
+        assert!(!plan.is_spmd());
+        // Identical to the same plan built with explicit ranks: 1.
+        let explicit = CampaignPlan {
+            ranks: 1,
+            rank_target: RankTarget::Sweep,
+            ..plan.clone()
+        };
+        assert_eq!(plan, explicit);
+        for shard in plan.shards(3) {
+            assert_eq!(shard.ranks, 1);
+            assert!(!shard.is_spmd());
+            // Round-tripping a shard through today's JSON keeps it readable.
+            assert_eq!(CampaignPlan::from_json(&shard.to_json()).unwrap(), shard);
+        }
+    }
+
+    #[test]
+    fn spmd_fields_round_trip_and_flag_the_plan() {
+        let plan = CampaignPlan::new(
+            "MG",
+            CampaignTarget::Region {
+                name: "mg_b".to_string(),
+            },
+            TargetClass::Internal,
+            32,
+        )
+        .with_ranks(4, RankTarget::Rank(2));
+        assert!(plan.is_spmd());
+        assert_eq!(CampaignPlan::from_json(&plan.to_json()).unwrap(), plan);
+
+        let messages =
+            CampaignPlan::new("CG", CampaignTarget::Messages, TargetClass::Internal, 16)
+                .with_ranks(4, RankTarget::Sweep);
+        assert!(messages.is_spmd());
+        assert_eq!(messages.target.label(), "messages");
+        assert_eq!(
+            CampaignPlan::from_json(&messages.to_json()).unwrap(),
+            messages
+        );
+
+        // Messages at one rank still needs the SPMD executor (the message
+        // population only exists at communicator boundaries).
+        let serial_messages =
+            CampaignPlan::new("CG", CampaignTarget::Messages, TargetClass::Internal, 8);
+        assert!(serial_messages.is_spmd());
     }
 
     #[test]

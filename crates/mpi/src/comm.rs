@@ -17,6 +17,92 @@ pub struct Message {
     pub data: Vec<f64>,
 }
 
+/// A directed send boundary: messages travelling `from → to`.  The unit the
+/// message-corruption hook targets — each (site, ordinal) pair names exactly
+/// one message of a deterministic SPMD execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsgSite {
+    /// Sending rank.
+    pub from: usize,
+    /// Receiving rank.
+    pub to: usize,
+}
+
+impl MsgSite {
+    /// Mix this site into a 64-bit salt (same role as the chaos registry's
+    /// per-site salts: it decorrelates faults on different edges under one
+    /// campaign seed).
+    pub fn salt(&self) -> u64 {
+        (self.from as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.to as u64)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+    }
+}
+
+/// A single-bit payload corruption armed on the *sending* rank: the
+/// `ordinal`-th message this rank sends across `site` has one bit of one
+/// payload word flipped at the send boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgFault {
+    /// The directed edge the corrupted message travels.
+    pub site: MsgSite,
+    /// Which message on that edge (0-based, counted per edge in send order).
+    pub ordinal: u64,
+    /// Payload word to corrupt (reduced modulo the payload length).
+    pub word: usize,
+    /// Bit of the word's IEEE-754 representation to flip (0–63).
+    pub bit: u8,
+}
+
+impl MsgFault {
+    /// Derive the corrupted (word, bit) for the message at `(site, ordinal)`
+    /// as a pure function of `(seed, site, ordinal)` — the same SplitMix64
+    /// scheme the chaos registry's `FailPlan::fires` uses, so repeated runs
+    /// and shard workers agree on the flip without coordination.
+    pub fn derive(seed: u64, site: MsgSite, ordinal: u64, payload_len: usize) -> MsgFault {
+        let mut z = seed
+            .wrapping_add(site.salt())
+            .wrapping_add(ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        MsgFault {
+            site,
+            ordinal,
+            word: (z as usize) % payload_len.max(1),
+            bit: ((z >> 32) % 64) as u8,
+        }
+    }
+}
+
+/// One observed send, as recorded by a census-enabled communicator.  The
+/// per-rank logs, concatenated in rank order, form the canonical message
+/// population of a deterministic SPMD execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendRecord {
+    /// Sending rank.
+    pub from: usize,
+    /// Receiving rank.
+    pub to: usize,
+    /// Tag the message was sent with.
+    pub tag: i64,
+    /// Ordinal of the message on its directed edge (0-based).
+    pub ordinal: u64,
+    /// Payload length in words.
+    pub len: usize,
+}
+
+impl SendRecord {
+    /// The directed edge this send travelled.
+    pub fn site(&self) -> MsgSite {
+        MsgSite {
+            from: self.from,
+            to: self.to,
+        }
+    }
+}
+
 /// Reduction operator for [`Communicator::allreduce`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReduceOp {
@@ -49,6 +135,12 @@ pub struct Communicator {
     senders: Vec<Sender<Message>>,
     receiver: Receiver<Message>,
     pending: VecDeque<Message>,
+    /// Per-destination send counts — the edge ordinals of the next sends.
+    sent: Vec<u64>,
+    /// Armed single-message corruption, applied at the send boundary.
+    fault: Option<MsgFault>,
+    /// Send log, populated when census recording is enabled.
+    census: Option<Vec<SendRecord>>,
 }
 
 impl Communicator {
@@ -64,7 +156,30 @@ impl Communicator {
             senders,
             receiver,
             pending: VecDeque::new(),
+            sent: vec![0; size],
+            fault: None,
+            census: None,
         }
+    }
+
+    /// Arm a message corruption on this rank.  The fault must originate here;
+    /// it fires at most once, when the matching `(edge, ordinal)` send occurs.
+    pub fn arm_fault(&mut self, fault: MsgFault) {
+        assert_eq!(
+            fault.site.from, self.rank,
+            "message fault must be armed on its sending rank"
+        );
+        self.fault = Some(fault);
+    }
+
+    /// Start recording every send this rank performs (see [`SendRecord`]).
+    pub fn record_census(&mut self) {
+        self.census = Some(Vec::new());
+    }
+
+    /// The send log accumulated since [`Self::record_census`], if enabled.
+    pub fn take_census(&mut self) -> Vec<SendRecord> {
+        self.census.take().unwrap_or_default()
     }
 
     /// This rank's index.
@@ -79,8 +194,30 @@ impl Communicator {
 
     /// Send `data` to rank `to` with a tag.  Sends are buffered
     /// (non-blocking), like MPI's eager protocol for small messages.
-    pub fn send(&self, to: usize, tag: i64, data: Vec<f64>) {
+    ///
+    /// This is also the message-corruption boundary: if a [`MsgFault`] is
+    /// armed on this rank and this send is the `ordinal`-th message on the
+    /// fault's directed edge, one bit of one payload word is flipped before
+    /// the message leaves the rank.
+    pub fn send(&mut self, to: usize, tag: i64, mut data: Vec<f64>) {
         assert!(to < self.size, "send to nonexistent rank {to}");
+        let ordinal = self.sent[to];
+        self.sent[to] += 1;
+        if let Some(log) = self.census.as_mut() {
+            log.push(SendRecord {
+                from: self.rank,
+                to,
+                tag,
+                ordinal,
+                len: data.len(),
+            });
+        }
+        if let Some(fault) = self.fault {
+            if fault.site.to == to && fault.ordinal == ordinal && !data.is_empty() {
+                let word = fault.word % data.len();
+                data[word] = f64::from_bits(data[word].to_bits() ^ (1u64 << fault.bit));
+            }
+        }
         let msg = Message {
             from: self.rank,
             tag,
@@ -94,6 +231,15 @@ impl Communicator {
     /// Blocking receive.  `from`/`tag` of `None` match anything.  Messages
     /// that arrive but do not match are buffered for later receives, so
     /// point-to-point ordering per (source, tag) is preserved.
+    ///
+    /// Wildcard matching order is pinned to **FIFO per sender, earliest
+    /// buffered first**: among buffered candidates the one that arrived
+    /// first is delivered, and messages from one sender are never reordered
+    /// relative to each other (channel FIFO + in-order buffer scan).  The
+    /// interleaving *between* senders follows arrival order, which for
+    /// concurrent senders is scheduler-dependent — deterministic SPMD
+    /// harness code must therefore direct its receives (as the collectives
+    /// here do) or tolerate any cross-sender interleaving.
     pub fn recv(&mut self, from: Option<usize>, tag: Option<i64>) -> Message {
         let matches = |m: &Message| {
             from.map(|f| m.from == f).unwrap_or(true) && tag.map(|t| m.tag == t).unwrap_or(true)
@@ -238,6 +384,150 @@ mod tests {
         })
         .unwrap();
         assert_eq!(results, vec![42.0; 4]);
+    }
+
+    #[test]
+    fn wildcard_recv_from_one_sender_is_fifo() {
+        // from: None / tag: None must deliver a single sender's stream in
+        // exactly send order, whether the messages are drained live or were
+        // buffered by an interleaved directed receive.
+        let results = run_spmd(2, |mut comm| {
+            if comm.rank() == 0 {
+                for (i, tag) in [(1.0, 10), (2.0, 20), (3.0, 30), (4.0, 40)] {
+                    comm.send(1, tag, vec![i]);
+                }
+                vec![]
+            } else {
+                // Force the first three into the pending buffer by asking for
+                // the tail message first.
+                let last = comm.recv(None, Some(40)).data[0];
+                let mut seen = vec![];
+                for _ in 0..3 {
+                    seen.push(comm.recv(None, None).data[0]);
+                }
+                seen.push(last);
+                seen
+            }
+        })
+        .unwrap();
+        assert_eq!(results[1], vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn wildcard_recv_preserves_per_sender_order_across_senders() {
+        // Two senders, three messages each.  A barrier forces every user
+        // message into the receiver's pending buffer first (the collective's
+        // directed receives skip over them), then a wildcard drain must see
+        // each sender's messages as an in-order subsequence.
+        let results = run_spmd(3, |mut comm| {
+            if comm.rank() > 0 {
+                for i in 0..3 {
+                    let value = comm.rank() as f64 * 10.0 + i as f64;
+                    comm.send(0, comm.rank() as i64, vec![value]);
+                }
+                comm.barrier();
+                vec![]
+            } else {
+                comm.barrier();
+                (0..6).map(|_| comm.recv(None, None).data[0]).collect()
+            }
+        })
+        .unwrap();
+        let drained = &results[0];
+        for sender in [1.0, 2.0] {
+            let stream: Vec<f64> = drained
+                .iter()
+                .copied()
+                .filter(|v| (v / 10.0).trunc() == sender)
+                .collect();
+            assert_eq!(
+                stream,
+                vec![sender * 10.0, sender * 10.0 + 1.0, sender * 10.0 + 2.0],
+                "sender {sender}'s stream was reordered"
+            );
+        }
+    }
+
+    #[test]
+    fn wildcard_source_with_fixed_tag_and_vice_versa() {
+        let results = run_spmd(3, |mut comm| {
+            match comm.rank() {
+                1 => comm.send(0, 7, vec![1.5]),
+                2 => comm.send(0, 8, vec![2.5]),
+                _ => {}
+            }
+            if comm.rank() == 0 {
+                // Any source, fixed tag; then fixed source, any tag.
+                let by_tag = comm.recv(None, Some(8));
+                let by_src = comm.recv(Some(1), None);
+                assert_eq!((by_tag.from, by_tag.data[0]), (2, 2.5));
+                assert_eq!((by_src.tag, by_src.data[0]), (7, 1.5));
+                true
+            } else {
+                false
+            }
+        })
+        .unwrap();
+        assert!(results[0]);
+    }
+
+    #[test]
+    fn armed_fault_flips_one_bit_of_one_message() {
+        let fault = MsgFault {
+            site: MsgSite { from: 0, to: 1 },
+            ordinal: 1,
+            word: 0,
+            bit: 52,
+        };
+        let results = run_spmd(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.arm_fault(fault);
+                comm.send(1, 0, vec![1.0]); // ordinal 0: clean
+                comm.send(1, 0, vec![1.0]); // ordinal 1: corrupted
+                comm.send(1, 0, vec![1.0]); // ordinal 2: clean again
+                vec![]
+            } else {
+                (0..3).map(|_| comm.recv(Some(0), Some(0)).data[0]).collect()
+            }
+        })
+        .unwrap();
+        let expected = f64::from_bits(1.0f64.to_bits() ^ (1 << 52));
+        assert_eq!(results[1], vec![1.0, expected, 1.0]);
+    }
+
+    #[test]
+    fn census_records_every_send_in_order() {
+        let results = run_spmd(2, |mut comm| {
+            comm.record_census();
+            if comm.rank() == 0 {
+                comm.send(1, 3, vec![1.0, 2.0]);
+                comm.send(1, 4, vec![3.0]);
+            } else {
+                comm.recv(Some(0), Some(3));
+                comm.recv(Some(0), Some(4));
+            }
+            comm.take_census()
+        })
+        .unwrap();
+        assert_eq!(
+            results[0],
+            vec![
+                SendRecord { from: 0, to: 1, tag: 3, ordinal: 0, len: 2 },
+                SendRecord { from: 0, to: 1, tag: 4, ordinal: 1, len: 1 },
+            ]
+        );
+        assert!(results[1].is_empty());
+    }
+
+    #[test]
+    fn msg_fault_derivation_is_pure_and_seed_sensitive() {
+        let site = MsgSite { from: 2, to: 0 };
+        let a = MsgFault::derive(7, site, 5, 16);
+        let b = MsgFault::derive(7, site, 5, 16);
+        assert_eq!(a, b, "same (seed, site, ordinal) must derive the same flip");
+        assert!(a.word < 16 && a.bit < 64);
+        let differs = (0..64u64).any(|seed| MsgFault::derive(seed, site, 5, 16) != a);
+        assert!(differs, "the derived flip must depend on the seed");
     }
 
     #[test]

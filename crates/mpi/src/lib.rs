@@ -14,5 +14,5 @@
 pub mod comm;
 pub mod spmd;
 
-pub use comm::{Communicator, Message, ReduceOp};
+pub use comm::{Communicator, Message, MsgFault, MsgSite, ReduceOp, SendRecord};
 pub use spmd::{run_spmd, SpmdError};

@@ -30,11 +30,17 @@
 //! (Table IV), and [`summary`] maps detected instances back onto code
 //! regions for Table I.
 
+//! [`divergence`] extends the comparison to multi-rank (SPMD) executions:
+//! per-rank digests of clean vs. faulty runs classify each injection as
+//! masked, contained in its rank, or spread across a communicator boundary.
+
+pub mod divergence;
 pub mod fused;
 pub mod kinds;
 pub mod rates;
 pub mod summary;
 
+pub use divergence::{classify_ranks, state_fnv, RankDigest, RankDivergence};
 pub use fused::{
     analyze_fused, analyze_fused_seeds, detect_fused_patterns, detect_streaming, FusedAnalysis,
     FusedInjection, StreamingDetector,

@@ -309,6 +309,25 @@ fn submit(
             &"the server is draining and accepts no new plans",
         ));
     }
+    // The resident server executes single-VM campaigns; multi-rank and
+    // message-fault plans belong to the SPMD executor (`run_plan_spmd` /
+    // `campaign_shard spmd-run`).  Refuse them up front with a typed error
+    // instead of failing every shard job after queueing.
+    if plan.is_spmd() {
+        return Err(WireError::new(
+            WireErrorKind::Plan,
+            &format_args!(
+                "plan requires the SPMD executor ({} ranks{}); the resident \
+                 server runs single-VM campaigns only",
+                plan.ranks,
+                if matches!(plan.target, ftkr_inject::CampaignTarget::Messages) {
+                    ", message-fault population"
+                } else {
+                    ""
+                }
+            ),
+        ));
+    }
     let session = state.cache.session(&plan.app).ok_or_else(|| {
         WireError::new(
             WireErrorKind::Plan,

@@ -330,3 +330,36 @@ fn a_second_submission_hits_the_session_cache() {
     client.shutdown().expect("shutdown");
     server.join().expect("server thread");
 }
+
+#[test]
+fn spmd_plans_are_refused_up_front_with_a_typed_error() {
+    let (addr, server) = spawn_server(quick_config());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // A multi-rank computation plan: refused before any shard is queued.
+    let spmd = small_plan("MG", 8, 31).with_ranks(4, ftkr_inject::RankTarget::Sweep);
+    match client.submit(&spmd, 2, FailPlan::none()) {
+        Err(ftkr_serve::ServeError::Server(e)) => {
+            assert_eq!(e.kind, WireErrorKind::Plan);
+            assert!(e.detail.contains("SPMD"), "detail names the executor: {}", e.detail);
+        }
+        other => panic!("SPMD plan was not refused: {other:?}"),
+    }
+
+    // A message-fault plan is SPMD even at one rank.
+    let messages =
+        CampaignPlan::new("MG", CampaignTarget::Messages, TargetClass::Internal, 8).with_seed(31);
+    match client.submit(&messages, 2, FailPlan::none()) {
+        Err(ftkr_serve::ServeError::Server(e)) => assert_eq!(e.kind, WireErrorKind::Plan),
+        other => panic!("message plan was not refused: {other:?}"),
+    }
+
+    // The refusals left the server healthy: a serial plan still runs.
+    let plan = small_plan("MG", 6, 31);
+    let job = client.submit(&plan, 2, FailPlan::none()).expect("submit");
+    let report = client.watch(job, |_, _, _, _| {}).expect("watch");
+    assert_eq!(report, offline(&plan));
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread");
+}

@@ -259,3 +259,69 @@ fn analyzed_campaign_reports_are_byte_identical_across_repeated_runs() {
         );
     }
 }
+
+#[test]
+fn spmd_campaign_reports_are_byte_identical_across_runs_and_shard_splits() {
+    // Multi-rank determinism for both SPMD-decomposed registry apps: a
+    // seeded 4-rank campaign produces byte-identical per-rank tallies on
+    // every execution, and any uneven shard split — each shard executed by
+    // a fresh session through the JSON wire format — merges to the exact
+    // bytes of the monolithic run.  Both fault populations are held to the
+    // bar: computation sites (rank-swept) and message payloads.
+    for (name, seed) in [("MG", 0x5D_EEDu64), ("CG", 0xC0_FFEEu64)] {
+        let session = Session::by_name(name).expect("decomposed app");
+        let region = session.app().regions[0].clone();
+        let plans = [
+            session
+                .plan_spmd(
+                    CampaignTarget::Region { name: region },
+                    TargetClass::Internal,
+                    10,
+                    4,
+                    RankTarget::Sweep,
+                )
+                .expect("computation plan"),
+            session
+                .plan_spmd(
+                    CampaignTarget::Messages,
+                    TargetClass::Internal,
+                    10,
+                    4,
+                    RankTarget::Sweep,
+                )
+                .expect("message plan"),
+        ];
+        for plan in plans {
+            let plan = plan.with_seed(seed);
+            let label = format!("{name}/{}", plan.target.label());
+            let reference = session.run_plan_spmd(&plan).expect("monolithic run");
+            assert_eq!(reference.report.n_tests, 10, "{label}: test count");
+            assert_eq!(reference.per_rank.len(), 4, "{label}: rank tallies");
+
+            let again = session.run_plan_spmd(&plan).expect("repeated run");
+            assert_eq!(
+                again.to_json(),
+                reference.to_json(),
+                "{label}: repeated run differs"
+            );
+
+            // Three uneven shards (10 = 4 + 3 + 3), fresh session each.
+            let merged = plan
+                .shards(3)
+                .iter()
+                .map(|shard| {
+                    let wire = shard.to_json();
+                    execute_plan_spmd(&CampaignPlan::from_json(&wire).expect("plan parses"))
+                        .expect("shard executes")
+                })
+                .reduce(|a, b| a.merge(&b))
+                .expect("three shards");
+            assert_eq!(merged, reference, "{label}: sharded tally differs");
+            assert_eq!(
+                merged.to_json(),
+                reference.to_json(),
+                "{label}: sharded report JSON differs"
+            );
+        }
+    }
+}

@@ -114,6 +114,13 @@ pub fn field<'c>(entries: &'c [(String, Content)], name: &str) -> &'c Content {
         .unwrap_or(&Content::Null)
 }
 
+/// Like [`field`], but distinguishes an absent field from a present `null` —
+/// the lookup `#[serde(default)]` fields compile to, so defaults apply only
+/// when the key is genuinely missing from the document.
+pub fn field_opt<'c>(entries: &'c [(String, Content)], name: &str) -> Option<&'c Content> {
+    entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
 impl Content {
     /// The entries of a [`Content::Map`], if this is one.
     pub fn as_map(&self) -> Option<&[(String, Content)]> {

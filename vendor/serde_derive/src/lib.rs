@@ -11,10 +11,25 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// The parsed shape of the deriving type.
 enum Shape {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+/// A named field together with its recognized serde attribute, if any.
+struct Field {
+    name: String,
+    default: Option<FieldDefault>,
+}
+
+/// `#[serde(default)]` / `#[serde(default = "path")]` on a named field —
+/// the same syntax as real serde, so the sources stay registry-compatible.
+enum FieldDefault {
+    /// Fill an absent field from `Default::default()`.
+    Std,
+    /// Fill an absent field by calling the named function.
+    Path(String),
 }
 
 struct Variant {
@@ -25,11 +40,11 @@ struct Variant {
 enum VariantFields {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 /// Derive `serde::Serialize` by lowering the value into `serde::Content`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let (name, shape) = parse_input(input);
     let body = match shape {
@@ -38,7 +53,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                 .iter()
                 .map(|f| {
                     format!(
-                        "(\"{f}\".to_string(), serde::Serialize::to_content(&self.{f}))"
+                        "(\"{f}\".to_string(), serde::Serialize::to_content(&self.{f}))",
+                        f = f.name
                     )
                 })
                 .collect();
@@ -69,15 +85,12 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 /// Derive `serde::Deserialize` by rebuilding the value from `serde::Content`
 /// — the exact inverse of the `Serialize` derive above (externally-tagged
 /// enums, transparent newtypes, maps for named fields).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let (name, shape) = parse_input(input);
     let body = match shape {
         Shape::NamedStruct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: serde::from_content(serde::field(entries, \"{f}\"))?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| de_field_init("entries", f)).collect();
             format!(
                 "let entries = content.as_map().ok_or_else(|| \
                  serde::DeError::expected(\"map\", \"{name}\"))?;\n\
@@ -116,6 +129,28 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     .expect("generated Deserialize impl parses")
 }
 
+/// Initializer expression for one named field in a deserialize body.
+/// `#[serde(default)]` fields look their key up with `serde::field_opt` so
+/// absence (as opposed to an explicit `null`) falls back to the default.
+fn de_field_init(entries_var: &str, f: &Field) -> String {
+    let name = &f.name;
+    match &f.default {
+        None => format!(
+            "{name}: serde::from_content(serde::field({entries_var}, \"{name}\"))?"
+        ),
+        Some(FieldDefault::Std) => format!(
+            "{name}: match serde::field_opt({entries_var}, \"{name}\") {{ \
+             Some(v) => serde::from_content(v)?, \
+             None => ::std::default::Default::default() }}"
+        ),
+        Some(FieldDefault::Path(path)) => format!(
+            "{name}: match serde::field_opt({entries_var}, \"{name}\") {{ \
+             Some(v) => serde::from_content(v)?, \
+             None => {path}() }}"
+        ),
+    }
+}
+
 /// Deserialization body for an externally-tagged enum.
 fn de_enum_body(name: &str, variants: &[Variant]) -> String {
     // Unit variants arrive as a bare string.
@@ -149,12 +184,8 @@ fn de_enum_body(name: &str, variants: &[Variant]) -> String {
                     )
                 }
                 VariantFields::Named(fields) => {
-                    let inits: Vec<String> = fields
-                        .iter()
-                        .map(|f| {
-                            format!("{f}: serde::from_content(serde::field(fields, \"{f}\"))?")
-                        })
-                        .collect();
+                    let inits: Vec<String> =
+                        fields.iter().map(|f| de_field_init("fields", f)).collect();
                     format!(
                         "{{ let fields = inner.as_map().ok_or_else(|| \
                          serde::DeError::expected(\"map\", \"{name}::{vname}\"))?;\n\
@@ -214,12 +245,18 @@ fn arm_for(enum_name: &str, v: &Variant) -> String {
         VariantFields::Named(fields) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_content({f}))"))
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), serde::Serialize::to_content({f}))",
+                        f = f.name
+                    )
+                })
                 .collect();
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
             format!(
                 "{enum_name}::{vname} {{ {} }} => serde::Content::Map(vec![(\"{vname}\".to_string(), \
                  serde::Content::Map(vec![{}]))]),",
-                fields.join(", "),
+                binds.join(", "),
                 entries.join(", ")
             )
         }
@@ -257,7 +294,7 @@ fn parse_input(input: TokenStream) -> (String, Shape) {
     let shape = if kind == "struct" {
         match iter.next() {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Shape::NamedStruct(named_field_names(g.stream()))
+                Shape::NamedStruct(named_fields(g.stream()))
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 Shape::TupleStruct(count_top_level_fields(g.stream()))
@@ -276,17 +313,23 @@ fn parse_input(input: TokenStream) -> (String, Shape) {
     (name, shape)
 }
 
-/// Field names of a named-field body (`a: T, b: U, ...`).
-fn named_field_names(stream: TokenStream) -> Vec<String> {
-    let mut names = Vec::new();
+/// Fields of a named-field body (`a: T, #[serde(default)] b: U, ...`),
+/// capturing recognized serde attributes along the way.
+fn named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
     let mut iter = stream.into_iter().peekable();
     loop {
-        // Skip attributes and visibility.
-        let field = loop {
+        // Skip attributes and visibility, remembering serde defaults.
+        let mut default = None;
+        let name = loop {
             match iter.next() {
-                None => return names,
+                None => return fields,
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
-                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        if let Some(d) = serde_default_attr(&g) {
+                            default = Some(d);
+                        }
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     if matches!(iter.peek(), Some(TokenTree::Group(_))) {
@@ -297,13 +340,53 @@ fn named_field_names(stream: TokenStream) -> Vec<String> {
                 other => panic!("unexpected token in named fields: {other:?}"),
             }
         };
-        names.push(field);
+        fields.push(Field { name, default });
         match iter.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("expected `:` after field name, found {other:?}"),
         }
         skip_type_until_comma(&mut iter);
     }
+}
+
+/// Recognize `#[serde(default)]` / `#[serde(default = "path")]` in one outer
+/// attribute's bracket group. Non-serde attributes (doc comments, lints)
+/// return `None`; *other* serde attributes fail the build loudly — the shim
+/// must never silently ignore semantics the real serde would apply.
+fn serde_default_attr(attr: &proc_macro::Group) -> Option<FieldDefault> {
+    let mut outer = attr.stream().into_iter();
+    match outer.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match outer.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        other => panic!("malformed #[serde ...] attribute: {other:?}"),
+    };
+    let mut iter = inner.stream().into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    iter.next(); // `=`
+                    match iter.next() {
+                        Some(TokenTree::Literal(lit)) => {
+                            let path = lit.to_string();
+                            let path = path.trim_matches('"').to_string();
+                            return Some(FieldDefault::Path(path));
+                        }
+                        other => panic!(
+                            "expected a string literal after #[serde(default = ...)]: {other:?}"
+                        ),
+                    }
+                }
+                return Some(FieldDefault::Std);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde shim derive does not support attribute token {other:?}"),
+        }
+    }
+    None
 }
 
 /// Consume type tokens up to (and including) the next top-level comma,
@@ -385,7 +468,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
                 VariantFields::Tuple(n)
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                let names = named_field_names(g.stream());
+                let names = named_fields(g.stream());
                 iter.next();
                 VariantFields::Named(names)
             }
