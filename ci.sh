@@ -26,6 +26,18 @@ if [[ "${1:-}" == "bench" ]]; then
     cargo run --release -q -p ftkr-bench --bin campaign_shard -- speedup LU region:lu_blts "$medians"
     cargo run --release -q -p ftkr-bench --bin campaign_shard -- speedup MG region:mg_a "$medians"
     cargo run --release -q -p ftkr-bench --bin campaign_shard -- speedup LU iter:last "$medians"
+    # Pre-decoded dispatch vs the legacy per-Op interpreter on the clean
+    # run (vm_decode_speedup_mg / vm_decode_speedup_lu; both paths are held
+    # bit-identical before any number is recorded).
+    cargo run --release -q -p ftkr-bench --bin campaign_shard -- decode-bench MG "$medians"
+    cargo run --release -q -p ftkr-bench --bin campaign_shard -- decode-bench LU "$medians"
+    # Batched lockstep executor vs the serial campaign on the masked case
+    # it accelerates — dead-window memory faults, where serial pays a whole
+    # execution per test and batched classifies each lane from one sweep of
+    # the clean trace (campaign_batched_masked_speedup_*; both reports are
+    # held bit-identical first).
+    cargo run --release -q -p ftkr-bench --bin campaign_shard -- batched-bench MG "$medians"
+    cargo run --release -q -p ftkr-bench --bin campaign_shard -- batched-bench LU "$medians"
     # Robustness-machinery overhead: catch_unwind perimeter and the atomic
     # checksum report write vs their unguarded counterparts.
     cargo run --release -q -p ftkr-bench --bin campaign_shard -- overhead IS "$medians"
@@ -57,6 +69,29 @@ cargo test --release -q --test conformance
 
 echo "==> checkpoint equivalence: fork-point executor == cold executor (all ten apps)"
 cargo test --release -q --test checkpoint_equivalence
+
+echo "==> decode equivalence: decoded + batched executors == legacy campaigns (all ten apps)"
+cargo test --release -q --test decode_equivalence
+
+echo "==> batched vs serial on promoted LU: lockstep plan JSON == serial tally"
+batchdir="target/batched-diff"
+rm -rf "$batchdir"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    plan LU region:lu_blts internal 24 7 2 "$batchdir" > /dev/null
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    run "$batchdir/plan.json" > "$batchdir/report_serial.json"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    run --batched "$batchdir/plan.json" > "$batchdir/report_batched.json"
+diff "$batchdir/report_serial.json" "$batchdir/report_batched.json"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    run --batched "$batchdir/plan_shard_0.json" "$batchdir/batched_0.json"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    run --batched "$batchdir/plan_shard_1.json" "$batchdir/batched_1.json"
+cargo run --release -q -p ftkr-bench --bin campaign_shard -- \
+    merge "$batchdir/batched_0.json" "$batchdir/batched_1.json" \
+    > "$batchdir/report_batched_merged.json"
+diff "$batchdir/report_serial.json" "$batchdir/report_batched_merged.json"
+echo "    batched lockstep tally (whole and sharded) is bit-identical to the serial run"
 
 echo "==> fused-pipeline differentials: exact sweep == forward taint == streaming"
 cargo test --release -q --test property_based fused

@@ -100,8 +100,8 @@ use ftkr_bench::shard::{
     resume_manifest, shard_report_path, write_report, write_report_chaos,
 };
 use ftkr_inject::{
-    CampaignPlan, CampaignReport, CampaignTarget, FailPlan, RankTarget, SpmdCampaignReport,
-    TargetClass,
+    BatchContext, BatchScan, CampaignPlan, CampaignReport, CampaignTarget, FailPlan, FaultSite,
+    IndexRange, RankTarget, SpmdCampaignReport, TargetClass,
 };
 use ftkr_vm::{Vm, VmConfig};
 
@@ -115,6 +115,8 @@ fn usage() -> ! {
          <n_tests> <seed> <k> <dir> <chaos-seed>\n  \
          campaign_shard stats  <app> <region> [out.jsonl]\n  \
          campaign_shard speedup <app> <region:NAME|iter:N|iter:last> [out.jsonl]\n  \
+         campaign_shard decode-bench <app> [out.jsonl]\n  \
+         campaign_shard batched-bench <app> [out.jsonl]\n  \
          campaign_shard overhead <app> [out.jsonl]\n  \
          campaign_shard serve  <addr> [workers] [budget-mb] [port-file]\n  \
          campaign_shard submit <addr> <plan.json> [k]\n  \
@@ -127,7 +129,8 @@ fn usage() -> ! {
          campaign_shard spmd-run <plan.json> [report.json]\n  \
          campaign_shard spmd-merge <report.json> <report.json>...\n  \
          campaign_shard serial-vs-parallel <app> <n_tests> <seed> [out.jsonl]\n  \
-         (run also accepts --analyzed for the pattern-enriched report)"
+         (run also accepts --analyzed for the pattern-enriched report and \
+         --batched for the lockstep executor)"
     );
     exit(2);
 }
@@ -238,20 +241,36 @@ fn cmd_plan(args: &[String]) {
 fn cmd_run(args: &[String]) {
     // `--analyzed` switches to the pattern-enriched report — the flavor the
     // campaign server streams, so `watch` output can be diffed against an
-    // offline `run --analyzed` of the same plan.
-    let (analyzed, args) = match args.split_first() {
-        Some((flag, rest)) if flag == "--analyzed" => (true, rest),
-        _ => (false, args),
-    };
+    // offline `run --analyzed` of the same plan.  `--batched` forces the
+    // batched lockstep executor regardless of the plan's own flag — the CI
+    // hook that diffs a batched run against the same plan run serially.
+    let mut analyzed = false;
+    let mut batched = false;
+    let mut args = args;
+    while let Some((flag, rest)) = args.split_first() {
+        match flag.as_str() {
+            "--analyzed" => analyzed = true,
+            "--batched" => batched = true,
+            _ => break,
+        }
+        args = rest;
+    }
+    if analyzed && batched {
+        eprintln!("campaign_shard: --analyzed and --batched are mutually exclusive");
+        exit(2);
+    }
     let (plan_path, out) = match args {
         [plan] => (plan, None),
         [plan, out] => (plan, Some(out)),
         _ => usage(),
     };
-    let plan = CampaignPlan::from_json(&read(plan_path)).unwrap_or_else(|e| {
+    let mut plan = CampaignPlan::from_json(&read(plan_path)).unwrap_or_else(|e| {
         eprintln!("campaign_shard: {plan_path} is not a plan: {e}");
         exit(1);
     });
+    if batched {
+        plan = plan.with_batched();
+    }
     let json = if analyzed {
         Session::by_name(&plan.app)
             .unwrap_or_else(|| {
@@ -674,6 +693,128 @@ fn cmd_speedup(args: &[String]) {
         }
         None => print!("{lines}"),
     }
+}
+
+/// Time the legacy per-`Op` interpreter against the pre-decoded dispatch
+/// tables on the fault-free run, holding the two paths bit-identical before
+/// any number is recorded.
+fn cmd_decode_bench(args: &[String]) {
+    let (app, out) = match args {
+        [app] => (app, None),
+        [app, out] => (app, Some(out)),
+        _ => usage(),
+    };
+    let session = Session::by_name(app).unwrap_or_else(|| {
+        eprintln!("campaign_shard: unknown application {app:?}");
+        exit(1);
+    });
+    let module = &session.app().module;
+    let decoded = session.decoded_module();
+
+    // A speedup number for a divergent interpreter would be meaningless:
+    // hold outcome, steps, outputs and memory equal first.
+    let vm = Vm::new(VmConfig::default());
+    let legacy = vm.run(module).expect("module verifies");
+    let fast = vm.run_decoded(module, decoded).expect("module verifies");
+    assert_eq!(legacy.outcome, fast.outcome, "decoded outcome diverged");
+    assert_eq!(legacy.steps, fast.steps, "decoded step count diverged");
+    assert_eq!(legacy.outputs, fast.outputs, "decoded outputs diverged");
+
+    let repeats = 5;
+    let legacy_ns = median_ns(repeats, || {
+        let _ = vm.run(module).unwrap();
+    });
+    let decoded_ns = median_ns(repeats, || {
+        let _ = vm.run_decoded(module, decoded).unwrap();
+    });
+
+    let mut lines = String::new();
+    for (name, value) in [
+        (format!("vm_decode/legacy/{app}"), legacy_ns),
+        (format!("vm_decode/decoded/{app}"), decoded_ns),
+    ] {
+        lines.push_str(&format!("{{\"name\":\"{name}\",\"median_ns\":{value}}}\n"));
+    }
+    eprintln!(
+        "campaign_shard: {app}: legacy {legacy_ns} ns vs decoded {decoded_ns} ns \
+         ({:.2}x) over {} dynamic steps",
+        legacy_ns as f64 / decoded_ns.max(1) as f64,
+        legacy.steps
+    );
+    append_records(out, &lines);
+}
+
+/// Time a serial campaign against the batched lockstep executor on the
+/// scenario the lockstep sweep exists for — the *masked case*: memory-cell
+/// faults striking the application's global state in the dead window between
+/// the last main-loop write and verification.  Nearly every such lane masks
+/// (the corrupted cell is never read again inside the run), so the serial
+/// executor pays a whole execution per test while the batched executor
+/// classifies the lane from one sweep of the clean trace plus a memory
+/// clone.  The two reports are held bit-identical before any number is
+/// recorded.
+fn cmd_batched_bench(args: &[String]) {
+    let (app, out) = match args {
+        [app] => (app, None),
+        [app, out] => (app, Some(out)),
+        _ => usage(),
+    };
+    let session = Session::by_name(app).unwrap_or_else(|| {
+        eprintln!("campaign_shard: unknown application {app:?}");
+        exit(1);
+    });
+    const N_TESTS: u64 = 48;
+    const SEED: u64 = 0xBA7C_4ED0;
+    let clean = session.clean_run();
+    // The dead-window fault population: every global cell, struck one
+    // dynamic step before the run completes.  Whatever the program still
+    // reads past that point diverges and peels off; everything else is the
+    // masked case the batched executor accelerates.
+    let sites: Vec<FaultSite> = (0..clean.memory.globals_len())
+        .map(|addr| FaultSite {
+            at_step: clean.steps - 1,
+            mem_addr: Some(addr),
+            class: TargetClass::Input,
+        })
+        .collect();
+    let campaign = session.campaign(SEED);
+    let ctx = BatchContext::new(clean);
+    let range = IndexRange::full(N_TESTS);
+
+    // Warm the shared caches and hold the two executors bit-identical
+    // before any number is recorded.
+    let serial_report = campaign.run_range(&sites, range);
+    let batched_report = campaign.run_range_batched(&sites, range, &ctx, None);
+    assert_eq!(
+        batched_report.to_json(),
+        serial_report.to_json(),
+        "batched report diverged from the serial report"
+    );
+    let scan = BatchScan::sweep(SEED, &sites, range, &ctx);
+
+    let repeats = 5;
+    let serial_ns = median_ns(repeats, || {
+        let _ = campaign.run_range(&sites, range);
+    });
+    let batched_ns = median_ns(repeats, || {
+        let _ = campaign.run_range_batched(&sites, range, &ctx, None);
+    });
+
+    let mut lines = String::new();
+    for (name, value) in [
+        (format!("campaign_batched/serial/{app}@masked"), serial_ns),
+        (format!("campaign_batched/batched/{app}@masked"), batched_ns),
+    ] {
+        lines.push_str(&format!("{{\"name\":\"{name}\",\"median_ns\":{value}}}\n"));
+    }
+    eprintln!(
+        "campaign_shard: {app} dead-window campaign ({} masked / {} diverged of {N_TESTS}): \
+         serial {serial_ns} ns vs batched {batched_ns} ns ({:.2}x)",
+        scan.masked(),
+        scan.diverged(),
+        serial_ns as f64 / batched_ns.max(1) as f64
+    );
+    append_records(out, &lines);
 }
 
 /// Time the robustness machinery against its unguarded counterparts: the
@@ -1220,6 +1361,8 @@ fn main() {
             "stats" if rest.first().is_some_and(|a| a.contains(':')) => cmd_server_stats(rest),
             "stats" => cmd_stats(rest),
             "speedup" => cmd_speedup(rest),
+            "decode-bench" => cmd_decode_bench(rest),
+            "batched-bench" => cmd_batched_bench(rest),
             "overhead" => cmd_overhead(rest),
             "serve" => cmd_serve(rest),
             "submit" => cmd_submit(rest),

@@ -184,6 +184,7 @@ impl Session {
         // Capture only Sync state in the worker closures (not the session).
         let app = self.app();
         let module = &app.module;
+        let decoded = self.decoded_module();
         // One detector is primed over the clean prefix up to the fork; every
         // test forks it (cheap clone) instead of re-streaming the prefix.
         let primed = forked.map(|snap| {
@@ -213,7 +214,7 @@ impl Session {
                         catch_unwind(AssertUnwindSafe(|| {
                             let mut detector = StreamingDetector::new(clean, fault);
                             let result = Vm::new(config())
-                                .run_with_visitors(module, &mut [&mut detector])
+                                .run_with_visitors_decoded(module, decoded, &mut [&mut detector])
                                 .expect("module verifies");
                             (result, detector)
                         }))
@@ -225,7 +226,12 @@ impl Session {
                                 chaos.trip(FailSite::RestoreCheckpoint, index);
                                 let mut detector = p.fork(fault);
                                 let result = Vm::new(config())
-                                    .resume_with_visitors(module, snap, &mut [&mut detector])
+                                    .resume_with_visitors_decoded(
+                                        module,
+                                        decoded,
+                                        snap,
+                                        &mut [&mut detector],
+                                    )
                                     .expect("module verifies");
                                 (result, detector)
                             }))

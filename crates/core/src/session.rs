@@ -31,14 +31,14 @@ use std::sync::{Arc, Mutex, OnceLock};
 use ftkr_apps::{app_by_name, spmd_decomposition, App};
 use ftkr_dddg::Dddg;
 use ftkr_inject::{
-    input_sites, internal_sites, Campaign, CampaignPlan, CampaignReport, CampaignTarget,
-    FailPlan, FaultSite, IndexRange, Outcome, RankTarget, SpmdCampaignReport, SpmdCleanState,
-    SpmdFaults, SpmdHarness, TargetClass,
+    input_sites, internal_sites, BatchContext, Campaign, CampaignPlan, CampaignReport,
+    CampaignTarget, FailPlan, FaultSite, IndexRange, Outcome, RankTarget, SpmdCampaignReport,
+    SpmdCleanState, SpmdFaults, SpmdHarness, TargetClass,
 };
 use ftkr_patterns::{assign_to_regions, state_fnv, PatternRates, RegionPatternSummary};
 use ftkr_trace::{instance_slice, partition_iterations, partition_regions, RegionInstance,
     RegionSelector};
-use ftkr_vm::{FaultSpec, RunResult, Trace, TraceScope, Vm, VmConfig, VmSnapshot};
+use ftkr_vm::{DecodedModule, FaultSpec, RunResult, Trace, TraceScope, Vm, VmConfig, VmSnapshot};
 
 use crate::effort::Effort;
 use crate::experiments::{SuccessRatePoint, SuccessRateSeries};
@@ -160,6 +160,10 @@ pub struct Session {
     clean: OnceLock<RunResult>,
     /// Dynamic step count of the fault-free run (knowable without tracing).
     steps: OnceLock<u64>,
+    /// Pre-decoded dispatch tables of the application module (flat opcode
+    /// arrays with fused superinstructions), built once and shared by every
+    /// campaign executor.
+    decoded: OnceLock<DecodedModule>,
     /// First-level-inner code-region instances of the clean trace.
     regions: OnceLock<Vec<RegionInstance>>,
     /// Representative per-region views (Table I rows).
@@ -184,6 +188,7 @@ impl Session {
             app,
             clean: OnceLock::new(),
             steps: OnceLock::new(),
+            decoded: OnceLock::new(),
             regions: OnceLock::new(),
             views: OnceLock::new(),
             iterations: OnceLock::new(),
@@ -206,6 +211,16 @@ impl Session {
     /// The application this session analyses.
     pub fn app(&self) -> &App {
         &self.app
+    }
+
+    /// The pre-decoded dispatch tables of the application module (computed
+    /// once, shared by every campaign executor).  Decoded execution is
+    /// bit-identical to the legacy interpreter in every observable — the
+    /// equivalence the conformance and property suites hold over the whole
+    /// registry — so routing campaigns through it changes nothing but speed.
+    pub fn decoded_module(&self) -> &DecodedModule {
+        self.decoded
+            .get_or_init(|| DecodedModule::decode(&self.app.module))
     }
 
     // -- the clean reference run ------------------------------------------
@@ -558,6 +573,7 @@ impl Session {
     ) -> Campaign<'_, impl Fn(&RunResult) -> bool + Sync + '_> {
         let app = &self.app;
         Campaign::new(&app.module, move |r| app.verify(r))
+            .with_decoded(self.decoded_module())
             .with_max_steps(self.max_steps())
             .with_seed(seed)
     }
@@ -604,6 +620,13 @@ impl Session {
     /// bit-identical to [`Session::run_plan_cold`] — the equivalence the
     /// `checkpoint_equivalence` integration suite holds over the whole
     /// application registry.
+    ///
+    /// Plans flagged [`CampaignPlan::with_batched`] route through the
+    /// batched lockstep executor instead: all sampled faults are swept
+    /// against the clean trace in one pass, never-diverging lanes are
+    /// classified without executing a faulty run, and diverged lanes peel
+    /// off into the ordinary forked (or cold) executor.  Reports stay
+    /// bit-identical either way.
     pub fn run_plan(&self, plan: &CampaignPlan) -> Result<CampaignReport, PlanError> {
         self.run_plan_chaos(plan, FailPlan::none())
     }
@@ -621,6 +644,21 @@ impl Session {
     ) -> Result<CampaignReport, PlanError> {
         self.check_plan(plan)?;
         self.reject_spmd(plan)?;
+        if plan.batched {
+            // Batched lockstep mode sweeps every sampled fault against the
+            // clean trace, so the full reference run must be materialized —
+            // the windowed `plan_sites` shortcut does not apply here.
+            let clean = self.clean_run();
+            let ctx = BatchContext::new(clean);
+            let sites = self.plan_sites(plan)?;
+            let shard = plan.shard.intersect(IndexRange::full(plan.n_tests));
+            let fork = Self::fork_step(&sites);
+            let snapshot = if fork > 0 { self.checkpoint_at(fork) } else { None };
+            return Ok(self
+                .campaign(plan.seed)
+                .with_chaos(chaos)
+                .run_range_batched(&sites, shard, &ctx, snapshot.as_ref()));
+        }
         let sites = self.plan_sites(plan)?;
         let shard = plan.shard.intersect(IndexRange::full(plan.n_tests));
         let fork = Self::fork_step(&sites);
@@ -642,7 +680,9 @@ impl Session {
     /// program entry — the reference executor [`Session::run_plan`] must
     /// stay byte-identical to.  Kept public (and exercised by the
     /// equivalence suite) so the fork-point path is always checkable against
-    /// first principles.
+    /// first principles.  A plan's `batched` flag is deliberately ignored
+    /// here: this entry point is the serial reference the batched lockstep
+    /// executor is diffed against.
     pub fn run_plan_cold(&self, plan: &CampaignPlan) -> Result<CampaignReport, PlanError> {
         self.check_plan(plan)?;
         self.reject_spmd(plan)?;
@@ -1288,6 +1328,40 @@ mod tests {
         let again = session.run_plan(&plan).unwrap();
         assert_eq!(again, cold);
         assert_eq!(session.checkpoints.lock().unwrap().len(), captured);
+    }
+
+    #[test]
+    fn batched_plans_match_the_serial_executors_bit_for_bit() {
+        let session = Session::by_name("IS").unwrap();
+        let region = session.app().regions.last().unwrap().clone();
+        let serial_plan = session
+            .plan(CampaignTarget::Region { name: region }, TargetClass::Internal, 24)
+            .unwrap()
+            .with_seed(9);
+        let batched_plan = serial_plan.clone().with_batched();
+        let serial = session.run_plan(&serial_plan).unwrap();
+        let batched = session.run_plan(&batched_plan).unwrap();
+        assert_eq!(batched, serial);
+        // The batched executor needs the full clean trace...
+        assert!(session.clean.get().is_some());
+        // ...and the cold reference deliberately ignores the flag, staying
+        // the serial baseline the lockstep executor is diffed against.
+        assert_eq!(session.run_plan_cold(&batched_plan).unwrap(), serial);
+    }
+
+    #[test]
+    fn batched_whole_program_plans_run_without_a_checkpoint() {
+        let session = Session::by_name("IS").unwrap();
+        let plan = session
+            .plan(CampaignTarget::WholeProgram, TargetClass::Internal, 16)
+            .unwrap()
+            .with_batched();
+        let batched = session.run_plan(&plan).unwrap();
+        assert!(
+            session.checkpoints.lock().unwrap().is_empty(),
+            "a whole-program population starts at step 0: nothing to fork from"
+        );
+        assert_eq!(batched, session.run_plan_cold(&plan).unwrap());
     }
 
     #[test]

@@ -17,7 +17,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use ftkr_ir::Module;
-use ftkr_vm::{FaultSpec, RunOutcome, RunResult, Vm, VmConfig, VmSnapshot};
+use ftkr_vm::{DecodedModule, FaultSpec, RunOutcome, RunResult, Vm, VmConfig, VmSnapshot};
 
 use crate::chaos::{FailPlan, FailSite};
 use crate::outcome::{CampaignCounts, Outcome};
@@ -35,6 +35,18 @@ pub const DEFAULT_SEED: u64 = 0xF11B_7EAC;
 /// ([`CrashKind::Hang`](crate::CrashKind::Hang)).
 pub fn hang_budget(clean_steps: u64) -> u64 {
     clean_steps * 10 + 1000
+}
+
+/// The hang budget of a faulty run derived from the *clean run itself* —
+/// [`hang_budget`] of [`RunResult::steps`], the absolute dynamic step count.
+///
+/// Prefer this over `hang_budget_for(&clean)`: a trace recorded with
+/// `TraceOpts::skip_markers` elides loop markers from `events`, so its
+/// `len()` *undercounts* dynamic steps and would silently shrink the budget,
+/// misclassifying slow-but-recovering runs as hangs.  `steps` counts every
+/// dynamic instruction regardless of what the trace retained.
+pub fn hang_budget_for(clean: &RunResult) -> u64 {
+    hang_budget(clean.steps)
 }
 
 /// The classification of one injection test plus harness-level bookkeeping.
@@ -176,11 +188,12 @@ pub struct Campaign<'m, F>
 where
     F: Fn(&RunResult) -> bool + Sync,
 {
-    module: &'m Module,
-    verify: F,
-    max_steps: u64,
-    seed: u64,
-    chaos: FailPlan,
+    pub(crate) module: &'m Module,
+    pub(crate) verify: F,
+    pub(crate) max_steps: u64,
+    pub(crate) seed: u64,
+    pub(crate) chaos: FailPlan,
+    pub(crate) decoded: Option<&'m DecodedModule>,
 }
 
 impl<'m, F> Campaign<'m, F>
@@ -195,7 +208,19 @@ where
             max_steps: VmConfig::default().max_steps,
             seed: DEFAULT_SEED,
             chaos: FailPlan::none(),
+            decoded: None,
         }
+    }
+
+    /// Execute every faulty run through the pre-decoded dispatch tables
+    /// ([`Vm::run_decoded`] / [`Vm::resume_from_decoded`]) instead of the
+    /// legacy per-`Op` interpreter.  `decoded` must be
+    /// [`DecodedModule::decode`] of this campaign's module.  The decoded
+    /// path is bit-identical in every observable, so reports are unchanged —
+    /// only faster.
+    pub fn with_decoded(mut self, decoded: &'m DecodedModule) -> Self {
+        self.decoded = Some(decoded);
+        self
     }
 
     /// Set the dynamic step limit used for faulty runs (hang detection).
@@ -219,7 +244,7 @@ where
         self
     }
 
-    fn config(&self, fault: FaultSpec) -> VmConfig {
+    pub(crate) fn config(&self, fault: FaultSpec) -> VmConfig {
         VmConfig {
             fault: Some(fault),
             max_steps: self.max_steps,
@@ -229,11 +254,14 @@ where
 
     /// Execute a cold (from-entry) faulty run inside the panic perimeter.
     /// `None` means the harness failed, not the program.
-    fn cold_result(&self, fault: FaultSpec) -> Option<RunResult> {
+    pub(crate) fn cold_result(&self, fault: FaultSpec) -> Option<RunResult> {
         catch_unwind(AssertUnwindSafe(|| {
-            Vm::new(self.config(fault))
-                .run(self.module)
-                .expect("campaign module must verify")
+            let vm = Vm::new(self.config(fault));
+            match self.decoded {
+                Some(decoded) => vm.run_decoded(self.module, decoded),
+                None => vm.run(self.module),
+            }
+            .expect("campaign module must verify")
         }))
         .ok()
     }
@@ -241,7 +269,7 @@ where
     /// Restore `snapshot` and execute the faulty suffix inside the panic
     /// perimeter.  `None` means the restore (or the resumed execution)
     /// failed at the harness level; the caller degrades to the cold path.
-    fn forked_result(
+    pub(crate) fn forked_result(
         &self,
         snapshot: &VmSnapshot,
         fault: FaultSpec,
@@ -251,9 +279,12 @@ where
             if let Some(i) = ordinal {
                 self.chaos.trip(FailSite::RestoreCheckpoint, i);
             }
-            Vm::new(self.config(fault))
-                .resume_from(self.module, snapshot)
-                .expect("campaign module must verify")
+            let vm = Vm::new(self.config(fault));
+            match self.decoded {
+                Some(decoded) => vm.resume_from_decoded(self.module, decoded, snapshot),
+                None => vm.resume_from(self.module, snapshot),
+            }
+            .expect("campaign module must verify")
         }))
         .ok()
     }
@@ -263,7 +294,7 @@ where
     /// by the verifier — itself inside the panic perimeter, so a poisoned
     /// verifier yields [`Outcome::HarnessError`] instead of killing the
     /// worker.
-    fn classify(&self, result: RunResult, ordinal: Option<u64>) -> Outcome {
+    pub(crate) fn classify(&self, result: RunResult, ordinal: Option<u64>) -> Outcome {
         match result.outcome {
             RunOutcome::Trapped(trap) => Outcome::crashed(trap),
             RunOutcome::Completed => catch_unwind(AssertUnwindSafe(|| {
@@ -281,7 +312,7 @@ where
     }
 
     /// One cold test at a campaign index (chaos fires per index).
-    fn test_cold(&self, index: u64, fault: FaultSpec) -> TestOutcome {
+    pub(crate) fn test_cold(&self, index: u64, fault: FaultSpec) -> TestOutcome {
         match self.cold_result(fault) {
             Some(result) => self.classify(result, Some(index)).into(),
             None => Outcome::HarnessError.into(),
@@ -289,7 +320,7 @@ where
     }
 
     /// One forked test: restore-or-degrade, then classify.
-    fn test_forked(
+    pub(crate) fn test_forked(
         &self,
         ordinal: Option<u64>,
         snapshot: &VmSnapshot,
@@ -494,12 +525,11 @@ mod tests {
             .unwrap_or(false)
     }
 
-    fn clean_trace(module: &Module) -> ftkr_vm::Trace {
-        Vm::new(VmConfig::tracing())
-            .run(module)
-            .unwrap()
-            .trace
-            .unwrap()
+    /// The traced fault-free run.  Tests derive sites from the trace and the
+    /// hang budget from `steps` (via [`hang_budget_for`]) — never from
+    /// `trace.len()`, which undercounts dynamic steps under marker elision.
+    fn clean_run(module: &Module) -> RunResult {
+        Vm::new(VmConfig::tracing()).run(module).unwrap()
     }
 
     #[test]
@@ -512,11 +542,12 @@ mod tests {
     #[test]
     fn campaign_over_internal_sites_produces_mixed_outcomes() {
         let m = module();
-        let trace = clean_trace(&m);
-        let sites = internal_sites(&trace, 0, trace.len());
+        let clean = clean_run(&m);
+        let trace = clean.trace.as_ref().unwrap();
+        let sites = internal_sites(trace, 0, trace.len());
         assert!(!sites.is_empty());
         let campaign =
-            Campaign::new(&m, verify).with_max_steps(hang_budget(trace.len() as u64));
+            Campaign::new(&m, verify).with_max_steps(hang_budget_for(&clean));
         let report = campaign.run(&sites, 200);
         assert_eq!(report.counts.total(), 200);
         assert_eq!(report.population, sites.len() as u64 * 64);
@@ -541,9 +572,10 @@ mod tests {
     #[test]
     fn campaigns_are_deterministic_given_a_seed() {
         let m = module();
-        let trace = clean_trace(&m);
-        let sites = internal_sites(&trace, 0, trace.len());
-        let max_steps = hang_budget(trace.len() as u64);
+        let clean = clean_run(&m);
+        let trace = clean.trace.as_ref().unwrap();
+        let sites = internal_sites(trace, 0, trace.len());
+        let max_steps = hang_budget_for(&clean);
         let c1 = Campaign::new(&m, verify)
             .with_seed(7)
             .with_max_steps(max_steps)
@@ -565,12 +597,12 @@ mod tests {
     #[test]
     fn input_site_campaign_on_the_accumulator_is_resilient_to_overwrites() {
         let m = module();
-        let trace = clean_trace(&m);
+        let clean = clean_run(&m);
         // The accumulator cell is overwritten by the first loop iteration, so
         // input faults at step 0 are frequently masked (Data Overwriting).
         let sites = input_sites(0, &[(ftkr_vm::Location::mem(0), ftkr_vm::Value::F(0.0))]);
         let campaign =
-            Campaign::new(&m, verify).with_max_steps(hang_budget(trace.len() as u64));
+            Campaign::new(&m, verify).with_max_steps(hang_budget_for(&clean));
         let report = campaign.run(&sites, 64);
         assert!(report.success_rate() > 0.9, "rate {}", report.success_rate());
     }
@@ -578,9 +610,10 @@ mod tests {
     #[test]
     fn per_index_fault_derivation_is_deterministic_and_shardable() {
         let m = module();
-        let trace = clean_trace(&m);
-        let sites = internal_sites(&trace, 0, trace.len());
-        let max_steps = hang_budget(trace.len() as u64);
+        let clean = clean_run(&m);
+        let trace = clean.trace.as_ref().unwrap();
+        let sites = internal_sites(trace, 0, trace.len());
+        let max_steps = hang_budget_for(&clean);
         let campaign = Campaign::new(&m, verify).with_seed(42).with_max_steps(max_steps);
         // The fault of test i is a pure function of (seed, i).
         for i in [0u64, 1, 7, 63] {
@@ -616,8 +649,9 @@ mod tests {
     #[test]
     fn sized_campaign_enumerates_small_populations() {
         let m = module();
-        let trace = clean_trace(&m);
-        let sites = internal_sites(&trace, 0, 2);
+        let clean = clean_run(&m);
+        let trace = clean.trace.as_ref().unwrap();
+        let sites = internal_sites(trace, 0, 2);
         // Both of the first two dynamic instructions produce a value, so the
         // population is exactly 2 sites × 64 bits.
         assert_eq!(sites.len(), 2);
@@ -627,7 +661,7 @@ mod tests {
         let expected = sample_size(population, Confidence::C95, 0.03);
         assert_eq!(expected, 115);
         let campaign =
-            Campaign::new(&m, verify).with_max_steps(hang_budget(trace.len() as u64));
+            Campaign::new(&m, verify).with_max_steps(hang_budget_for(&clean));
         let report = campaign.run_sized(&sites, Confidence::C95, 0.03);
         assert_eq!(report.population, population);
         assert_eq!(report.n_tests, expected);
@@ -637,11 +671,12 @@ mod tests {
     #[test]
     fn sharded_run_ranges_merge_bit_identically_to_the_monolithic_run() {
         let m = module();
-        let trace = clean_trace(&m);
-        let sites = internal_sites(&trace, 0, trace.len());
+        let clean = clean_run(&m);
+        let trace = clean.trace.as_ref().unwrap();
+        let sites = internal_sites(trace, 0, trace.len());
         let campaign = Campaign::new(&m, verify)
             .with_seed(1234)
-            .with_max_steps(hang_budget(trace.len() as u64));
+            .with_max_steps(hang_budget_for(&clean));
         let monolithic = campaign.run(&sites, 60);
         // Three deliberately uneven shards covering [0, 60).
         let shards = [
@@ -663,11 +698,12 @@ mod tests {
     #[test]
     fn fork_point_campaign_matches_the_cold_campaign_bit_for_bit() {
         let m = module();
-        let trace = clean_trace(&m);
+        let clean = clean_run(&m);
+        let trace = clean.trace.as_ref().unwrap();
         // Restrict sites to the second half of the trace, then checkpoint at
         // the earliest sampled step: every fault lands at or after the fork.
         let window_start = trace.len() / 2;
-        let sites = internal_sites(&trace, window_start, trace.len());
+        let sites = internal_sites(trace, window_start, trace.len());
         assert!(!sites.is_empty());
         let fork = sites.iter().map(|s| s.at_step).min().unwrap();
         let snapshot = Vm::new(VmConfig::default())
@@ -676,7 +712,7 @@ mod tests {
             .expect("fork step is mid-run");
         let campaign = Campaign::new(&m, verify)
             .with_seed(99)
-            .with_max_steps(hang_budget(trace.len() as u64));
+            .with_max_steps(hang_budget_for(&clean));
         let cold = campaign.run_range(&sites, IndexRange::full(120));
         let forked = campaign.run_range_from(&sites, IndexRange::full(120), &snapshot);
         assert_eq!(forked, cold);
@@ -694,7 +730,8 @@ mod tests {
     #[should_panic(expected = "precedes the checkpoint")]
     fn fork_point_execution_rejects_faults_before_the_checkpoint() {
         let m = module();
-        let trace = clean_trace(&m);
+        let clean = clean_run(&m);
+        let trace = clean.trace.as_ref().unwrap();
         let snapshot = Vm::new(VmConfig::default())
             .snapshot_at(&m, trace.len() as u64 / 2)
             .unwrap()
@@ -707,12 +744,13 @@ mod tests {
     #[test]
     fn panicking_verifier_is_isolated_as_a_harness_error() {
         let m = module();
-        let trace = clean_trace(&m);
-        let sites = internal_sites(&trace, 0, trace.len());
+        let clean = clean_run(&m);
+        let trace = clean.trace.as_ref().unwrap();
+        let sites = internal_sites(trace, 0, trace.len());
         let poisoned = Campaign::new(&m, |_r: &RunResult| -> bool {
             panic!("verifier bug")
         })
-        .with_max_steps(hang_budget(trace.len() as u64));
+        .with_max_steps(hang_budget_for(&clean));
         // The shard survives; every completed run classifies as a harness
         // error, and trapped runs still classify by their crash kind.
         let report = poisoned.run(&sites, 32);
@@ -731,15 +769,16 @@ mod tests {
     #[test]
     fn chaos_verifier_panics_taint_exactly_the_scheduled_tests() {
         let m = module();
-        let trace = clean_trace(&m);
-        let sites = internal_sites(&trace, 0, trace.len());
+        let clean = clean_run(&m);
+        let trace = clean.trace.as_ref().unwrap();
+        let sites = internal_sites(trace, 0, trace.len());
         let chaos = FailPlan {
             verifier_panic: 512,
             ..FailPlan::uniform(77, 0)
         };
         let campaign = Campaign::new(&m, verify)
             .with_seed(5)
-            .with_max_steps(hang_budget(trace.len() as u64))
+            .with_max_steps(hang_budget_for(&clean))
             .with_chaos(chaos);
         let report = campaign.run(&sites, 64);
         assert!(report.counts.harness_errors > 0, "~half the verdicts are poisoned");
@@ -753,15 +792,16 @@ mod tests {
     #[test]
     fn chaos_restore_failures_degrade_to_the_cold_path_with_identical_outcomes() {
         let m = module();
-        let trace = clean_trace(&m);
+        let clean = clean_run(&m);
+        let trace = clean.trace.as_ref().unwrap();
         let window_start = trace.len() / 2;
-        let sites = internal_sites(&trace, window_start, trace.len());
+        let sites = internal_sites(trace, window_start, trace.len());
         let fork = sites.iter().map(|s| s.at_step).min().unwrap();
         let snapshot = Vm::new(VmConfig::default())
             .snapshot_at(&m, fork)
             .unwrap()
             .expect("fork step is mid-run");
-        let max_steps = hang_budget(trace.len() as u64);
+        let max_steps = hang_budget_for(&clean);
         let reference = Campaign::new(&m, verify)
             .with_seed(11)
             .with_max_steps(max_steps)
@@ -782,6 +822,26 @@ mod tests {
         let mut cleaned = degraded.counts;
         cleaned.degraded = 0;
         assert_eq!(cleaned, reference.counts);
+    }
+
+    #[test]
+    fn marker_elided_traces_yield_the_same_hang_budget_as_full_traces() {
+        let m = module();
+        let full = Vm::new(VmConfig::tracing()).run(&m).unwrap();
+        let elided = Vm::new(VmConfig::tracing().without_markers()).run(&m).unwrap();
+        let full_trace = full.trace.as_ref().unwrap();
+        let elided_trace = elided.trace.as_ref().unwrap();
+        // The program loops, so the elided event stream is genuinely shorter
+        // than the dynamic step count — exactly the condition under which the
+        // old `hang_budget(trace.len() as u64)` formula shrank the budget.
+        assert!(elided_trace.len() < full_trace.len());
+        assert!((elided_trace.len() as u64) < elided.steps);
+        assert_eq!(full_trace.len() as u64, full.steps);
+        // Steps-derived budgets are immune to what the trace retained.
+        assert_eq!(hang_budget_for(&elided), hang_budget_for(&full));
+        assert_eq!(hang_budget_for(&full), hang_budget(full.steps));
+        // The trace-length formula demonstrably disagrees on elided traces.
+        assert!(hang_budget(elided_trace.len() as u64) < hang_budget_for(&elided));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! message payload at a communicator boundary), and a rank-divergence
 //! detector classifies every completed test as masked, contained, or spread.
 
+pub mod batch;
 pub mod campaign;
 pub mod chaos;
 pub mod outcome;
@@ -36,7 +37,11 @@ pub mod sites;
 pub mod spmd;
 pub mod stats;
 
-pub use campaign::{hang_budget, Campaign, CampaignReport, TestOutcome, DEFAULT_SEED};
+pub use batch::{BatchContext, BatchScan, LaneState};
+pub use campaign::{
+    hang_budget, hang_budget_for, sample_site_fault, Campaign, CampaignReport, TestOutcome,
+    DEFAULT_SEED,
+};
 pub use chaos::{FailPlan, FailSite};
 pub use outcome::{CampaignCounts, CrashCounts, CrashKind, Outcome};
 pub use plan::{CampaignPlan, CampaignTarget, IndexRange, RankTarget};

@@ -700,4 +700,37 @@ mod tests {
         // With one rank there are no peers to spread to.
         assert_eq!(report.divergence.spread, 0);
     }
+
+    #[test]
+    fn trapped_ranks_are_excluded_from_divergence_and_never_masked() {
+        // A trapped rank still completes the exchange (its deterministic
+        // final state joins the halo/allreduce so no peer blocks), but crash
+        // effects are not silent data flow: such tests must not enter the
+        // divergence classification at all — in particular the sentinel-
+        // completed exchange can never inflate `masked`.  The invariant that
+        // pins it: every completed (non-crashed, non-harness-lost) job is
+        // classified exactly once, so classified() + crashed + harness
+        // errors == n_tests.
+        let module = module();
+        let h = harness(&module, 3);
+        let clean = h.clean_state();
+        let sites = sites();
+        let faults = SpmdFaults::Computation {
+            sites: &sites,
+            rank_target: RankTarget::Sweep,
+        };
+        let report = h.run_range(&clean, &faults, 0xFEED, IndexRange::full(60));
+        let crashed = report.report.counts.crashed();
+        assert!(
+            crashed > 0,
+            "the population must include trapping faults (bit-63 flips of \
+             the induction-variable update hang): {:?}",
+            report.report.counts
+        );
+        assert_eq!(
+            report.divergence.classified() + crashed + report.report.counts.harness_errors,
+            report.report.n_tests,
+            "crashed jobs leaked into the divergence classification"
+        );
+    }
 }

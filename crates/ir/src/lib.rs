@@ -29,6 +29,7 @@
 
 pub mod block;
 pub mod builder;
+pub mod decode;
 pub mod function;
 pub mod global;
 pub mod inst;
@@ -38,6 +39,7 @@ pub mod verify;
 
 pub use block::{Block, BlockId};
 pub use builder::FunctionBuilder;
+pub use decode::{DInst, DOperand, DOperandKind, DecodedFunction, DecodedModule};
 pub use function::{Function, FunctionId};
 pub use global::{Global, GlobalId};
 pub use inst::{

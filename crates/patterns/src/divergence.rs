@@ -163,6 +163,24 @@ mod tests {
     }
 
     #[test]
+    fn a_trapped_rank_never_classifies_as_masked_even_on_digest_collision() {
+        // A trapped rank still completes the exchange with its deterministic
+        // (sentinel) values so no peer blocks.  If those values happen to
+        // bit-collide with the clean digest fields — a sentinel state FNV
+        // equal to the clean one — the `trapped` flag is the last line of
+        // defense: the digests compare unequal and the test cannot be
+        // classified masked.
+        let clean = vec![digest(7); 4];
+        let mut faulty = clean.clone();
+        faulty[2].trapped = true; // every other field identical to clean
+        assert_eq!(classify_ranks(&clean, &faulty, 2), RankDivergence::Contained);
+        // The same collision on a non-injected rank is a spread, not masked.
+        let mut faulty = clean.clone();
+        faulty[0].trapped = true;
+        assert_eq!(classify_ranks(&clean, &faulty, 2), RankDivergence::Spread);
+    }
+
+    #[test]
     fn labels_are_stable() {
         assert_eq!(RankDivergence::Masked.label(), "masked");
         assert_eq!(RankDivergence::Contained.label(), "contained");

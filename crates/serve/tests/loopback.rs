@@ -243,6 +243,67 @@ fn malformed_frames_get_typed_errors_and_the_daemon_keeps_serving() {
 }
 
 #[test]
+fn frames_at_the_cap_round_trip_and_one_byte_over_gets_a_typed_refusal() {
+    // Both sides of the 16 MiB boundary, over a real socket.  At the cap:
+    // a syntactically valid Stats request padded with whitespace to exactly
+    // MAX_FRAME bytes must traverse the whole stack — framed, checksummed,
+    // read in full, parsed, answered.  One byte over: the reader must refuse
+    // from the header alone (never allocating the payload) with the typed
+    // protocol error, and the writer must refuse to emit such a frame at
+    // all.
+    let (addr, server) = spawn_server(quick_config());
+
+    // Exactly at the cap.
+    let mut stats = serde_json::to_string(&Request::Stats).expect("encode");
+    assert!(stats.len() <= ftkr_serve::MAX_FRAME as usize);
+    stats.push_str(&" ".repeat(ftkr_serve::MAX_FRAME as usize - stats.len()));
+    assert_eq!(stats.len(), ftkr_serve::MAX_FRAME as usize);
+    let mut at_cap = TcpStream::connect(&addr).expect("connect");
+    wire::write_frame(&mut at_cap, stats.as_bytes()).expect("a cap-sized frame is legal");
+    match wire::recv::<Response>(&mut at_cap).expect("the server answered the padded request") {
+        Response::Stats(_) => {}
+        other => panic!("expected stats for the cap-sized request, got {other:?}"),
+    }
+    drop(at_cap);
+
+    // One byte over: the writer side refuses before any bytes hit the wire.
+    let over = vec![b' '; ftkr_serve::MAX_FRAME as usize + 1];
+    let mut sink = Vec::new();
+    match wire::write_frame(&mut sink, &over) {
+        Err(ftkr_serve::ProtocolError::Oversized { len }) => {
+            assert_eq!(len, ftkr_serve::MAX_FRAME + 1)
+        }
+        other => panic!("expected an oversized refusal from the writer, got {other:?}"),
+    }
+    assert!(sink.is_empty(), "a refused frame must not be partially written");
+
+    // One byte over, forged at the header: the server refuses from the
+    // declared length alone and replies with the typed protocol error.
+    let mut forged = TcpStream::connect(&addr).expect("connect");
+    let mut header = Vec::new();
+    header.extend_from_slice(&ftkr_serve::MAGIC);
+    header.extend_from_slice(&(ftkr_serve::MAX_FRAME + 1).to_be_bytes());
+    header.extend_from_slice(&0u64.to_be_bytes());
+    forged.write_all(&header).expect("write forged header");
+    let response: Response = wire::recv(&mut forged).expect("typed refusal");
+    match response {
+        Response::Error(e) => {
+            assert_eq!(e.kind, WireErrorKind::Protocol);
+            assert!(e.detail.contains("exceeds"), "{e}");
+        }
+        other => panic!("expected an oversized refusal, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    forged.read_to_end(&mut rest).expect("server closed the stream");
+    assert!(rest.is_empty());
+
+    // The refusals did not hurt the daemon.
+    let mut client = Client::connect(&addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread");
+}
+
+#[test]
 fn idle_connections_are_closed_by_the_server() {
     let (addr, server) = spawn_server(ServerConfig {
         workers: 1,

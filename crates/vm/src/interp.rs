@@ -1,9 +1,11 @@
 //! The interpreter: executes a verified module, optionally recording a trace
 //! and optionally flipping one bit somewhere along the way.
 
+use ftkr_ir::decode::{DInst, DOperand, DOperandKind, DecodedFunction, DecodedModule, FUSED_TAIL};
 use ftkr_ir::verify::verify_executable;
 use ftkr_ir::{
-    BinKind, BlockId, CastKind, CmpKind, FunctionId, Module, Op, Operand, ValueId, VerifyError,
+    BinKind, BlockId, CastKind, CmpKind, FunctionId, Module, Op, Operand, ValueId,
+    VerifyError,
 };
 use ftkr_ir::inst::Intrinsic;
 
@@ -290,6 +292,30 @@ pub(crate) struct Frame {
 /// Sentinel for "location not interned yet" in the dense id tables.
 const NO_ID: u32 = u32::MAX;
 
+/// Operand resolution for the untraced hot loop: no location interning, no
+/// operand pooling — just the value.  A free function over the split borrows
+/// of [`Interp::run_hot_decoded`], so the loop's held frame reference is the
+/// only frame access per read.
+#[inline]
+fn hot_operand(
+    frame: &Frame,
+    df: &DecodedFunction,
+    global_bases: &[u64],
+    operand: DOperand,
+) -> Result<Value, TrapKind> {
+    match operand.unpack() {
+        DOperandKind::Value(v) => frame.regs[v.index()].ok_or(TrapKind::UninitializedRegister),
+        DOperandKind::Arg(i) => frame
+            .args
+            .get(i as usize)
+            .copied()
+            .ok_or(TrapKind::UninitializedRegister),
+        DOperandKind::ConstI(i) => Ok(Value::I(df.consts_i[i as usize])),
+        DOperandKind::ConstF(i) => Ok(Value::F(df.consts_f[i as usize])),
+        DOperandKind::Global(g) => Ok(Value::P(global_bases[g as usize])),
+    }
+}
+
 /// Intern a register location through the frame's dense per-register table:
 /// O(1), no hashing — the hot path of trace recording.
 fn intern_reg(trace: &mut Trace, frame: &mut Frame, v: ValueId) -> LocationId {
@@ -429,6 +455,7 @@ impl Vm {
             // the events themselves.
             if let Some(event) = interp.trace.events.pop() {
                 interp.trace.pool.truncate(event.reads.offset as usize);
+                interp.event_steps.clear();
                 emitted += 1;
             }
             match flow {
@@ -482,6 +509,78 @@ impl Vm {
         Ok(Interp::from_snapshot(module, &config, true, snapshot)
             .run_loop(Some(visitors), snapshot.events_emitted() as usize))
     }
+
+    /// [`Vm::run`] through the pre-decoded dispatch tables: dense flat code,
+    /// packed operands and fused compare-branch superinstructions instead of
+    /// the per-step `match` over heap [`Op`] enums.  Bit-identical to the
+    /// legacy path in every observable (outcome, steps, outputs, memory,
+    /// trace), several times faster on loop-dominated programs.
+    ///
+    /// `decoded` must be [`DecodedModule::decode`] of this `module`.
+    pub fn run_decoded(
+        &self,
+        module: &Module,
+        decoded: &DecodedModule,
+    ) -> Result<RunResult, VerifyError> {
+        verify_executable(module)?;
+        let (entry, _) = module
+            .function_by_name("main")
+            .expect("verify_executable guarantees main");
+        let mut interp = Interp::new(module, &self.config, false);
+        interp.attach_decoded(decoded);
+        Ok(interp.run(entry, Vec::new()))
+    }
+
+    /// [`Vm::run_with_visitors`] through the pre-decoded dispatch tables.
+    pub fn run_with_visitors_decoded(
+        &self,
+        module: &Module,
+        decoded: &DecodedModule,
+        visitors: &mut [&mut dyn TraceVisitor],
+    ) -> Result<RunResult, VerifyError> {
+        verify_executable(module)?;
+        let (entry, _) = module
+            .function_by_name("main")
+            .expect("verify_executable guarantees main");
+        let mut config = self.config;
+        config.record_trace = true;
+        let mut interp = Interp::new(module, &config, true);
+        interp.attach_decoded(decoded);
+        Ok(interp.run_with_visitors(entry, Vec::new(), visitors))
+    }
+
+    /// [`Vm::resume_from`] through the pre-decoded dispatch tables.
+    /// Snapshots are interchangeable between the legacy and decoded paths:
+    /// frames keep their original `(block, ip)` program counters, and a
+    /// snapshot captured between the two halves of a fused pair resumes by
+    /// executing the branch half alone.
+    pub fn resume_from_decoded(
+        &self,
+        module: &Module,
+        decoded: &DecodedModule,
+        snapshot: &VmSnapshot,
+    ) -> Result<RunResult, VerifyError> {
+        verify_executable(module)?;
+        let mut interp = Interp::from_snapshot(module, &self.config, false, snapshot);
+        interp.attach_decoded(decoded);
+        Ok(interp.run_loop(None, snapshot.events_emitted() as usize))
+    }
+
+    /// [`Vm::resume_with_visitors`] through the pre-decoded dispatch tables.
+    pub fn resume_with_visitors_decoded(
+        &self,
+        module: &Module,
+        decoded: &DecodedModule,
+        snapshot: &VmSnapshot,
+        visitors: &mut [&mut dyn TraceVisitor],
+    ) -> Result<RunResult, VerifyError> {
+        verify_executable(module)?;
+        let mut config = self.config;
+        config.record_trace = true;
+        let mut interp = Interp::from_snapshot(module, &config, true, snapshot);
+        interp.attach_decoded(decoded);
+        Ok(interp.run_loop(Some(visitors), snapshot.events_emitted() as usize))
+    }
 }
 
 struct Interp<'m> {
@@ -499,6 +598,22 @@ struct Interp<'m> {
     /// event is handed over and immediately discarded, so `trace` never grows
     /// beyond the location table plus a one-event scratch buffer.
     streaming: bool,
+    /// Pre-decoded dispatch tables: when set, the run loop uses
+    /// [`Interp::step_decoded`] (dense flat code, fused superinstructions)
+    /// instead of the legacy per-`Op` match.  Semantics are bit-identical.
+    decoded: Option<&'m DecodedModule>,
+    /// Absolute source lines per function, materialized from the decoded
+    /// delta streams — only when a decoded run records a trace.
+    dlines: Vec<Vec<u32>>,
+    /// Dynamic step of each event currently in `trace.events`, kept only in
+    /// streaming mode: a fused dispatch can emit two events per call, so the
+    /// run loop can no longer derive event steps from the step counter alone.
+    event_steps: Vec<u64>,
+    /// Base address per [`GlobalId`], resolved once when decoded tables are
+    /// attached.  Globals are laid out at construction and never move, so
+    /// decoded operand resolution skips the name-keyed extent scan the
+    /// legacy path performs per read.
+    global_bases: Vec<u64>,
 }
 
 enum StepFlow {
@@ -544,11 +659,40 @@ impl<'m> Interp<'m> {
             steps: 0,
             next_frame_id: 0,
             streaming,
+            decoded: None,
+            dlines: Vec::new(),
+            event_steps: Vec::new(),
+            global_bases: Vec::new(),
         };
         if let TraceScope::Window { start, .. } = config.trace_scope {
             interp.trace.base_step = start;
         }
         interp
+    }
+
+    /// Switch this interpreter to decoded dispatch.  Recording runs
+    /// materialize the per-function source-line tables once, up front
+    /// (O(static instructions)); untraced runs never touch lines.
+    fn attach_decoded(&mut self, decoded: &'m DecodedModule) {
+        if self.config.record_trace {
+            self.dlines = decoded
+                .functions
+                .iter()
+                .map(DecodedFunction::materialize_lines)
+                .collect();
+        }
+        self.global_bases = self
+            .module
+            .globals
+            .iter()
+            .map(|g| {
+                self.memory
+                    .global_extent(&g.name)
+                    .expect("verified global must be laid out")
+                    .0
+            })
+            .collect();
+        self.decoded = Some(decoded);
     }
 
     /// Capture the complete current state as a snapshot image.  `emitted` is
@@ -615,6 +759,10 @@ impl<'m> Interp<'m> {
             steps: img.step,
             next_frame_id: img.next_frame_id,
             streaming,
+            decoded: None,
+            dlines: Vec::new(),
+            event_steps: Vec::new(),
+            global_bases: Vec::new(),
         }
     }
 
@@ -660,32 +808,70 @@ impl<'m> Interp<'m> {
             .map(|vs| vs.iter().map(|v| v.wants_operand_reads()).collect())
             .unwrap_or_default();
 
+        // The hot loop handles the untraced, visitor-free configuration —
+        // the overwhelming majority of campaign executions.  Any step that a
+        // pending fault (or the step limit) could touch is delegated back to
+        // the general dispatch below, one step at a time.
+        let hot = self.decoded.is_some() && visitors.is_none() && !self.config.record_trace;
+
         let outcome = loop {
             if self.steps >= self.config.max_steps {
                 break RunOutcome::Trapped(TrapKind::StepLimit);
             }
-            let flow = self.step();
-            // Dispatch the event this step recorded (if any) before acting on
-            // the flow, so a final `Ret` still reaches the visitors.
+            if hot {
+                let stop = match self.config.fault {
+                    Some(f) if f.at_step >= self.steps => {
+                        f.at_step.min(self.config.max_steps)
+                    }
+                    _ => self.config.max_steps,
+                };
+                if let Some(flow) = self.run_hot_decoded(stop) {
+                    match flow {
+                        StepFlow::Finished => break RunOutcome::Completed,
+                        StepFlow::Trap(t) => break RunOutcome::Trapped(t),
+                        StepFlow::Continue => unreachable!("hot loop yields via None"),
+                    }
+                }
+                // Yielded at a boundary: re-check the limit, then run the
+                // boundary step through the general dispatch.
+                if self.steps >= self.config.max_steps {
+                    break RunOutcome::Trapped(TrapKind::StepLimit);
+                }
+            }
+            let flow = if self.decoded.is_some() {
+                self.step_decoded()
+            } else {
+                self.step()
+            };
+            // Dispatch the events this call recorded (a fused decoded
+            // dispatch can emit up to two) before acting on the flow, so a
+            // final `Ret` still reaches the visitors.
             if let Some(vs) = visitors.as_deref_mut() {
-                if let Some(event) = self.trace.events.pop() {
-                    let pool_start = event.reads.offset as usize;
-                    let ctx = EventCtx {
-                        index: emitted,
-                        step: self.steps - 1,
-                        event: &event,
-                        reads: &self.trace.pool[event.reads.range()],
-                        locations: &self.trace.locations,
-                    };
-                    for (v, &wants) in vs.iter_mut().zip(&wants_reads) {
-                        v.on_event(&ctx);
-                        if wants {
-                            for (nth, &(id, value)) in ctx.reads.iter().enumerate() {
-                                v.on_operand_read(&ctx, nth, id, value);
+                let n = self.trace.events.len();
+                if n > 0 {
+                    debug_assert_eq!(self.event_steps.len(), n);
+                    let pool_start = self.trace.events[0].reads.offset as usize;
+                    for k in 0..n {
+                        let event = self.trace.events[k].clone();
+                        let ctx = EventCtx {
+                            index: emitted,
+                            step: self.event_steps[k],
+                            event: &event,
+                            reads: &self.trace.pool[event.reads.range()],
+                            locations: &self.trace.locations,
+                        };
+                        for (v, &wants) in vs.iter_mut().zip(&wants_reads) {
+                            v.on_event(&ctx);
+                            if wants {
+                                for (nth, &(id, value)) in ctx.reads.iter().enumerate() {
+                                    v.on_operand_read(&ctx, nth, id, value);
+                                }
                             }
                         }
+                        emitted += 1;
                     }
-                    emitted += 1;
+                    self.trace.events.clear();
+                    self.event_steps.clear();
                     self.trace.pool.truncate(pool_start);
                 }
             }
@@ -794,9 +980,11 @@ impl<'m> Interp<'m> {
         }
     }
 
-    #[allow(clippy::too_many_lines)]
-    fn step(&mut self) -> StepFlow {
-        // A memory-cell fault strikes *before* the instruction at `at_step`.
+    /// A memory-cell fault strikes *before* the instruction at `at_step`.
+    /// Called at the top of every dispatch — and again between the two halves
+    /// of a fused superinstruction, which spans two dynamic steps.
+    #[inline]
+    fn memory_fault_hook(&mut self) {
         if let Some(fault) = self.config.fault {
             if fault.at_step == self.steps {
                 if let FaultTarget::MemoryCell { addr } = fault.target {
@@ -806,6 +994,11 @@ impl<'m> Interp<'m> {
                 }
             }
         }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self) -> StepFlow {
+        self.memory_fault_hook();
 
         let frame_idx = self.frames.len() - 1;
         let (func_id, frame_id, inst_id) = {
@@ -1142,7 +1335,774 @@ impl<'m> Interp<'m> {
                     reads: ReadSpan { offset, len },
                     write,
                 });
+                if self.streaming {
+                    self.event_steps.push(self.steps);
+                }
             }
+        }
+        self.steps += 1;
+        flow
+    }
+
+    /// Resolve a packed decoded operand; mirrors [`Interp::resolve`] exactly
+    /// (same interning, same trap conditions), with constants and globals
+    /// coming from the decoded tables.
+    fn resolve_d(
+        &mut self,
+        frame_idx: usize,
+        df: &DecodedFunction,
+        operand: DOperand,
+        record: bool,
+    ) -> Result<(Value, Option<LocationId>), TrapKind> {
+        match operand.unpack() {
+            DOperandKind::Value(v) => {
+                let frame = &mut self.frames[frame_idx];
+                let val = frame.regs[v.index()].ok_or(TrapKind::UninitializedRegister)?;
+                let loc = record.then(|| intern_reg(&mut self.trace, frame, v));
+                Ok((val, loc))
+            }
+            DOperandKind::Arg(i) => {
+                let frame = &self.frames[frame_idx];
+                let val = *frame
+                    .args
+                    .get(i as usize)
+                    .ok_or(TrapKind::UninitializedRegister)?;
+                Ok((val, frame.arg_locs.get(i as usize).copied().flatten()))
+            }
+            DOperandKind::ConstI(i) => Ok((Value::I(df.consts_i[i as usize]), None)),
+            DOperandKind::ConstF(i) => Ok((Value::F(df.consts_f[i as usize]), None)),
+            DOperandKind::Global(g) => Ok((Value::P(self.global_bases[g as usize]), None)),
+        }
+    }
+
+    /// Push one recorded event from the decoded path (the decoded analogue of
+    /// the tail of [`Interp::step`]): marker elision, read-span closing, and
+    /// source lines from the materialized delta tables.
+    #[allow(clippy::too_many_arguments)]
+    fn push_event_decoded(
+        &mut self,
+        func: FunctionId,
+        frame: u32,
+        inst: ValueId,
+        lin: usize,
+        kind: EventKind,
+        pool_start: usize,
+        write: Option<(LocationId, Value)>,
+    ) {
+        let elide = self.config.trace_opts.skip_markers && kind.is_marker();
+        if elide {
+            if !self.streaming {
+                let marker = match kind {
+                    EventKind::LoopBegin { id, depth, kind } => {
+                        MarkerKind::Begin { id, depth, kind }
+                    }
+                    EventKind::LoopEnd { id } => MarkerKind::End { id },
+                    EventKind::LoopIter { id } => MarkerKind::Iter { id },
+                    _ => unreachable!("is_marker covers exactly the loop markers"),
+                };
+                self.trace.markers.push(MarkerRecord {
+                    at_event: u32::try_from(self.trace.events.len())
+                        .expect("≤ 2^32 events per trace"),
+                    func,
+                    frame,
+                    kind: marker,
+                });
+            }
+        } else {
+            let line = self.dlines[func.index()][lin];
+            let len = (self.trace.pool.len() - pool_start) as u32;
+            let offset = u32::try_from(pool_start).expect("≤ 2^32 operand reads per trace");
+            self.trace.events.push(TraceEvent {
+                func,
+                frame,
+                inst,
+                line,
+                kind,
+                reads: ReadSpan { offset, len },
+                write,
+            });
+            if self.streaming {
+                self.event_steps.push(self.steps);
+            }
+        }
+    }
+
+    /// The tight dispatch loop of the decoded path for the common campaign
+    /// configuration: no trace recording, no visitors, and no fault pending
+    /// before `stop`.  Executes decoded instructions back-to-back without
+    /// any per-step fault/trace bookkeeping — the per-step overhead that
+    /// dominates an untraced run — and yields (`None`) exactly at `stop`,
+    /// where the caller re-runs the general dispatch for one step (a fault
+    /// boundary) or raises the step limit.  Bit-identical to repeated
+    /// [`Interp::step_decoded`] calls in every observable: steps, traps,
+    /// outputs, memory, and frame program counters.
+    ///
+    /// Returns `Some(flow)` when the program finishes or traps, `None` when
+    /// the step budget `stop` is reached with the program still running.
+    #[allow(clippy::too_many_lines)]
+    fn run_hot_decoded(&mut self, stop: u64) -> Option<StepFlow> {
+        let dm = self.decoded.expect("hot loop requires decoded tables");
+        debug_assert!(!self.config.record_trace, "hot loop cannot record");
+        // Split the interpreter into disjoint borrows once, so the loop can
+        // hold one frame reference across operand resolution and the result
+        // write instead of re-indexing `self.frames` per access, and count
+        // steps in a register instead of a memory cell.
+        let Interp {
+            module,
+            frames,
+            memory,
+            outputs,
+            steps,
+            next_frame_id,
+            config,
+            global_bases,
+            ..
+        } = self;
+        let mut frame_idx = frames.len() - 1;
+        let mut df = dm.function(frames[frame_idx].func);
+        let mut nsteps = *steps;
+        loop {
+            if nsteps >= stop {
+                *steps = nsteps;
+                return None;
+            }
+            let frame = &mut frames[frame_idx];
+            let lin = df.lin(frame.block, frame.ip);
+            let packed = df.flat_map[lin];
+            let dinst = df.code[(packed & !FUSED_TAIL) as usize];
+            let iid = ValueId(df.lin_iids[lin]);
+            frame.ip += 1;
+
+            macro_rules! hres {
+                ($operand:expr) => {{
+                    match hot_operand(frame, df, global_bases, $operand) {
+                        Ok(v) => v,
+                        Err(t) => {
+                            *steps = nsteps;
+                            return Some(StepFlow::Trap(t));
+                        }
+                    }
+                }};
+            }
+            macro_rules! bail {
+                ($trap:expr) => {{
+                    *steps = nsteps;
+                    return Some(StepFlow::Trap($trap));
+                }};
+            }
+
+            // A snapshot captured between the halves of a fused pair
+            // restores with the program counter on the branch half: execute
+            // it alone (exactly like the general dispatch).
+            if packed & FUSED_TAIL != 0 {
+                let DInst::CmpBr { then_b, else_b, .. } = dinst else {
+                    unreachable!("FUSED_TAIL only marks CmpBr branch halves");
+                };
+                let cond_reg = ValueId(df.lin_iids[lin - 1]);
+                let c = hres!(DOperand::reg(cond_reg));
+                let taken = c.is_truthy();
+                frame.block = BlockId(if taken { then_b } else { else_b });
+                frame.ip = 0;
+                nsteps += 1;
+                continue;
+            }
+
+            match dinst {
+                DInst::Bin { kind, lhs, rhs } => {
+                    let a = hres!(lhs);
+                    let b = hres!(rhs);
+                    let result = match eval_bin(kind, a, b) {
+                        Ok(v) => v,
+                        Err(t) => bail!(t),
+                    };
+                    frame.regs[iid.index()] = Some(result);
+                }
+                DInst::Cmp {
+                    kind, float, lhs, rhs,
+                } => {
+                    let a = hres!(lhs);
+                    let b = hres!(rhs);
+                    let result = match eval_cmp(kind, float, a, b) {
+                        Ok(v) => v,
+                        Err(t) => bail!(t),
+                    };
+                    frame.regs[iid.index()] = Some(Value::I(result as i64));
+                }
+                DInst::CmpBr {
+                    kind,
+                    float,
+                    lhs,
+                    rhs,
+                    then_b,
+                    else_b,
+                } => {
+                    // The fused pair spans two dynamic steps and must not
+                    // straddle `stop` (a fault or the step limit could land
+                    // between the halves): yield and let the general
+                    // dispatch handle the boundary.
+                    if nsteps + 2 > stop {
+                        frame.ip -= 1;
+                        *steps = nsteps;
+                        return None;
+                    }
+                    let a = hres!(lhs);
+                    let b = hres!(rhs);
+                    let result = match eval_cmp(kind, float, a, b) {
+                        Ok(v) => v,
+                        Err(t) => bail!(t),
+                    };
+                    frame.regs[iid.index()] = Some(Value::I(result as i64));
+                    frame.block = BlockId(if result { then_b } else { else_b });
+                    frame.ip = 0;
+                    nsteps += 2;
+                    continue;
+                }
+                DInst::Cast { kind, src } => {
+                    let v = hres!(src);
+                    let result = match eval_cast(kind, v) {
+                        Ok(v) => v,
+                        Err(t) => bail!(t),
+                    };
+                    frame.regs[iid.index()] = Some(result);
+                }
+                DInst::Select {
+                    cond,
+                    then_v,
+                    else_v,
+                } => {
+                    let c = hres!(cond);
+                    let a = hres!(then_v);
+                    let b = hres!(else_v);
+                    let result = if c.is_truthy() { a } else { b };
+                    frame.regs[iid.index()] = Some(result);
+                }
+                DInst::Load { addr } => {
+                    let a = hres!(addr);
+                    let Some(addr) = a.as_ptr() else {
+                        bail!(TrapKind::TypeMismatch);
+                    };
+                    let loaded = match memory.load(addr) {
+                        Ok(v) => v,
+                        Err(MemError::OutOfBounds { .. }) => bail!(TrapKind::OutOfBounds),
+                    };
+                    frame.regs[iid.index()] = Some(loaded);
+                }
+                DInst::Store { addr, value } => {
+                    let a = hres!(addr);
+                    let v = hres!(value);
+                    let Some(addr) = a.as_ptr() else {
+                        bail!(TrapKind::TypeMismatch);
+                    };
+                    if let Err(MemError::OutOfBounds { .. }) = memory.store(addr, v) {
+                        bail!(TrapKind::OutOfBounds);
+                    }
+                }
+                DInst::Alloca { size } => {
+                    let Some(base) = memory.alloca(u64::from(size)) else {
+                        bail!(TrapKind::OutOfMemory);
+                    };
+                    frame.regs[iid.index()] = Some(Value::P(base));
+                }
+                DInst::Gep { base, index } => {
+                    let b = hres!(base);
+                    let i = hres!(index);
+                    let (Some(base), Some(idx)) = (b.as_ptr(), i.as_i64()) else {
+                        bail!(TrapKind::TypeMismatch);
+                    };
+                    let addr = (base as i64).wrapping_add(idx) as u64;
+                    frame.regs[iid.index()] = Some(Value::P(addr));
+                }
+                DInst::Call { callee, args } => {
+                    // The top frame is always `frame_idx`, so the depth
+                    // check stays ahead of operand resolution (the trap
+                    // order the legacy dispatch exhibits) without touching
+                    // `frames` while `frame` is borrowed.
+                    if (frame_idx + 1) as u32 >= config.max_call_depth {
+                        bail!(TrapKind::CallDepth);
+                    }
+                    let n = args.len as usize;
+                    let mut arg_vals = Vec::with_capacity(n);
+                    for k in args.range() {
+                        arg_vals.push(hres!(df.args_pool[k]));
+                    }
+                    // Inlined `make_frame` for the untraced configuration
+                    // (`reg_ids` is only allocated when recording).
+                    let f = module.function(callee);
+                    let frame_id = *next_frame_id;
+                    *next_frame_id += 1;
+                    frames.push(Frame {
+                        func: callee,
+                        frame_id,
+                        block: f.entry(),
+                        ip: 0,
+                        regs: vec![None; f.num_insts()],
+                        reg_ids: Vec::new(),
+                        args: arg_vals,
+                        arg_locs: vec![None; n],
+                        stack_mark: memory.stack_mark(),
+                        ret_dest: Some((frame_idx, iid)),
+                    });
+                    frame_idx += 1;
+                    df = dm.function(callee);
+                }
+                DInst::CallIntrinsic { intrinsic, args } => {
+                    let mut vals = Vec::with_capacity(args.len as usize);
+                    for k in args.range() {
+                        vals.push(hres!(df.args_pool[k]));
+                    }
+                    let result = match eval_intrinsic(intrinsic, &vals) {
+                        Ok(v) => v,
+                        Err(t) => bail!(t),
+                    };
+                    frame.regs[iid.index()] = Some(result);
+                }
+                DInst::Ret { value } => {
+                    let ret_val = match value {
+                        Some(v) => Some(hres!(v)),
+                        None => None,
+                    };
+                    let frame = frames.pop().expect("at least one frame");
+                    memory.release_to(frame.stack_mark);
+                    match frame.ret_dest {
+                        Some((caller_idx, dest)) => {
+                            frames[caller_idx].regs[dest.index()] =
+                                Some(ret_val.unwrap_or(Value::I(0)));
+                            frame_idx -= 1;
+                            df = dm.function(frames[frame_idx].func);
+                        }
+                        None => {
+                            *steps = nsteps + 1;
+                            return Some(StepFlow::Finished);
+                        }
+                    }
+                }
+                DInst::Br { target } => {
+                    frame.block = BlockId(target);
+                    frame.ip = 0;
+                }
+                DInst::CondBr {
+                    cond,
+                    then_b,
+                    else_b,
+                } => {
+                    let c = hres!(cond);
+                    let taken = c.is_truthy();
+                    frame.block = BlockId(if taken { then_b } else { else_b });
+                    frame.ip = 0;
+                }
+                DInst::Output { value, format } => {
+                    let v = hres!(value);
+                    outputs.emit(v, format);
+                }
+                DInst::LoopBegin { .. }
+                | DInst::LoopEnd { .. }
+                | DInst::LoopIter { .. }
+                | DInst::Nop => {}
+            }
+            nsteps += 1;
+        }
+    }
+
+    /// One decoded dispatch: executes the [`DInst`] at the current frame's
+    /// program counter — or, for a fused [`DInst::CmpBr`], both of its
+    /// original instructions (two dynamic steps) in one call.  Bit-identical
+    /// to [`Interp::step`] in every observable: traces, interning order,
+    /// faults, traps, outputs and step accounting.
+    #[allow(clippy::too_many_lines)]
+    fn step_decoded(&mut self) -> StepFlow {
+        let dm = self.decoded.expect("decoded dispatch requires tables");
+        self.memory_fault_hook();
+
+        let frame_idx = self.frames.len() - 1;
+        let (func_id, frame_id, lin) = {
+            let frame = &self.frames[frame_idx];
+            let df = dm.function(frame.func);
+            (frame.func, frame.frame_id, df.lin(frame.block, frame.ip))
+        };
+        let df = dm.function(func_id);
+        let packed = df.flat_map[lin];
+        let dinst = df.code[(packed & !FUSED_TAIL) as usize];
+        let iid = ValueId(df.lin_iids[lin]);
+
+        let record = self.config.record_trace && self.config.trace_scope.contains(self.steps);
+        let pool_start = self.trace.pool.len();
+        let mut write: Option<(LocationId, Value)> = None;
+
+        // Most instructions simply advance ip; control flow overrides this.
+        self.frames[frame_idx].ip += 1;
+
+        macro_rules! resolve {
+            ($operand:expr) => {{
+                match self.resolve_d(frame_idx, df, $operand, record) {
+                    Ok((v, loc)) => {
+                        if record {
+                            if let Some(l) = loc {
+                                self.trace.pool.push((l, v));
+                            }
+                        }
+                        v
+                    }
+                    Err(t) => return StepFlow::Trap(t),
+                }
+            }};
+        }
+
+        macro_rules! record_result {
+            ($value:expr) => {
+                if record {
+                    let id = intern_reg(&mut self.trace, &mut self.frames[frame_idx], iid);
+                    write = Some((id, $value));
+                }
+            };
+        }
+
+        let faulty_result = match self.config.fault {
+            Some(FaultSpec {
+                at_step,
+                bit,
+                target: FaultTarget::InstructionResult,
+            }) if at_step == self.steps => Some(bit),
+            _ => None,
+        };
+        let apply_fault = |v: Value| -> Value {
+            match faulty_result {
+                Some(bit) => v.flip_bit(bit),
+                None => v,
+            }
+        };
+
+        // A snapshot captured between the halves of a fused pair restores
+        // with the program counter on the branch half: execute it alone.
+        if packed & FUSED_TAIL != 0 {
+            let DInst::CmpBr { then_b, else_b, .. } = dinst else {
+                unreachable!("FUSED_TAIL only marks CmpBr branch halves");
+            };
+            let cond_reg = ValueId(df.lin_iids[lin - 1]);
+            let c = resolve!(DOperand::reg(cond_reg));
+            let taken = c.is_truthy();
+            let frame = &mut self.frames[frame_idx];
+            frame.block = BlockId(if taken { then_b } else { else_b });
+            frame.ip = 0;
+            if record {
+                self.push_event_decoded(
+                    func_id,
+                    frame_id,
+                    iid,
+                    lin,
+                    EventKind::CondBr { taken },
+                    pool_start,
+                    None,
+                );
+            }
+            self.steps += 1;
+            return StepFlow::Continue;
+        }
+
+        let mut kind = EventKind::Nop;
+        let mut flow = StepFlow::Continue;
+
+        match dinst {
+            DInst::Bin { kind: bk, lhs, rhs } => {
+                let a = resolve!(lhs);
+                let b = resolve!(rhs);
+                let result = match eval_bin(bk, a, b) {
+                    Ok(v) => v,
+                    Err(t) => return StepFlow::Trap(t),
+                };
+                let result = apply_fault(result);
+                self.frames[frame_idx].regs[iid.index()] = Some(result);
+                kind = EventKind::Bin(bk);
+                record_result!(result);
+            }
+            DInst::Cmp {
+                kind: ck,
+                float,
+                lhs,
+                rhs,
+            } => {
+                let a = resolve!(lhs);
+                let b = resolve!(rhs);
+                let result = match eval_cmp(ck, float, a, b) {
+                    Ok(v) => v,
+                    Err(t) => return StepFlow::Trap(t),
+                };
+                let result = apply_fault(Value::I(result as i64));
+                self.frames[frame_idx].regs[iid.index()] = Some(result);
+                kind = EventKind::Cmp {
+                    kind: ck,
+                    float,
+                    result: result.is_truthy(),
+                };
+                record_result!(result);
+            }
+            DInst::CmpBr {
+                kind: ck,
+                float,
+                lhs,
+                rhs,
+                then_b,
+                else_b,
+            } => {
+                // --- compare half (this step) ---
+                let a = resolve!(lhs);
+                let b = resolve!(rhs);
+                let result = match eval_cmp(ck, float, a, b) {
+                    Ok(v) => v,
+                    Err(t) => return StepFlow::Trap(t),
+                };
+                let result = apply_fault(Value::I(result as i64));
+                self.frames[frame_idx].regs[iid.index()] = Some(result);
+                record_result!(result);
+                if record {
+                    self.push_event_decoded(
+                        func_id,
+                        frame_id,
+                        iid,
+                        lin,
+                        EventKind::Cmp {
+                            kind: ck,
+                            float,
+                            result: result.is_truthy(),
+                        },
+                        pool_start,
+                        write,
+                    );
+                }
+                self.steps += 1;
+                if self.steps >= self.config.max_steps {
+                    // The run loop raises StepLimit before the branch half
+                    // executes — exactly where a legacy run would stop (the
+                    // frame's program counter is on the branch).
+                    return StepFlow::Continue;
+                }
+
+                // --- branch half (next step) ---
+                self.memory_fault_hook();
+                let record2 =
+                    self.config.record_trace && self.config.trace_scope.contains(self.steps);
+                let pool_start2 = self.trace.pool.len();
+                let br_iid = ValueId(df.lin_iids[lin + 1]);
+                let (c, loc) = match self.resolve_d(frame_idx, df, DOperand::reg(iid), record2) {
+                    Ok(x) => x,
+                    Err(t) => return StepFlow::Trap(t),
+                };
+                if record2 {
+                    if let Some(l) = loc {
+                        self.trace.pool.push((l, c));
+                    }
+                }
+                let taken = c.is_truthy();
+                let frame = &mut self.frames[frame_idx];
+                frame.block = BlockId(if taken { then_b } else { else_b });
+                frame.ip = 0;
+                if record2 {
+                    self.push_event_decoded(
+                        func_id,
+                        frame_id,
+                        br_iid,
+                        lin + 1,
+                        EventKind::CondBr { taken },
+                        pool_start2,
+                        None,
+                    );
+                }
+                self.steps += 1;
+                return StepFlow::Continue;
+            }
+            DInst::Cast { kind: ck, src } => {
+                let v = resolve!(src);
+                let result = match eval_cast(ck, v) {
+                    Ok(v) => v,
+                    Err(t) => return StepFlow::Trap(t),
+                };
+                let result = apply_fault(result);
+                self.frames[frame_idx].regs[iid.index()] = Some(result);
+                kind = EventKind::Cast(ck);
+                record_result!(result);
+            }
+            DInst::Select {
+                cond,
+                then_v,
+                else_v,
+            } => {
+                let c = resolve!(cond);
+                let a = resolve!(then_v);
+                let b = resolve!(else_v);
+                let result = apply_fault(if c.is_truthy() { a } else { b });
+                self.frames[frame_idx].regs[iid.index()] = Some(result);
+                kind = EventKind::Select;
+                record_result!(result);
+            }
+            DInst::Load { addr } => {
+                let a = resolve!(addr);
+                let Some(addr) = a.as_ptr() else {
+                    return StepFlow::Trap(TrapKind::TypeMismatch);
+                };
+                let loaded = match self.memory.load(addr) {
+                    Ok(v) => v,
+                    Err(MemError::OutOfBounds { .. }) => {
+                        return StepFlow::Trap(TrapKind::OutOfBounds)
+                    }
+                };
+                if record {
+                    let id = intern_mem(&mut self.trace, &mut self.mem_ids, addr);
+                    self.trace.pool.push((id, loaded));
+                }
+                let result = apply_fault(loaded);
+                self.frames[frame_idx].regs[iid.index()] = Some(result);
+                kind = EventKind::Load;
+                record_result!(result);
+            }
+            DInst::Store { addr, value } => {
+                let a = resolve!(addr);
+                let v = resolve!(value);
+                let Some(addr) = a.as_ptr() else {
+                    return StepFlow::Trap(TrapKind::TypeMismatch);
+                };
+                let stored = apply_fault(v);
+                if let Err(MemError::OutOfBounds { .. }) = self.memory.store(addr, stored) {
+                    return StepFlow::Trap(TrapKind::OutOfBounds);
+                }
+                kind = EventKind::Store;
+                if record {
+                    let id = intern_mem(&mut self.trace, &mut self.mem_ids, addr);
+                    write = Some((id, stored));
+                }
+            }
+            DInst::Alloca { size } => {
+                let Some(base) = self.memory.alloca(u64::from(size)) else {
+                    return StepFlow::Trap(TrapKind::OutOfMemory);
+                };
+                let result = Value::P(base);
+                self.frames[frame_idx].regs[iid.index()] = Some(result);
+                kind = EventKind::Alloca {
+                    base,
+                    size: u64::from(size),
+                };
+                record_result!(result);
+            }
+            DInst::Gep { base, index } => {
+                let b = resolve!(base);
+                let i = resolve!(index);
+                let (Some(base), Some(idx)) = (b.as_ptr(), i.as_i64()) else {
+                    return StepFlow::Trap(TrapKind::TypeMismatch);
+                };
+                let addr = (base as i64).wrapping_add(idx) as u64;
+                let result = apply_fault(Value::P(addr));
+                self.frames[frame_idx].regs[iid.index()] = Some(result);
+                kind = EventKind::Gep;
+                record_result!(result);
+            }
+            DInst::Call { callee, args } => {
+                if self.frames.len() as u32 >= self.config.max_call_depth {
+                    return StepFlow::Trap(TrapKind::CallDepth);
+                }
+                let n = args.len as usize;
+                let mut arg_vals = Vec::with_capacity(n);
+                let mut arg_locs = Vec::with_capacity(n);
+                for k in args.range() {
+                    let a = df.args_pool[k];
+                    // Intern argument locations whenever tracing is on (not
+                    // just inside the scope window) so frames entered before
+                    // a window still resolve their argument reads inside it.
+                    let (v, loc) = match self.resolve_d(frame_idx, df, a, self.config.record_trace)
+                    {
+                        Ok(x) => x,
+                        Err(t) => return StepFlow::Trap(t),
+                    };
+                    if record {
+                        if let Some(l) = loc {
+                            self.trace.pool.push((l, v));
+                        }
+                    }
+                    arg_vals.push(v);
+                    arg_locs.push(loc);
+                }
+                kind = EventKind::Call { callee };
+                let new_frame = self.make_frame(callee, arg_vals, arg_locs, Some((frame_idx, iid)));
+                self.frames.push(new_frame);
+            }
+            DInst::CallIntrinsic { intrinsic, args } => {
+                let mut vals = Vec::with_capacity(args.len as usize);
+                for k in args.range() {
+                    let a = df.args_pool[k];
+                    vals.push(resolve!(a));
+                }
+                let result = match eval_intrinsic(intrinsic, &vals) {
+                    Ok(v) => v,
+                    Err(t) => return StepFlow::Trap(t),
+                };
+                let result = apply_fault(result);
+                self.frames[frame_idx].regs[iid.index()] = Some(result);
+                kind = EventKind::Intrinsic;
+                record_result!(result);
+            }
+            DInst::Ret { value } => {
+                let ret_val = match value {
+                    Some(v) => Some(resolve!(v)),
+                    None => None,
+                };
+                kind = EventKind::Ret;
+                let frame = self.frames.pop().expect("at least one frame");
+                self.memory.release_to(frame.stack_mark);
+                match frame.ret_dest {
+                    Some((caller_idx, dest)) => {
+                        let ret_val = apply_fault(ret_val.unwrap_or(Value::I(0)));
+                        let caller = &mut self.frames[caller_idx];
+                        caller.regs[dest.index()] = Some(ret_val);
+                        if record {
+                            let id = intern_reg(&mut self.trace, caller, dest);
+                            write = Some((id, ret_val));
+                        }
+                    }
+                    None => {
+                        flow = StepFlow::Finished;
+                    }
+                }
+            }
+            DInst::Br { target } => {
+                let frame = &mut self.frames[frame_idx];
+                frame.block = BlockId(target);
+                frame.ip = 0;
+                kind = EventKind::Br;
+            }
+            DInst::CondBr {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let c = resolve!(cond);
+                let taken = c.is_truthy();
+                let frame = &mut self.frames[frame_idx];
+                frame.block = BlockId(if taken { then_b } else { else_b });
+                frame.ip = 0;
+                kind = EventKind::CondBr { taken };
+            }
+            DInst::Output { value, format } => {
+                let v = resolve!(value);
+                self.outputs.emit(v, format);
+                kind = EventKind::Output { format };
+            }
+            DInst::LoopBegin {
+                id, depth, kind: lk,
+            } => {
+                kind = EventKind::LoopBegin {
+                    id,
+                    depth,
+                    kind: lk,
+                };
+            }
+            DInst::LoopEnd { id } => {
+                kind = EventKind::LoopEnd { id };
+            }
+            DInst::LoopIter { id } => {
+                kind = EventKind::LoopIter { id };
+            }
+            DInst::Nop => {}
+        }
+
+        if record {
+            self.push_event_decoded(func_id, frame_id, iid, lin, kind, pool_start, write);
         }
         self.steps += 1;
         flow
@@ -1861,6 +2821,140 @@ mod tests {
             let forked = vm.resume_from(&module, &snap).unwrap();
             assert_eq!(forked, cold, "fault {fault:?}");
         }
+    }
+
+    // -- decoded dispatch ---------------------------------------------------
+
+    fn decoded(m: &Module) -> DecodedModule {
+        DecodedModule::decode(m)
+    }
+
+    #[test]
+    fn decoded_run_matches_legacy_untraced_and_traced() {
+        for module in [sum_module(), call_module()] {
+            let dm = decoded(&module);
+            for config in [
+                VmConfig::default(),
+                VmConfig::tracing(),
+                VmConfig::tracing().without_markers(),
+                VmConfig::tracing_region(3, 20),
+            ] {
+                let vm = Vm::new(config);
+                let legacy = vm.run(&module).unwrap();
+                let dec = vm.run_decoded(&module, &dm).unwrap();
+                assert_eq!(dec, legacy, "config {config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_run_matches_legacy_under_faults() {
+        let module = sum_module();
+        let dm = decoded(&module);
+        let clean_steps = Vm::new(VmConfig::default()).run(&module).unwrap().steps;
+        for step in 0..clean_steps {
+            for fault in [
+                FaultSpec::in_result(step, 7),
+                FaultSpec::in_memory(step, 0, 3),
+            ] {
+                let vm = Vm::new(VmConfig::tracing_with_fault(fault));
+                let legacy = vm.run(&module).unwrap();
+                let dec = vm.run_decoded(&module, &dm).unwrap();
+                assert_eq!(dec, legacy, "fault {fault:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_streaming_matches_legacy_streaming() {
+        let module = sum_module();
+        let dm = decoded(&module);
+        let config = VmConfig::default().without_markers();
+        let vm = Vm::new(config);
+        let mut a = Rebuild::default();
+        let ra = vm.run_with_visitors(&module, &mut [&mut a]).unwrap();
+        let mut b = Rebuild::default();
+        let rb = vm
+            .run_with_visitors_decoded(&module, &dm, &mut [&mut b])
+            .unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.outcome, b.outcome);
+    }
+
+    #[test]
+    fn decoded_resume_matches_legacy_resume_at_every_fork_point() {
+        let module = sum_module();
+        let dm = decoded(&module);
+        let plain = Vm::new(VmConfig::default());
+        let cold = Vm::new(VmConfig::tracing()).run(&module).unwrap();
+        // Every fork point, including ones that land between the two halves
+        // of a fused compare-branch pair.
+        for fork in 0..cold.steps {
+            let snap = plain.snapshot_at(&module, fork).unwrap().expect("mid-run");
+            let vm = Vm::new(VmConfig::tracing());
+            let legacy = vm.resume_from(&module, &snap).unwrap();
+            let dec = vm.resume_from_decoded(&module, &dm, &snap).unwrap();
+            assert_eq!(dec, legacy, "fork {fork}");
+        }
+    }
+
+    #[test]
+    fn decoded_resume_with_fault_at_fused_branch_half() {
+        let module = sum_module();
+        let dm = decoded(&module);
+        let plain = Vm::new(VmConfig::default());
+        let cold = plain.run(&module).unwrap();
+        for fork in 0..cold.steps {
+            for fault in [
+                FaultSpec::in_result(fork, 5),
+                FaultSpec::in_memory(fork, 0, 3),
+            ] {
+                let snap = plain.snapshot_at(&module, fork).unwrap().expect("mid-run");
+                let vm = Vm::new(VmConfig::with_fault(fault));
+                let legacy = vm.resume_from(&module, &snap).unwrap();
+                let dec = vm.resume_from_decoded(&module, &dm, &snap).unwrap();
+                assert_eq!(dec, legacy, "fork {fork} fault {fault:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoded_step_limit_stops_identically() {
+        let module = sum_module();
+        let dm = decoded(&module);
+        let total = Vm::new(VmConfig::default()).run(&module).unwrap().steps;
+        for limit in 0..=total {
+            let config = VmConfig {
+                max_steps: limit,
+                record_trace: true,
+                ..Default::default()
+            };
+            let vm = Vm::new(config);
+            let legacy = vm.run(&module).unwrap();
+            let dec = vm.run_decoded(&module, &dm).unwrap();
+            assert_eq!(dec, legacy, "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn decoded_traps_match_legacy() {
+        // Division by zero mid-program.
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main");
+        let one = b.const_i64(1);
+        let zero = b.const_i64(0);
+        let x = b.add(one, one);
+        b.sdiv(x, zero);
+        b.ret(None);
+        m.add_function(b.finish());
+        let dm = decoded(&m);
+        let vm = Vm::new(VmConfig::tracing());
+        let legacy = vm.run(&m).unwrap();
+        let dec = vm.run_decoded(&m, &dm).unwrap();
+        assert_eq!(dec, legacy);
+        assert_eq!(dec.outcome, RunOutcome::Trapped(TrapKind::DivisionByZero));
     }
 
     #[test]

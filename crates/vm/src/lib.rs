@@ -41,6 +41,7 @@ pub mod value;
 pub mod visitor;
 
 pub use fault::{FaultSpec, FaultTarget};
+pub use ftkr_ir::decode::DecodedModule;
 pub use interp::{RunOutcome, RunResult, TraceOpts, TraceScope, TrapKind, Vm, VmConfig};
 pub use location::Location;
 pub use memory::Memory;
